@@ -1,0 +1,24 @@
+//! The decoupled baseline system (Section 7.1's comparison target).
+//!
+//! The baseline reproduces the classic architecture of Fig. 2: a
+//! workstation-class host (i9-14900K + 64 GB DDR5 running a
+//! Python/Qiskit-class software stack), an FPGA controller reached over a
+//! 100-gigabit Ethernet/UDP link, and the quantum chip behind a 100 ns
+//! Analog-Digital Interface. Execution is strictly sequential: compile →
+//! upload → pulse generation (1000 ns per pulse, no reuse) → quantum run
+//! (per-shot result packets) → host post-processing — then recompile from
+//! scratch for the next evaluation.
+//!
+//! - [`network`]: the Ethernet/UDP link model;
+//! - [`host_model`]: the i9-plus-software-stack host cost model;
+//! - [`runner`]: [`BaselineRunner`], producing the same
+//!   [`qtenon_core::RunReport`] as the Qtenon runner so experiments can
+//!   compare them directly.
+
+pub mod host_model;
+pub mod network;
+pub mod runner;
+
+pub use host_model::BaselineHostModel;
+pub use network::NetworkModel;
+pub use runner::{BaselineConfig, BaselineRunner};

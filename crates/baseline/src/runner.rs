@@ -1,0 +1,266 @@
+//! Sequential end-to-end execution on the decoupled baseline.
+
+use qtenon_compiler::{BaselineCompiler, BaselineCompilerConfig};
+use qtenon_core::report::{CommBreakdown, RunReport, TimeBreakdown};
+use qtenon_core::SystemError;
+use qtenon_quantum::sim::Simulator;
+use qtenon_quantum::{CircuitTiming, GateTimes};
+use qtenon_sim_engine::{OpCounter, SimDuration};
+use qtenon_workloads::{evaluate_cost, Optimizer, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::host_model::BaselineHostModel;
+use crate::network::NetworkModel;
+
+/// Configuration of the decoupled baseline system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineConfig {
+    /// Ethernet/UDP link.
+    pub network: NetworkModel,
+    /// Host cost model.
+    pub host: BaselineHostModel,
+    /// JIT compiler costs.
+    pub compiler: BaselineCompilerConfig,
+    /// FPGA pulse generation latency per pulse (Section 7.1: 1000 ns,
+    /// sequential — the FPGA has no SLT and no pulse reuse).
+    pub fpga_pulse_latency: SimDuration,
+    /// ADI latency per direction.
+    pub adi_latency: SimDuration,
+    /// Quantum gate durations (same chip as Qtenon).
+    pub gate_times: GateTimes,
+    /// Chip sampling seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            network: NetworkModel::default(),
+            host: BaselineHostModel::default(),
+            compiler: BaselineCompilerConfig::default(),
+            fpga_pulse_latency: SimDuration::from_ns(1_000),
+            adi_latency: SimDuration::from_ns(100),
+            gate_times: GateTimes::default(),
+            seed: 0x51,
+        }
+    }
+}
+
+/// Executes hybrid workloads on the decoupled baseline, producing the
+/// same [`RunReport`] shape as the Qtenon runner.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_baseline::{BaselineConfig, BaselineRunner};
+/// use qtenon_workloads::{SpsaOptimizer, Workload};
+///
+/// let workload = Workload::qaoa(8, 2, 7)?;
+/// let mut runner = BaselineRunner::new(BaselineConfig::default(), workload);
+/// let report = runner.run(&mut SpsaOptimizer::new(7), 2, 50)?;
+/// // Decoupled execution: communication dominates (Fig. 1).
+/// assert!(report.comm.total() > report.breakdown.quantum);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct BaselineRunner {
+    config: BaselineConfig,
+    workload: Workload,
+    simulator: Simulator,
+}
+
+impl std::fmt::Debug for BaselineRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineRunner")
+            .field("workload", &self.workload.kind)
+            .field("n_qubits", &self.workload.n_qubits())
+            .finish()
+    }
+}
+
+impl BaselineRunner {
+    /// Creates a runner for a workload.
+    pub fn new(config: BaselineConfig, workload: Workload) -> Self {
+        let simulator = Simulator::fast(workload.n_qubits(), config.seed);
+        BaselineRunner {
+            config,
+            workload,
+            simulator,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BaselineConfig {
+        &self.config
+    }
+
+    /// Runs `iterations` optimizer iterations at `shots` shots per
+    /// evaluation, strictly sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Quantum`] for simulation failures.
+    pub fn run(
+        &mut self,
+        optimizer: &mut dyn Optimizer,
+        iterations: usize,
+        shots: u64,
+    ) -> Result<RunReport, SystemError> {
+        let cfg = self.config;
+        let jit = BaselineCompiler::new(cfg.compiler);
+        let mut total = SimDuration::ZERO;
+        let mut breakdown = TimeBreakdown::default();
+        let mut comm = CommBreakdown::default();
+        let mut host_ops_total = OpCounter::new();
+        let mut dynamic_instructions = 0u64;
+        let mut pulses_generated = 0u64;
+        let mut cost_history = Vec::with_capacity(iterations);
+        let bytes_per_shot = (self.workload.n_qubits() as u64).div_ceil(8);
+
+        let mut params = self.workload.initial_params.clone();
+        for _iter in 0..iterations {
+            let plan = optimizer.iteration_plan(&params);
+            let mut evals = Vec::with_capacity(plan.len());
+            for eval_params in &plan {
+                // 1. JIT recompile from scratch (no incremental path).
+                let bound = self.workload.circuit.bind(eval_params)?;
+                let compiled = jit.compile(&bound);
+                breakdown.host += compiled.compile_time;
+                total += compiled.compile_time;
+                dynamic_instructions += compiled.instruction_count;
+
+                // 2. Upload the binary over Ethernet.
+                let upload = cfg.network.message_time(compiled.binary_bytes);
+                comm.q_set += upload;
+                comm.q_set_count += 1;
+                total += upload;
+
+                // 3. FPGA pulse generation: every pulse, sequentially.
+                let pg = cfg.fpga_pulse_latency * compiled.pulses_required;
+                breakdown.pulse_generation += pg;
+                pulses_generated += compiled.pulses_required;
+                total += pg;
+
+                // 4. Quantum execution behind the ADI.
+                let timing = CircuitTiming::of(&bound, &cfg.gate_times);
+                let q = cfg.adi_latency * 2 + timing.shot_duration * shots;
+                breakdown.quantum += q;
+                total += q;
+                let results = self.simulator.run(&bound, shots)?;
+
+                // 5. Stream per-shot readout packets back to the host.
+                let download = cfg.network.stream_time(shots, bytes_per_shot);
+                comm.q_acquire += download;
+                comm.q_acquire_count += shots;
+                total += download;
+
+                // 6. Host post-processing through the software stack.
+                let mut ops = OpCounter::new();
+                let cost = evaluate_cost(&self.workload.hamiltonian, &results, &mut ops);
+                let d = cfg.host.duration_for(&ops);
+                host_ops_total += ops;
+                breakdown.host += d;
+                total += d;
+                evals.push(cost);
+            }
+            let mut ops = OpCounter::new();
+            params = optimizer.update(&params, &plan, &evals, &mut ops);
+            let d = cfg.host.duration_for(&ops);
+            host_ops_total += ops;
+            breakdown.host += d;
+            total += d;
+            let mean = evals.iter().sum::<f64>() / evals.len().max(1) as f64;
+            cost_history.push(mean);
+        }
+
+        breakdown.communication = comm.total();
+        let final_cost = cost_history.last().copied().unwrap_or(f64::NAN);
+        Ok(RunReport {
+            total,
+            breakdown,
+            comm,
+            dynamic_instructions,
+            static_instructions: dynamic_instructions
+                / (iterations as u64 * 2).max(1), // one compile's worth
+            pulses_generated,
+            slt: Default::default(),
+            host_cycles: qtenon_core::host::HostCoreModel::new(
+                qtenon_core::config::CoreModel::Rocket,
+            )
+            .cycles_for(&host_ops_total),
+            cost_history,
+            final_cost,
+            pulse_reduction: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtenon_workloads::{GradientDescentOptimizer, SpsaOptimizer, WorkloadKind};
+
+    fn run_baseline(kind: WorkloadKind, n: u32) -> RunReport {
+        let workload = Workload::benchmark(kind, n, 11).unwrap();
+        let mut runner = BaselineRunner::new(BaselineConfig::default(), workload);
+        runner.run(&mut SpsaOptimizer::new(5), 2, 100).unwrap()
+    }
+
+    #[test]
+    fn quantum_is_minor_fraction_of_total() {
+        // Fig. 1a: quantum execution is a small share on the baseline.
+        let report = run_baseline(WorkloadKind::Vqe, 8);
+        let share = report.breakdown.quantum.fraction_of(report.total);
+        assert!(share < 0.35, "quantum share {share}");
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        // Sequential system: no overlap, wall time = Σ busy times.
+        let report = run_baseline(WorkloadKind::Qaoa, 8);
+        assert_eq!(report.total, report.breakdown.busy_total());
+    }
+
+    #[test]
+    fn recompiles_every_evaluation() {
+        let workload = Workload::qaoa(8, 2, 1).unwrap();
+        let per_compile = BaselineCompiler::new(BaselineCompilerConfig::default())
+            .compile(&workload.circuit.bind(&workload.initial_params).unwrap())
+            .instruction_count;
+        let mut runner = BaselineRunner::new(BaselineConfig::default(), workload);
+        let report = runner.run(&mut SpsaOptimizer::new(5), 3, 10).unwrap();
+        // 3 iterations × 2 SPSA evals = 6 compiles.
+        assert_eq!(report.dynamic_instructions, 6 * per_compile);
+        assert_eq!(report.pulse_reduction, 0.0);
+    }
+
+    #[test]
+    fn gd_pays_more_communication_than_spsa() {
+        // Fig. 14: GD's per-parameter rounds multiply communication.
+        let workload = Workload::vqe(8, 1).unwrap();
+        let gd = BaselineRunner::new(BaselineConfig::default(), workload.clone())
+            .run(&mut GradientDescentOptimizer::new(0.05), 2, 20)
+            .unwrap();
+        let spsa = BaselineRunner::new(BaselineConfig::default(), workload)
+            .run(&mut SpsaOptimizer::new(5), 2, 20)
+            .unwrap();
+        assert!(gd.comm.total() > 4 * spsa.comm.total());
+    }
+
+    #[test]
+    fn communication_in_table1_band() {
+        // Per-evaluation round-trip lands in the ~1–10 ms decoupled band.
+        let report = run_baseline(WorkloadKind::Qaoa, 8);
+        let evals = 2 * 2; // SPSA, 2 iterations
+        let per_eval = report.comm.total() / evals;
+        assert!(per_eval >= SimDuration::from_us(300), "per_eval={per_eval}");
+        assert!(per_eval <= SimDuration::from_ms(10), "per_eval={per_eval}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_baseline(WorkloadKind::Qnn, 8);
+        let b = run_baseline(WorkloadKind::Qnn, 8);
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.cost_history, b.cost_history);
+    }
+}

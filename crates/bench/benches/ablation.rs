@@ -1,0 +1,146 @@
+//! Ablation benches beyond the paper: design-parameter sweeps DESIGN.md
+//! calls out — PGU pool width, SLT presence, transmission interval, and
+//! reorder-buffer depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qtenon_compiler::QtenonCompiler;
+use qtenon_controller::pgu::PguConfig;
+use qtenon_controller::pipeline::{PipelineConfig, PulsePipeline, WorkItem};
+use qtenon_controller::{BusConfig, TileLinkBus};
+use qtenon_core::config::TransmissionPolicy;
+use qtenon_core::schedule::TransmissionPlan;
+use qtenon_isa::QccLayout;
+use qtenon_sim_engine::{SimDuration, SimTime};
+use qtenon_workloads::{Workload, WorkloadKind};
+
+fn qaoa_items(n: u32) -> (QccLayout, Vec<WorkItem>) {
+    let layout = QccLayout::for_qubits(n).unwrap();
+    let w = Workload::benchmark(WorkloadKind::Qaoa, n, 42).unwrap();
+    let program = QtenonCompiler::new(layout).compile(&w.circuit).unwrap();
+    let items = program
+        .work_items(&w.initial_params)
+        .unwrap()
+        .into_iter()
+        .map(|(qubit, gate, data27)| WorkItem { qubit, gate, data27 })
+        .collect();
+    (layout, items)
+}
+
+/// Sweep the PGU pool width: the paper fixes 8; how sensitive is cold
+/// pulse generation to that choice?
+fn pgu_count_sweep(c: &mut Criterion) {
+    let (layout, items) = qaoa_items(16);
+    let mut group = c.benchmark_group("ablation_pgu_count");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for units in [1usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(units), &units, |b, &units| {
+            let config = PipelineConfig {
+                pgu: PguConfig {
+                    units,
+                    ..PguConfig::default()
+                },
+                ..PipelineConfig::default()
+            };
+            b.iter(|| {
+                let mut pipe = PulsePipeline::new(config, layout);
+                let (report, _) = pipe.process(SimTime::ZERO, &items);
+                black_box(report.total_time)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// SLT on/off: process the same program twice with a warm SLT vs
+/// resetting between passes (the no-reuse baseline behaviour).
+fn slt_reuse_sweep(c: &mut Criterion) {
+    let (layout, items) = qaoa_items(16);
+    let mut group = c.benchmark_group("ablation_slt_reuse");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("with_slt", |b| {
+        b.iter(|| {
+            let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout);
+            pipe.process(SimTime::ZERO, &items);
+            let (warm, _) = pipe.process(SimTime::ZERO, &items);
+            black_box(warm.total_time)
+        })
+    });
+    group.bench_function("without_slt", |b| {
+        b.iter(|| {
+            let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout);
+            pipe.process(SimTime::ZERO, &items);
+            pipe.reset(); // discard cached pulses: every pass is cold
+            let (cold, _) = pipe.process(SimTime::ZERO, &items);
+            black_box(cold.total_time)
+        })
+    });
+    group.finish();
+}
+
+/// Transmission-interval sweep around Algorithm 1's ⌊B/N⌋ choice.
+fn batching_interval_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_batch_interval");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (name, policy, width) in [
+        ("immediate", TransmissionPolicy::Immediate, 256u32),
+        ("k4_paper", TransmissionPolicy::Batched, 256),
+        ("k8_wider_bus", TransmissionPolicy::Batched, 512),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let plan = TransmissionPlan::new(policy, 64, width, 500);
+                // Simulated bus time for the whole plan.
+                let mut bus = TileLinkBus::new(BusConfig::default());
+                let mut t = SimTime::ZERO;
+                for batch in plan.batches() {
+                    t = bus.schedule_transfer(t, batch.bytes).complete;
+                }
+                black_box(t.saturating_since(SimTime::ZERO))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Reorder-buffer (tag) depth: how outstanding-transaction limits shape
+/// bulk-transfer throughput.
+fn rbq_depth_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rbq_depth");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for tags in [1usize, 4, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(tags), &tags, |b, &tags| {
+            b.iter(|| {
+                let mut bus = TileLinkBus::new(BusConfig {
+                    max_outstanding: tags,
+                    ..BusConfig::default()
+                });
+                let mut total = SimDuration::ZERO;
+                for _ in 0..64 {
+                    let t = bus.schedule_transfer(SimTime::ZERO, 64);
+                    total = total.max(t.complete.saturating_since(SimTime::ZERO));
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    pgu_count_sweep,
+    slt_reuse_sweep,
+    batching_interval_sweep,
+    rbq_depth_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Benchmarks behind Fig. 1 and Fig. 13: time-share breakdowns of the
+//! decoupled baseline and of the three Qtenon configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qtenon_bench::experiments::{
+    baseline_run, qtenon_run, ExperimentScale, OptimizerKind,
+};
+use qtenon_core::config::{CoreModel, SyncMode, TransmissionPolicy};
+use qtenon_workloads::WorkloadKind;
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        iterations: 1,
+        shots: 50,
+        qubit_sweep: vec![16],
+        scaling_sweep: vec![16],
+        seed: 42,
+    }
+}
+
+fn fig1_baseline_shares(c: &mut Criterion) {
+    let scale = scale();
+    let mut group = c.benchmark_group("fig1_baseline_breakdown");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for kind in WorkloadKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let report = baseline_run(kind, 16, OptimizerKind::Spsa, &scale);
+                black_box(report.exposed_shares())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig13_three_systems(c: &mut Criterion) {
+    let scale = scale();
+    let mut group = c.benchmark_group("fig13_vqe_breakdown");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("baseline", |b| {
+        b.iter(|| black_box(baseline_run(WorkloadKind::Vqe, 16, OptimizerKind::Spsa, &scale)))
+    });
+    group.bench_function("qtenon_hw_only", |b| {
+        b.iter(|| {
+            black_box(qtenon_run(
+                WorkloadKind::Vqe,
+                16,
+                CoreModel::Rocket,
+                OptimizerKind::Spsa,
+                &scale,
+                SyncMode::Fence,
+                TransmissionPolicy::Immediate,
+            ))
+        })
+    });
+    group.bench_function("qtenon_full", |b| {
+        b.iter(|| {
+            black_box(qtenon_run(
+                WorkloadKind::Vqe,
+                16,
+                CoreModel::Rocket,
+                OptimizerKind::Spsa,
+                &scale,
+                SyncMode::FineGrained,
+                TransmissionPolicy::Batched,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig1_baseline_shares, fig13_three_systems);
+criterion_main!(benches);

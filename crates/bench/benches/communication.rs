@@ -1,0 +1,62 @@
+//! Benchmarks behind Fig. 14 and Table 1's communication rows: the raw
+//! data paths (RoCC register path, TileLink bulk path, baseline Ethernet)
+//! and the per-instruction communication mix of full runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qtenon_baseline::NetworkModel;
+use qtenon_bench::experiments::{qtenon_default, ExperimentScale, OptimizerKind};
+use qtenon_controller::{BusConfig, TileLinkBus};
+use qtenon_core::config::CoreModel;
+use qtenon_sim_engine::SimTime;
+use qtenon_workloads::WorkloadKind;
+
+fn raw_data_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_raw_paths");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for bytes in [8u64, 64, 1024, 65536] {
+        group.bench_with_input(BenchmarkId::new("tilelink", bytes), &bytes, |b, &bytes| {
+            b.iter(|| {
+                let mut bus = TileLinkBus::new(BusConfig::default());
+                black_box(bus.schedule_transfer(SimTime::ZERO, bytes))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ethernet", bytes), &bytes, |b, &bytes| {
+            let net = NetworkModel::default();
+            b.iter(|| black_box(net.message_time(bytes)))
+        });
+    }
+    group.finish();
+}
+
+fn comm_mix_per_workload(c: &mut Criterion) {
+    let scale = ExperimentScale {
+        iterations: 1,
+        shots: 50,
+        qubit_sweep: vec![16],
+        scaling_sweep: vec![16],
+        seed: 42,
+    };
+    let mut group = c.benchmark_group("fig14_comm_mix");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for kind in WorkloadKind::ALL {
+        for opt in [OptimizerKind::Gd, OptimizerKind::Spsa] {
+            group.bench_function(format!("{kind}_{}", opt.name()), |b| {
+                b.iter(|| {
+                    let report =
+                        qtenon_default(kind, 16, CoreModel::BoomLarge, opt, &scale);
+                    black_box((report.comm.shares(), report.comm.total()))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, raw_data_paths, comm_mix_per_workload);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Benchmarks behind Figs. 11 and 12: end-to-end VQA execution on Qtenon
+//! (both cores) and on the decoupled baseline, per workload.
+//!
+//! The *measured* quantity is simulator wall time, but each iteration
+//! performs one complete system run whose reported `RunReport` carries the
+//! simulated-time series the figures plot; the `experiments` binary prints
+//! those. Here Criterion tracks the cost of regenerating each series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qtenon_bench::experiments::{baseline_run, qtenon_default, ExperimentScale, OptimizerKind};
+use qtenon_core::config::CoreModel;
+use qtenon_workloads::WorkloadKind;
+
+fn bench_scale() -> ExperimentScale {
+    ExperimentScale {
+        iterations: 1,
+        shots: 50,
+        qubit_sweep: vec![8, 16],
+        scaling_sweep: vec![8],
+        seed: 42,
+    }
+}
+
+fn fig11_12(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig11_12_end_to_end");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for kind in WorkloadKind::ALL {
+        for &n in &scale.qubit_sweep {
+            group.bench_with_input(
+                BenchmarkId::new(format!("qtenon_rocket_{kind}"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        black_box(qtenon_default(
+                            kind,
+                            n,
+                            CoreModel::Rocket,
+                            OptimizerKind::Spsa,
+                            &scale,
+                        ))
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("qtenon_boom_{kind}"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        black_box(qtenon_default(
+                            kind,
+                            n,
+                            CoreModel::BoomLarge,
+                            OptimizerKind::Spsa,
+                            &scale,
+                        ))
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("baseline_{kind}"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| black_box(baseline_run(kind, n, OptimizerKind::Spsa, &scale)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn gd_vs_spsa(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig11_vs_12_optimizers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for opt in [OptimizerKind::Gd, OptimizerKind::Spsa] {
+        group.bench_function(format!("qaoa16_{}", opt.name()), |b| {
+            b.iter(|| {
+                black_box(qtenon_default(
+                    WorkloadKind::Qaoa,
+                    16,
+                    CoreModel::Rocket,
+                    opt,
+                    &scale,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11_12, gd_vs_spsa);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Benchmarks behind Table 5: pulse generation through the four-stage
+//! pipeline, cold (every pulse computed) vs warm (SLT reuse), and the
+//! baseline's regenerate-everything FPGA model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qtenon_compiler::{BaselineCompiler, QtenonCompiler};
+use qtenon_controller::pipeline::{PipelineConfig, PulsePipeline, WorkItem};
+use qtenon_isa::QccLayout;
+use qtenon_sim_engine::SimTime;
+use qtenon_workloads::{Workload, WorkloadKind};
+
+fn work_items(kind: WorkloadKind, n: u32) -> (QccLayout, Vec<WorkItem>) {
+    let layout = QccLayout::for_qubits(n).unwrap();
+    let w = Workload::benchmark(kind, n, 42).unwrap();
+    let program = QtenonCompiler::new(layout).compile(&w.circuit).unwrap();
+    let items: Vec<WorkItem> = program
+        .work_items(&w.initial_params)
+        .unwrap()
+        .into_iter()
+        .map(|(qubit, gate, data27)| WorkItem { qubit, gate, data27 })
+        .collect();
+    (layout, items)
+}
+
+fn table5_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_pulse_pipeline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for kind in WorkloadKind::ALL {
+        let (layout, items) = work_items(kind, 16);
+        group.bench_with_input(
+            BenchmarkId::new("cold", kind.name()),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout);
+                    black_box(pipe.process(SimTime::ZERO, items))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("warm", kind.name()),
+            &items,
+            |b, items| {
+                // Pre-warm once; each measured pass is all-hits.
+                let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout);
+                pipe.process(SimTime::ZERO, items);
+                b.iter(|| black_box(pipe.process(SimTime::ZERO, items)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn table5_baseline_jit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_baseline_recompile");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for kind in WorkloadKind::ALL {
+        let w = Workload::benchmark(kind, 16, 42).unwrap();
+        let bound = w.circuit.bind(&w.initial_params).unwrap();
+        group.bench_function(kind.name(), |b| {
+            let jit = BaselineCompiler::default();
+            b.iter(|| black_box(jit.compile(&bound)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table5_pipeline, table5_baseline_jit);
+criterion_main!(benches);

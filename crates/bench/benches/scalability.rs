@@ -1,0 +1,60 @@
+//! Benchmarks behind Fig. 17: Qtenon execution as qubit count grows, plus
+//! the mean-field chip model that makes 320-qubit simulation tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qtenon_bench::experiments::{qtenon_default, ExperimentScale, OptimizerKind};
+use qtenon_core::config::CoreModel;
+use qtenon_quantum::sim::MeanFieldState;
+use qtenon_workloads::{Workload, WorkloadKind};
+
+fn fig17_system_sweep(c: &mut Criterion) {
+    let scale = ExperimentScale {
+        iterations: 1,
+        shots: 50,
+        qubit_sweep: vec![],
+        scaling_sweep: vec![],
+        seed: 42,
+    };
+    let mut group = c.benchmark_group("fig17_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [16u32, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("qaoa", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(qtenon_default(
+                    WorkloadKind::Qaoa,
+                    n,
+                    CoreModel::BoomLarge,
+                    OptimizerKind::Spsa,
+                    &scale,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig17_chip_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_mean_field_chip");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [64u32, 320] {
+        let w = Workload::qaoa(n, 5, 1).unwrap();
+        let bound = w.circuit.bind(&w.initial_params).unwrap();
+        group.bench_with_input(BenchmarkId::new("apply_circuit", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut mf = MeanFieldState::new(n);
+                mf.apply_circuit(&bound).unwrap();
+                black_box(mf.expectation_z(0))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig17_system_sweep, fig17_chip_model);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Benchmarks behind Figs. 16a/16b and Fig. 15: synchronisation modes,
+//! transmission scheduling, and host computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qtenon_bench::experiments::{qtenon_run, ExperimentScale, OptimizerKind};
+use qtenon_core::config::{CoreModel, SyncMode, TransmissionPolicy};
+use qtenon_core::host::HostCoreModel;
+use qtenon_sim_engine::{OpClass, OpCounter};
+use qtenon_workloads::WorkloadKind;
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        iterations: 1,
+        shots: 100,
+        qubit_sweep: vec![16],
+        scaling_sweep: vec![16],
+        seed: 42,
+    }
+}
+
+fn fig16a_sync_modes(c: &mut Criterion) {
+    let scale = scale();
+    let mut group = c.benchmark_group("fig16a_sync");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (name, sync) in [("fence", SyncMode::Fence), ("fine_grained", SyncMode::FineGrained)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(qtenon_run(
+                    WorkloadKind::Vqe,
+                    16,
+                    CoreModel::Rocket,
+                    OptimizerKind::Spsa,
+                    &scale,
+                    sync,
+                    TransmissionPolicy::Batched,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig16b_scheduling(c: &mut Criterion) {
+    let scale = scale();
+    let mut group = c.benchmark_group("fig16b_scheduling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (name, policy) in [
+        ("immediate", TransmissionPolicy::Immediate),
+        ("batched", TransmissionPolicy::Batched),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(qtenon_run(
+                    WorkloadKind::Qaoa,
+                    16,
+                    CoreModel::Rocket,
+                    OptimizerKind::Spsa,
+                    &scale,
+                    SyncMode::FineGrained,
+                    policy,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig15_host_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_host_models");
+    group.sample_size(50);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let mut ops = OpCounter::new();
+    ops.record(OpClass::IntAlu, 100_000);
+    ops.record(OpClass::FpAlu, 50_000);
+    ops.record(OpClass::Mem, 60_000);
+    ops.record(OpClass::Branch, 20_000);
+    for core in [CoreModel::Rocket, CoreModel::BoomLarge] {
+        let model = HostCoreModel::new(core);
+        group.bench_function(core.name(), |b| {
+            b.iter(|| black_box(model.duration_for(&ops)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig16a_sync_modes, fig16b_scheduling, fig15_host_models);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Regenerates every table and figure of the paper as text tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--full] [ids...]
+//! ```
+//!
+//! With no ids, all experiments run. `--full` uses the paper-scale setup
+//! (500 shots × 10 iterations, 8–64 qubit sweeps); the default quick
+//! scale preserves every ratio's shape at a fraction of the runtime.
+//! Valid ids: `fig1 table1 table2 table4 fig11 fig12 fig13 fig14 table5
+//! fig15 fig16a fig16b fig17 ablation`.
+
+use qtenon_bench::experiments::{self, ExperimentScale, OptimizerKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let scale = if full {
+        ExperimentScale::paper()
+    } else {
+        ExperimentScale::quick()
+    };
+    let all = ids.is_empty();
+    let want = |id: &str| all || ids.contains(&id);
+    println!(
+        "# Qtenon experiment harness ({} scale: {} iterations, {} shots)\n",
+        if full { "paper" } else { "quick" },
+        scale.iterations,
+        scale.shots
+    );
+
+    if want("fig1") {
+        section(
+            "Fig. 1 — baseline time shares (quantum execution is a minor fraction)",
+            experiments::fig1(&scale).to_string(),
+        );
+    }
+    if want("table1") {
+        section(
+            "Table 1 — decoupled vs tightly coupled systems",
+            experiments::table1(&scale).to_string(),
+        );
+    }
+    if want("table2") {
+        section(
+            "Table 2 — quantum controller cache design for 64 qubits",
+            experiments::table2().to_string(),
+        );
+    }
+    if want("table4") {
+        section(
+            "Table 4 — hardware configuration",
+            experiments::table4().to_string(),
+        );
+    }
+    if want("fig11") {
+        section(
+            "Fig. 11 — speedups under Gradient Descent",
+            experiments::fig11_12(&scale, OptimizerKind::Gd).to_string(),
+        );
+    }
+    if want("fig12") {
+        section(
+            "Fig. 12 — speedups under SPSA",
+            experiments::fig11_12(&scale, OptimizerKind::Spsa).to_string(),
+        );
+    }
+    if want("fig13") {
+        section(
+            "Fig. 13 — 64-qubit VQE (SPSA) end-to-end breakdown",
+            experiments::fig13(&scale).to_string(),
+        );
+    }
+    if want("fig14") {
+        section(
+            "Fig. 14 — quantum-host communication (GD)",
+            experiments::fig14(&scale, OptimizerKind::Gd).to_string(),
+        );
+        section(
+            "Fig. 14 — quantum-host communication (SPSA)",
+            experiments::fig14(&scale, OptimizerKind::Spsa).to_string(),
+        );
+    }
+    if want("table5") {
+        section(
+            "Table 5 — pulse generation speedup and computation reduction",
+            experiments::table5(&scale).to_string(),
+        );
+    }
+    if want("fig15") {
+        section(
+            "Fig. 15 — host execution time",
+            experiments::fig15(&scale).to_string(),
+        );
+    }
+    if want("fig16a") {
+        section(
+            "Fig. 16a — FENCE vs fine-grained synchronisation",
+            experiments::fig16a(&scale).to_string(),
+        );
+    }
+    if want("fig16b") {
+        section(
+            "Fig. 16b — transmission scheduling (Algorithm 1)",
+            experiments::fig16b(&scale).to_string(),
+        );
+    }
+    if want("fig17") {
+        section(
+            "Fig. 17 — scalability",
+            experiments::fig17(&scale).to_string(),
+        );
+    }
+    if want("ablation") {
+        section(
+            "Ablation (beyond the paper) — PGU pool width × SLT reuse",
+            experiments::ablation(&scale).to_string(),
+        );
+    }
+}
+
+fn section(title: &str, body: String) {
+    println!("## {title}\n");
+    println!("{body}");
+}

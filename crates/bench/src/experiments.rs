@@ -1,0 +1,711 @@
+//! The per-table/per-figure experiment implementations.
+
+use qtenon_baseline::{BaselineConfig, BaselineRunner};
+use qtenon_compiler::{BaselineCompiler, ParameterDiff, QtenonCompiler};
+use qtenon_controller::{BusConfig, TileLinkBus};
+use qtenon_core::config::{CoreModel, QtenonConfig, SyncMode, TransmissionPolicy};
+use qtenon_core::report::RunReport;
+use qtenon_core::vqa::VqaRunner;
+use qtenon_isa::{QccLayout, Segment};
+use qtenon_sim_engine::{SimDuration, SimTime};
+use qtenon_workloads::{
+    GradientDescentOptimizer, Optimizer, SpsaOptimizer, Workload, WorkloadKind,
+};
+
+use crate::table::TextTable;
+
+/// Which optimizer an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerKind {
+    /// Gradient descent via the parameter-shift rule.
+    Gd,
+    /// SPSA.
+    Spsa,
+}
+
+impl OptimizerKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptimizerKind::Gd => "GD",
+            OptimizerKind::Spsa => "SPSA",
+        }
+    }
+
+    /// Builds the optimizer.
+    pub fn build(self, seed: u64) -> Box<dyn Optimizer> {
+        match self {
+            OptimizerKind::Gd => Box::new(GradientDescentOptimizer::new(0.05)),
+            OptimizerKind::Spsa => Box::new(SpsaOptimizer::new(seed)),
+        }
+    }
+}
+
+/// Experiment sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ExperimentScale {
+    /// Optimizer iterations per run (paper: 10).
+    pub iterations: usize,
+    /// Shots per circuit evaluation (paper: 500).
+    pub shots: u64,
+    /// Qubit sweep for Figs. 11/12 (paper: 8–64 step 8).
+    pub qubit_sweep: Vec<u32>,
+    /// Qubit sweep for the Fig. 17 scalability study (paper: 64–320).
+    pub scaling_sweep: Vec<u32>,
+    /// Workload/optimizer seeds.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// A fast configuration preserving every speedup ratio's shape.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            iterations: 2,
+            shots: 100,
+            qubit_sweep: vec![8, 16, 32, 64],
+            scaling_sweep: vec![64, 128, 192],
+            seed: 42,
+        }
+    }
+
+    /// The paper's full Section 7.1 setup.
+    pub fn paper() -> Self {
+        ExperimentScale {
+            iterations: 10,
+            shots: 500,
+            qubit_sweep: (1..=8).map(|i| 8 * i).collect(),
+            scaling_sweep: vec![64, 128, 192, 256, 320],
+            seed: 42,
+        }
+    }
+}
+
+fn fmt_dur(d: SimDuration) -> String {
+    d.to_string()
+}
+
+fn fmt_x(r: f64) -> String {
+    format!("{r:.1}x")
+}
+
+fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+fn ratio(a: SimDuration, b: SimDuration) -> f64 {
+    if b.is_zero() {
+        f64::INFINITY
+    } else {
+        a.as_ns() / b.as_ns()
+    }
+}
+
+/// Runs a workload on Qtenon with the given policies.
+///
+/// # Panics
+///
+/// Panics if construction or execution fails (experiment configurations
+/// are known-valid).
+pub fn qtenon_run(
+    kind: WorkloadKind,
+    n: u32,
+    core: CoreModel,
+    opt: OptimizerKind,
+    scale: &ExperimentScale,
+    sync: SyncMode,
+    policy: TransmissionPolicy,
+) -> RunReport {
+    let config = QtenonConfig::table4(n, core)
+        .expect("valid config")
+        .with_sync(sync)
+        .with_transmission(policy)
+        .with_seed(scale.seed);
+    let workload = Workload::benchmark(kind, n, scale.seed).expect("valid workload");
+    let mut runner = VqaRunner::new(config, workload).expect("runner builds");
+    let mut optimizer = opt.build(scale.seed);
+    runner
+        .run(optimizer.as_mut(), scale.iterations, scale.shots)
+        .expect("run succeeds")
+}
+
+/// Runs a workload on Qtenon with the paper-default policies.
+pub fn qtenon_default(
+    kind: WorkloadKind,
+    n: u32,
+    core: CoreModel,
+    opt: OptimizerKind,
+    scale: &ExperimentScale,
+) -> RunReport {
+    qtenon_run(
+        kind,
+        n,
+        core,
+        opt,
+        scale,
+        SyncMode::FineGrained,
+        TransmissionPolicy::Batched,
+    )
+}
+
+/// Runs a workload on the decoupled baseline.
+///
+/// # Panics
+///
+/// Panics if execution fails.
+pub fn baseline_run(
+    kind: WorkloadKind,
+    n: u32,
+    opt: OptimizerKind,
+    scale: &ExperimentScale,
+) -> RunReport {
+    let workload = Workload::benchmark(kind, n, scale.seed).expect("valid workload");
+    let mut runner = BaselineRunner::new(
+        BaselineConfig {
+            seed: scale.seed,
+            ..BaselineConfig::default()
+        },
+        workload,
+    );
+    let mut optimizer = opt.build(scale.seed);
+    runner
+        .run(optimizer.as_mut(), scale.iterations, scale.shots)
+        .expect("baseline run succeeds")
+}
+
+/// Fig. 1: quantum vs classical share on the baseline, plus the 64-qubit
+/// VQE breakdown.
+pub fn fig1(scale: &ExperimentScale) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "workload".into(),
+        "#qubits".into(),
+        "quantum %".into(),
+        "classical %".into(),
+        "comm %".into(),
+        "pulse %".into(),
+        "host %".into(),
+        "total".into(),
+    ]);
+    for (kind, n) in [
+        (WorkloadKind::Qaoa, 48),
+        (WorkloadKind::Vqe, 56),
+        (WorkloadKind::Qnn, 64),
+    ] {
+        let r = baseline_run(kind, n, OptimizerKind::Spsa, scale);
+        let shares = r.exposed_shares();
+        t.row(vec![
+            kind.to_string(),
+            n.to_string(),
+            fmt_pct(shares[0]),
+            fmt_pct(1.0 - shares[0]),
+            fmt_pct(shares[1]),
+            fmt_pct(shares[2]),
+            fmt_pct(shares[3]),
+            fmt_dur(r.total),
+        ]);
+    }
+    t
+}
+
+/// Table 1: decoupled vs tightly-coupled comparison, measured live.
+pub fn table1(scale: &ExperimentScale) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "metric".into(),
+        "baseline (decoupled)".into(),
+        "Qtenon (tightly coupled)".into(),
+    ]);
+
+    // Communication latency: one small transfer each way.
+    let net = qtenon_baseline::NetworkModel::default();
+    let mut bus = TileLinkBus::new(BusConfig::default());
+    let qt = bus.schedule_transfer(SimTime::ZERO, 8);
+    t.row(vec![
+        "comm. latency".into(),
+        fmt_dur(net.message_time(8)),
+        fmt_dur(qt.complete.saturating_since(SimTime::ZERO)),
+    ]);
+
+    // Instruction counts: 64-qubit QAOA-5, GD, 10 iterations.
+    let workload = Workload::qaoa(64, 5, scale.seed).expect("workload");
+    let layout = QccLayout::for_qubits(64).expect("layout");
+    let program = QtenonCompiler::new(layout)
+        .compile(&workload.circuit)
+        .expect("compiles");
+    let bound = workload
+        .circuit
+        .bind(&workload.initial_params)
+        .expect("binds");
+    let baseline_per_compile = BaselineCompiler::default().compile(&bound);
+    // Count the dedicated ISA's instructions from a real emitted stream.
+    let eqasm = qtenon_compiler::EqasmProgram::emit(&bound).expect("within 128 qubits");
+    let gd_evals = 2 * workload.num_params() as u64 * 10;
+    let qtenon_static = program.load_instructions(0).len() as u64
+        + program.slots().len() as u64
+        + program.gen_instructions().len() as u64
+        + program.slots().len() as u64
+        + 3;
+    t.row(vec![
+        "instructions (64q QAOA-5, 10 GD iters)".into(),
+        format!(
+            "{} ({} per compile, re-emitted per eval)",
+            eqasm.len() as u64 * gd_evals,
+            eqasm.len()
+        ),
+        format!("{qtenon_static} (static program)"),
+    ]);
+
+    // Recompile overhead: one-parameter change.
+    let mut shifted = workload.initial_params.clone();
+    shifted[0] += 0.3;
+    let diff = ParameterDiff::between(&program, &workload.initial_params, &shifted)
+        .expect("diff");
+    let qtenon_recompile = SimDuration::from_ns(diff.changed_slots() as u64); // 1 cycle per q_update
+    t.row(vec![
+        "recompile overhead".into(),
+        fmt_dur(baseline_per_compile.compile_time),
+        fmt_dur(qtenon_recompile),
+    ]);
+
+    t.row(vec![
+        "execution".into(),
+        "sequential".into(),
+        "interleaved (quantum/host overlap)".into(),
+    ]);
+    t
+}
+
+/// Table 2: quantum controller cache geometry for 64 qubits, computed
+/// from the live layout.
+pub fn table2() -> TextTable {
+    let layout = QccLayout::for_qubits(64).expect("layout");
+    let mut t = TextTable::new(vec![
+        "segment".into(),
+        "entries".into(),
+        "size".into(),
+        "public".into(),
+    ]);
+    for seg in Segment::ALL {
+        t.row(vec![
+            seg.to_string(),
+            layout.segment_entries(seg).to_string(),
+            format!("{:.2} KB", layout.segment_bytes(seg) as f64 / 1024.0),
+            if seg.is_public() { "yes" } else { "no" }.into(),
+        ]);
+    }
+    t.row(vec![
+        "total".into(),
+        String::new(),
+        format!(
+            "{:.2} MB",
+            layout.total_bytes() as f64 / (1024.0 * 1024.0)
+        ),
+        String::new(),
+    ]);
+    t
+}
+
+/// Table 4: the hardware configuration in force.
+pub fn table4() -> TextTable {
+    let cfg = QtenonConfig::table4(64, CoreModel::Rocket).expect("config");
+    let mut t = TextTable::new(vec!["part".into(), "configuration".into()]);
+    t.row(vec![
+        "Core".into(),
+        "Rocket @ 1 GHz / Boom-L @ 1 GHz".into(),
+    ]);
+    t.row(vec![
+        "L1".into(),
+        format!(
+            "{} KB {}-way I/D",
+            cfg.hierarchy.l1.size_bytes / 1024,
+            cfg.hierarchy.l1.ways
+        ),
+    ]);
+    t.row(vec![
+        "QCC".into(),
+        format!(
+            "{:.2} MB (Table 2 geometry)",
+            cfg.layout.total_bytes() as f64 / (1024.0 * 1024.0)
+        ),
+    ]);
+    t.row(vec![
+        "QC".into(),
+        format!("{} qubits, {} PGUs", cfg.n_qubits, cfg.pipeline.pgu.units),
+    ]);
+    t.row(vec![
+        "L2".into(),
+        format!(
+            "{} KB {}-way",
+            cfg.hierarchy.l2.size_bytes / 1024,
+            cfg.hierarchy.l2.ways
+        ),
+    ]);
+    t.row(vec![
+        "Bus".into(),
+        format!("TileLink {} bits/cycle @ 1 GHz", cfg.bus.width_bits),
+    ]);
+    t
+}
+
+/// Figs. 11/12: classical-time and end-to-end speedups vs the baseline
+/// across the qubit sweep, for both cores.
+pub fn fig11_12(scale: &ExperimentScale, opt: OptimizerKind) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "workload".into(),
+        "#qubits".into(),
+        "classical speedup (Rocket)".into(),
+        "classical speedup (Boom-L)".into(),
+        "e2e speedup (Rocket)".into(),
+        "e2e speedup (Boom-L)".into(),
+    ]);
+    for kind in WorkloadKind::ALL {
+        for &n in &scale.qubit_sweep {
+            let base = baseline_run(kind, n, opt, scale);
+            let rocket = qtenon_default(kind, n, CoreModel::Rocket, opt, scale);
+            let boom = qtenon_default(kind, n, CoreModel::BoomLarge, opt, scale);
+            t.row(vec![
+                kind.to_string(),
+                n.to_string(),
+                fmt_x(ratio(base.classical_time(), rocket.classical_time())),
+                fmt_x(ratio(base.classical_time(), boom.classical_time())),
+                fmt_x(ratio(base.total, rocket.total)),
+                fmt_x(ratio(base.total, boom.total)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 13: 64-qubit VQE (SPSA) breakdown across the three systems.
+pub fn fig13(scale: &ExperimentScale) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "system".into(),
+        "total".into(),
+        "quantum %".into(),
+        "comm %".into(),
+        "pulse %".into(),
+        "host %".into(),
+    ]);
+    let kind = WorkloadKind::Vqe;
+    let base = baseline_run(kind, 64, OptimizerKind::Spsa, scale);
+    let hw_only = qtenon_run(
+        kind,
+        64,
+        CoreModel::Rocket,
+        OptimizerKind::Spsa,
+        scale,
+        SyncMode::Fence,
+        TransmissionPolicy::Immediate,
+    );
+    let full = qtenon_default(kind, 64, CoreModel::Rocket, OptimizerKind::Spsa, scale);
+    for (name, r) in [
+        ("baseline", &base),
+        ("Qtenon w/o software", &hw_only),
+        ("Qtenon", &full),
+    ] {
+        let s = r.exposed_shares();
+        t.row(vec![
+            name.into(),
+            fmt_dur(r.total),
+            fmt_pct(s[0]),
+            fmt_pct(s[1]),
+            fmt_pct(s[2]),
+            fmt_pct(s[3]),
+        ]);
+    }
+    t
+}
+
+/// Fig. 14: quantum-host communication time and per-instruction split.
+pub fn fig14(scale: &ExperimentScale, opt: OptimizerKind) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "workload".into(),
+        "baseline comm".into(),
+        "Qtenon comm".into(),
+        "speedup".into(),
+        "q_set %".into(),
+        "q_update %".into(),
+        "q_acquire %".into(),
+    ]);
+    for kind in WorkloadKind::ALL {
+        let base = baseline_run(kind, 64, opt, scale);
+        let qt = qtenon_default(kind, 64, CoreModel::BoomLarge, opt, scale);
+        let shares = qt.comm.shares();
+        t.row(vec![
+            kind.to_string(),
+            fmt_dur(base.comm.total()),
+            fmt_dur(qt.comm.total()),
+            fmt_x(ratio(base.comm.total(), qt.comm.total())),
+            fmt_pct(shares[0]),
+            fmt_pct(shares[1]),
+            fmt_pct(shares[2]),
+        ]);
+    }
+    t
+}
+
+/// Table 5: pulse-generation speedup and computation-requirement
+/// reduction.
+pub fn table5(scale: &ExperimentScale) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "optimizer".into(),
+        "workload".into(),
+        "pulse-gen speedup".into(),
+        "computation reduction".into(),
+    ]);
+    for opt in [OptimizerKind::Gd, OptimizerKind::Spsa] {
+        for kind in WorkloadKind::ALL {
+            let base = baseline_run(kind, 64, opt, scale);
+            let qt = qtenon_default(kind, 64, CoreModel::Rocket, opt, scale);
+            t.row(vec![
+                opt.name().into(),
+                kind.to_string(),
+                fmt_x(ratio(
+                    base.breakdown.pulse_generation,
+                    qt.breakdown.pulse_generation,
+                )),
+                fmt_pct(qt.pulse_reduction),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 15: host execution time across systems.
+pub fn fig15(scale: &ExperimentScale) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "optimizer".into(),
+        "workload".into(),
+        "baseline host".into(),
+        "Qtenon-Boom host".into(),
+        "Qtenon-Rocket host".into(),
+        "speedup (Boom)".into(),
+    ]);
+    for opt in [OptimizerKind::Gd, OptimizerKind::Spsa] {
+        for kind in WorkloadKind::ALL {
+            let base = baseline_run(kind, 64, opt, scale);
+            let boom = qtenon_default(kind, 64, CoreModel::BoomLarge, opt, scale);
+            let rocket = qtenon_default(kind, 64, CoreModel::Rocket, opt, scale);
+            t.row(vec![
+                opt.name().into(),
+                kind.to_string(),
+                fmt_dur(base.breakdown.host),
+                fmt_dur(boom.breakdown.host),
+                fmt_dur(rocket.breakdown.host),
+                fmt_x(ratio(base.breakdown.host, boom.breakdown.host)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 16a: FENCE vs fine-grained synchronisation.
+pub fn fig16a(scale: &ExperimentScale) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "optimizer".into(),
+        "workload".into(),
+        "FENCE classical".into(),
+        "fine-grained classical".into(),
+        "speedup".into(),
+    ]);
+    for opt in [OptimizerKind::Gd, OptimizerKind::Spsa] {
+        for kind in WorkloadKind::ALL {
+            let fence = qtenon_run(
+                kind,
+                64,
+                CoreModel::Rocket,
+                opt,
+                scale,
+                SyncMode::Fence,
+                TransmissionPolicy::Batched,
+            );
+            let fine = qtenon_default(kind, 64, CoreModel::Rocket, opt, scale);
+            t.row(vec![
+                opt.name().into(),
+                kind.to_string(),
+                fmt_dur(fence.classical_time()),
+                fmt_dur(fine.classical_time()),
+                fmt_x(ratio(fence.classical_time(), fine.classical_time())),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 16b: unscheduled (immediate) vs batched transmission.
+pub fn fig16b(scale: &ExperimentScale) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "optimizer".into(),
+        "workload".into(),
+        "w/o schedule classical".into(),
+        "w/ schedule classical".into(),
+        "speedup".into(),
+    ]);
+    for opt in [OptimizerKind::Gd, OptimizerKind::Spsa] {
+        for kind in WorkloadKind::ALL {
+            let unsched = qtenon_run(
+                kind,
+                64,
+                CoreModel::Rocket,
+                opt,
+                scale,
+                SyncMode::FineGrained,
+                TransmissionPolicy::Immediate,
+            );
+            let sched = qtenon_default(kind, 64, CoreModel::Rocket, opt, scale);
+            t.row(vec![
+                opt.name().into(),
+                kind.to_string(),
+                fmt_dur(unsched.classical_time()),
+                fmt_dur(sched.classical_time()),
+                fmt_x(ratio(unsched.classical_time(), sched.classical_time())),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 17: scalability to 320 qubits (SPSA, QAOA & VQE).
+pub fn fig17(scale: &ExperimentScale) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "workload".into(),
+        "#qubits".into(),
+        "comm time".into(),
+        "comm rel. to first".into(),
+        "classical time".into(),
+        "classical rel. to first".into(),
+        "quantum %".into(),
+    ]);
+    for kind in [WorkloadKind::Qaoa, WorkloadKind::Vqe] {
+        let mut first: Option<(SimDuration, SimDuration)> = None;
+        for &n in &scale.scaling_sweep {
+            let r = qtenon_default(kind, n, CoreModel::BoomLarge, OptimizerKind::Spsa, scale);
+            let comm = r.comm.total();
+            let classical = r.classical_time();
+            let (c0, h0) = *first.get_or_insert((comm, classical));
+            t.row(vec![
+                kind.to_string(),
+                n.to_string(),
+                fmt_dur(comm),
+                format!("{:.2}", ratio(comm, c0)),
+                fmt_dur(classical),
+                format!("{:.2}", ratio(classical, h0)),
+                fmt_pct(r.exposed_shares()[0]),
+            ]);
+        }
+    }
+    t
+}
+
+/// Ablation beyond the paper: simulated pulse-generation time versus the
+/// PGU pool width, with and without the SLT, for the 64-qubit QAOA-5
+/// program (cold pass = first iteration, warm pass = steady state).
+pub fn ablation(scale: &ExperimentScale) -> TextTable {
+    use qtenon_controller::pgu::PguConfig;
+    use qtenon_controller::pipeline::{PipelineConfig, PulsePipeline, WorkItem};
+
+    let layout = QccLayout::for_qubits(64).expect("layout");
+    let workload = Workload::qaoa(64, 5, scale.seed).expect("workload");
+    let program = QtenonCompiler::new(layout)
+        .compile(&workload.circuit)
+        .expect("compiles");
+    let items: Vec<WorkItem> = program
+        .work_items(&workload.initial_params)
+        .expect("items")
+        .into_iter()
+        .map(|(qubit, gate, data27)| WorkItem { qubit, gate, data27 })
+        .collect();
+
+    let mut t = TextTable::new(vec![
+        "PGUs".into(),
+        "cold pulse-gen".into(),
+        "warm pulse-gen (SLT)".into(),
+        "warm, SLT disabled".into(),
+        "SLT benefit".into(),
+    ]);
+    for units in [1usize, 2, 4, 8, 16, 32] {
+        let config = PipelineConfig {
+            pgu: PguConfig {
+                units,
+                ..PguConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let mut pipe = PulsePipeline::new(config, layout);
+        let (cold, _) = pipe.process(SimTime::ZERO, &items);
+        let (warm, _) = pipe.process(SimTime::ZERO, &items);
+        let mut no_slt = PulsePipeline::new(config, layout);
+        no_slt.process(SimTime::ZERO, &items);
+        no_slt.reset();
+        let (cold_again, _) = no_slt.process(SimTime::ZERO, &items);
+        t.row(vec![
+            units.to_string(),
+            fmt_dur(cold.total_time),
+            fmt_dur(warm.total_time),
+            fmt_dur(cold_again.total_time),
+            fmt_x(ratio(cold_again.total_time, warm.total_time)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            iterations: 1,
+            shots: 20,
+            qubit_sweep: vec![8],
+            scaling_sweep: vec![8, 16],
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn fig1_shows_quantum_minority() {
+        let t = fig1(&tiny());
+        assert_eq!(t.len(), 3);
+        for row in t.rows() {
+            let q: f64 = row[2].trim_end_matches('%').parse().unwrap();
+            assert!(q < 50.0, "quantum share {q}% should be a minority");
+        }
+    }
+
+    #[test]
+    fn table1_shows_order_of_magnitude_gaps() {
+        let t = table1(&tiny());
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn table2_matches_paper_total() {
+        let t = table2();
+        let total_row = t.rows().last().unwrap();
+        assert!(total_row[2].contains("5.66 MB"));
+    }
+
+    #[test]
+    fn speedup_table_has_expected_rows() {
+        let t = fig11_12(&tiny(), OptimizerKind::Spsa);
+        assert_eq!(t.len(), 3); // 3 workloads × 1 size
+        for row in t.rows() {
+            let e2e: f64 = row[4].trim_end_matches('x').parse().unwrap();
+            assert!(e2e > 1.0, "Qtenon should win end-to-end: {e2e}");
+        }
+    }
+
+    #[test]
+    fn fig13_orders_systems() {
+        let mut scale = tiny();
+        scale.shots = 50;
+        // fig13 runs at 64 qubits regardless of sweep.
+        let t = fig13(&scale);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn fig17_scales_monotonically() {
+        let t = fig17(&tiny());
+        assert_eq!(t.len(), 4); // 2 workloads × 2 sizes
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `fig*`/`table*` function runs the relevant systems and returns a
+//! structured result; the `experiments` binary formats them as text
+//! tables. [`ExperimentScale`] controls cost: [`ExperimentScale::quick`]
+//! shrinks iterations/shots/sweeps for CI-class machines while keeping
+//! every speedup ratio meaningful (both systems scale together);
+//! [`ExperimentScale::paper`] reproduces the full Section 7.1 setup
+//! (500 shots × 10 iterations, 8–64 qubits).
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{ExperimentScale, OptimizerKind};
+pub use table::TextTable;

@@ -1,0 +1,227 @@
+//! TileLink system-bus timing model.
+//!
+//! The bus moves 256-bit beats at the host clock; requests carry one of 32
+//! RBQ tags, so up to 32 transactions pipeline their request latency while
+//! data beats serialise on the link. This is the model behind data paths
+//! ❷/❸ and Table 1's 10 ns–100 ns quantum-host communication latency.
+
+use std::collections::VecDeque;
+
+use qtenon_sim_engine::{ClockDomain, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::rbq::TAG_COUNT;
+
+/// Bus geometry and latency parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Beat width in bits.
+    pub width_bits: u32,
+    /// Clock domain driving beats.
+    pub clock: ClockDomain,
+    /// Request round-trip latency (decode + L2 lookup) per transaction,
+    /// overlapped across transactions by tagging.
+    pub request_latency: SimDuration,
+    /// Maximum outstanding transactions (RBQ tags).
+    pub max_outstanding: usize,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            width_bits: 256,
+            clock: ClockDomain::from_ghz(1.0),
+            request_latency: SimDuration::from_ns(20),
+            max_outstanding: TAG_COUNT,
+        }
+    }
+}
+
+/// One scheduled transfer's timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferTiming {
+    /// When the request was accepted on the bus.
+    pub start: SimTime,
+    /// When the last data beat (and thus the transfer) completed.
+    pub complete: SimTime,
+}
+
+/// The TileLink bus as a shared resource with tag-limited pipelining.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_controller::{BusConfig, TileLinkBus};
+/// use qtenon_sim_engine::SimTime;
+///
+/// let mut bus = TileLinkBus::new(BusConfig::default());
+/// let t = bus.schedule_transfer(SimTime::ZERO, 64); // two 256-bit beats
+/// assert!(t.complete > t.start);
+/// ```
+#[derive(Debug)]
+pub struct TileLinkBus {
+    config: BusConfig,
+    /// Time the data link frees up.
+    link_free_at: SimTime,
+    /// Completion times of outstanding transactions (for tag limiting).
+    outstanding: VecDeque<SimTime>,
+    bytes_moved: u64,
+    transfers: u64,
+}
+
+impl TileLinkBus {
+    /// Creates an idle bus.
+    pub fn new(config: BusConfig) -> Self {
+        TileLinkBus {
+            config,
+            link_free_at: SimTime::ZERO,
+            outstanding: VecDeque::new(),
+            bytes_moved: 0,
+            transfers: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> BusConfig {
+        self.config
+    }
+
+    /// Number of beats needed for `bytes`.
+    pub fn beats_for(&self, bytes: u64) -> u64 {
+        (bytes * 8).div_ceil(self.config.width_bits as u64).max(1)
+    }
+
+    /// Schedules a transfer of `bytes` requested at time `now`; returns
+    /// its start (bus grant) and completion times and advances the bus
+    /// state.
+    pub fn schedule_transfer(&mut self, now: SimTime, bytes: u64) -> TransferTiming {
+        // Drop bookkeeping for transactions that finished before `now`.
+        while let Some(&t) = self.outstanding.front() {
+            if t <= now {
+                self.outstanding.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Tag limit: if 32 transactions are in flight, wait for the oldest.
+        let mut earliest = now;
+        if self.outstanding.len() >= self.config.max_outstanding {
+            let freed = self.outstanding.pop_front().expect("non-empty");
+            earliest = earliest.max(freed);
+        }
+        let start = earliest.max(self.link_free_at);
+        let data_time = self.config.clock.period() * self.beats_for(bytes);
+        // Request latency overlaps with other transactions' data beats;
+        // the link itself is busy only for this transfer's beats.
+        let complete = start + self.config.request_latency + data_time;
+        self.link_free_at = start + data_time;
+        self.outstanding.push_back(complete);
+        self.bytes_moved += bytes;
+        self.transfers += 1;
+        TransferTiming { start, complete }
+    }
+
+    /// Total bytes moved.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Total transfers scheduled.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Resets the bus to idle (new experiment run).
+    pub fn reset(&mut self) {
+        self.link_free_at = SimTime::ZERO;
+        self.outstanding.clear();
+        self.bytes_moved = 0;
+        self.transfers = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> SimDuration {
+        SimDuration::from_ns(v)
+    }
+
+    #[test]
+    fn single_beat_latency() {
+        let mut bus = TileLinkBus::new(BusConfig::default());
+        let t = bus.schedule_transfer(SimTime::ZERO, 32); // exactly one beat
+        assert_eq!(t.start, SimTime::ZERO);
+        assert_eq!(t.complete - t.start, ns(21)); // 20 ns request + 1 beat
+    }
+
+    #[test]
+    fn table1_latency_band() {
+        // Table 1 claims 10 ns – 100 ns for tightly-coupled communication.
+        let mut bus = TileLinkBus::new(BusConfig::default());
+        let small = bus.schedule_transfer(SimTime::ZERO, 8);
+        let latency = small.complete - small.start;
+        assert!(latency >= ns(10) && latency <= ns(100), "latency={latency}");
+    }
+
+    #[test]
+    fn beats_round_up() {
+        let bus = TileLinkBus::new(BusConfig::default());
+        assert_eq!(bus.beats_for(1), 1);
+        assert_eq!(bus.beats_for(32), 1);
+        assert_eq!(bus.beats_for(33), 2);
+        assert_eq!(bus.beats_for(0), 1); // minimum one beat
+    }
+
+    #[test]
+    fn back_to_back_transfers_pipeline_request_latency() {
+        let mut bus = TileLinkBus::new(BusConfig::default());
+        let a = bus.schedule_transfer(SimTime::ZERO, 32);
+        let b = bus.schedule_transfer(SimTime::ZERO, 32);
+        // Second transfer starts as soon as the link frees (1 ns), not
+        // after the first completes (21 ns): request latency is hidden.
+        assert_eq!(b.start - SimTime::ZERO, ns(1));
+        assert_eq!(b.complete - SimTime::ZERO, ns(22));
+        assert!(b.complete < a.complete + ns(21));
+    }
+
+    #[test]
+    fn tag_limit_throttles() {
+        let mut bus = TileLinkBus::new(BusConfig {
+            max_outstanding: 2,
+            ..BusConfig::default()
+        });
+        let a = bus.schedule_transfer(SimTime::ZERO, 32);
+        let _b = bus.schedule_transfer(SimTime::ZERO, 32);
+        let c = bus.schedule_transfer(SimTime::ZERO, 32);
+        // Third transfer cannot start before the first completes.
+        assert!(c.start >= a.complete);
+    }
+
+    #[test]
+    fn throughput_is_bounded_by_link() {
+        let mut bus = TileLinkBus::new(BusConfig::default());
+        let mut last = TransferTiming {
+            start: SimTime::ZERO,
+            complete: SimTime::ZERO,
+        };
+        for _ in 0..100 {
+            last = bus.schedule_transfer(SimTime::ZERO, 32);
+        }
+        // 100 beats at 1 ns each, plus one request latency at the tail.
+        assert_eq!(last.complete - SimTime::ZERO, ns(100 + 20));
+        assert_eq!(bus.bytes_moved(), 3200);
+        assert_eq!(bus.transfers(), 100);
+    }
+
+    #[test]
+    fn reset_returns_to_idle() {
+        let mut bus = TileLinkBus::new(BusConfig::default());
+        bus.schedule_transfer(SimTime::ZERO, 1024);
+        bus.reset();
+        let t = bus.schedule_transfer(SimTime::ZERO, 32);
+        assert_eq!(t.start, SimTime::ZERO);
+        assert_eq!(bus.transfers(), 1);
+    }
+}

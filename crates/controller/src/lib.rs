@@ -1,0 +1,42 @@
+//! The Qtenon quantum controller (Section 5.2–5.3).
+//!
+//! The controller sits between the host memory hierarchy and the quantum
+//! chip, owning the quantum controller cache and the pulse compute units.
+//! This crate models every hardware structure from Figs. 5–7:
+//!
+//! - [`rbq`]: the Reorder Buffer Queue — 32 tagged outstanding TileLink
+//!   transactions realigned to issue order;
+//! - [`wbq`]: the Write Buffer Queue — eight 32-bit lanes adapting the
+//!   256-bit system bus to the 32-bit public-segment write width;
+//! - [`barrier`]: the soft memory barrier enabling fine-grained
+//!   synchronisation (queried via RoCC in one cycle, Section 6.2);
+//! - [`bus`]: the TileLink system-bus timing model with tag-limited
+//!   pipelining;
+//! - [`slt`]: the per-qubit Skip Lookup Table with Least-Count replacement
+//!   and QSpace write-back (Fig. 7);
+//! - [`pgu`]: the pulse-generation-unit pool (8 units × 1000-cycle
+//!   black-box latency, priority-encoder dispatch);
+//! - [`pipeline`]: the four-stage pulse pipeline tying it together
+//!   (Fig. 6);
+//! - [`adi`]: the SerDes/Analog-Digital-Interface bandwidth model
+//!   (64 bit/ns per qubit, 100 ns interface latency).
+
+pub mod adi;
+pub mod barrier;
+pub mod bus;
+pub mod pgu;
+pub mod pipeline;
+pub mod rbq;
+pub mod readout;
+pub mod slt;
+pub mod wbq;
+
+pub use adi::AdiModel;
+pub use barrier::MemoryBarrier;
+pub use bus::{BusConfig, TileLinkBus};
+pub use pgu::PguPool;
+pub use pipeline::{PipelineConfig, PipelineReport, PulsePipeline};
+pub use rbq::ReorderBufferQueue;
+pub use readout::ReadoutProcessor;
+pub use slt::{PulseResolution, SltController, SltStats};
+pub use wbq::WriteBufferQueue;

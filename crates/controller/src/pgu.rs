@@ -1,0 +1,202 @@
+//! The pulse-generation-unit pool (Fig. 6, stage 3).
+//!
+//! Qtenon configures eight PGUs, each treated as a black box with an
+//! enforced latency of 1000 cycles (Section 7.1, matching realistic pulse
+//! computation times). A priority encoder dispatches each request to the
+//! lowest-numbered free unit; when all are busy, stages 1–2 stall.
+
+use qtenon_sim_engine::{ClockDomain, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the PGU pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PguConfig {
+    /// Number of units (Table 4: 8).
+    pub units: usize,
+    /// Black-box latency per pulse in clock cycles (Section 7.1: 1000).
+    pub latency_cycles: u64,
+    /// The clock those cycles are counted in.
+    pub clock: ClockDomain,
+}
+
+impl Default for PguConfig {
+    fn default() -> Self {
+        PguConfig {
+            units: 8,
+            latency_cycles: 1000,
+            clock: ClockDomain::from_ghz(1.0),
+        }
+    }
+}
+
+/// A completed dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatch {
+    /// Which unit took the job (priority-encoder order).
+    pub unit: usize,
+    /// When computation started.
+    pub start: SimTime,
+    /// When the pulse is ready for writeback.
+    pub done: SimTime,
+}
+
+/// The PGU pool.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_controller::pgu::{PguConfig, PguPool};
+/// use qtenon_sim_engine::SimTime;
+///
+/// let mut pool = PguPool::new(PguConfig::default());
+/// let d = pool.dispatch(SimTime::ZERO);
+/// assert_eq!(d.unit, 0);
+/// assert_eq!((d.done - d.start).as_us(), 1.0); // 1000 cycles @ 1 GHz
+/// ```
+#[derive(Debug, Clone)]
+pub struct PguPool {
+    config: PguConfig,
+    busy_until: Vec<SimTime>,
+    dispatched: u64,
+}
+
+impl PguPool {
+    /// Creates an all-idle pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.units` is zero.
+    pub fn new(config: PguConfig) -> Self {
+        assert!(config.units > 0, "PGU pool needs at least one unit");
+        PguPool {
+            config,
+            busy_until: vec![SimTime::ZERO; config.units],
+            dispatched: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> PguConfig {
+        self.config
+    }
+
+    /// The latency of one pulse computation.
+    pub fn pulse_latency(&self) -> SimDuration {
+        self.config.clock.cycles(self.config.latency_cycles)
+    }
+
+    /// The lowest-numbered unit free at `now`, if any (priority encoder).
+    pub fn free_unit_at(&self, now: SimTime) -> Option<usize> {
+        self.busy_until.iter().position(|&t| t <= now)
+    }
+
+    /// The earliest time any unit frees up.
+    pub fn earliest_free(&self) -> SimTime {
+        self.busy_until
+            .iter()
+            .copied()
+            .min()
+            .expect("pool is non-empty")
+    }
+
+    /// Dispatches one pulse computation requested at `now`: the job starts
+    /// immediately if a unit is free, otherwise as soon as the earliest
+    /// unit frees (the stall the pipeline observes).
+    pub fn dispatch(&mut self, now: SimTime) -> Dispatch {
+        let start = match self.free_unit_at(now) {
+            Some(_) => now,
+            None => self.earliest_free(),
+        };
+        let unit = self
+            .free_unit_at(start)
+            .expect("a unit is free at its own release time");
+        let done = start + self.pulse_latency();
+        self.busy_until[unit] = done;
+        self.dispatched += 1;
+        Dispatch { unit, start, done }
+    }
+
+    /// Total pulses dispatched.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Returns all units to idle at time zero.
+    pub fn reset(&mut self) {
+        self.busy_until.fill(SimTime::ZERO);
+        self.dispatched = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    #[test]
+    fn priority_encoder_picks_lowest_free() {
+        let mut pool = PguPool::new(PguConfig::default());
+        assert_eq!(pool.dispatch(SimTime::ZERO).unit, 0);
+        assert_eq!(pool.dispatch(SimTime::ZERO).unit, 1);
+        assert_eq!(pool.dispatch(SimTime::ZERO).unit, 2);
+    }
+
+    #[test]
+    fn eight_jobs_run_in_parallel_ninth_stalls() {
+        let mut pool = PguPool::new(PguConfig::default());
+        for i in 0..8 {
+            let d = pool.dispatch(SimTime::ZERO);
+            assert_eq!(d.unit, i);
+            assert_eq!(d.start, SimTime::ZERO);
+        }
+        let ninth = pool.dispatch(SimTime::ZERO);
+        assert_eq!(ninth.start, at(1000)); // waits for unit 0
+        assert_eq!(ninth.unit, 0);
+        assert_eq!(ninth.done, at(2000));
+    }
+
+    #[test]
+    fn unit_frees_after_latency() {
+        let mut pool = PguPool::new(PguConfig::default());
+        pool.dispatch(SimTime::ZERO);
+        assert_eq!(pool.free_unit_at(SimTime::ZERO), Some(1));
+        assert_eq!(pool.free_unit_at(at(1000)), Some(0));
+    }
+
+    #[test]
+    fn throughput_matches_units_times_latency() {
+        let mut pool = PguPool::new(PguConfig::default());
+        let mut last_done = SimTime::ZERO;
+        for _ in 0..80 {
+            last_done = pool.dispatch(SimTime::ZERO).done;
+        }
+        // 80 jobs over 8 units = 10 sequential rounds of 1 µs.
+        assert_eq!(last_done, at(10_000));
+        assert_eq!(pool.dispatched(), 80);
+    }
+
+    #[test]
+    fn custom_latency_and_reset() {
+        let mut pool = PguPool::new(PguConfig {
+            units: 1,
+            latency_cycles: 10,
+            clock: ClockDomain::from_ghz(1.0),
+        });
+        let d = pool.dispatch(SimTime::ZERO);
+        assert_eq!(d.done, at(10));
+        pool.reset();
+        assert_eq!(pool.dispatch(SimTime::ZERO).start, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_units_panics() {
+        let _ = PguPool::new(PguConfig {
+            units: 0,
+            ..PguConfig::default()
+        });
+    }
+}

@@ -1,0 +1,346 @@
+//! The four-stage pulse-computation pipeline (Fig. 6).
+//!
+//! Stage 1 reads the circuit definition from the Program Index Buffer;
+//! stage 2 decodes it (fetching the parameter from the register file when
+//! `reg_flag` is set) and consults the SLT; stage 3 dispatches cache-miss
+//! entries to a free PGU via the priority encoder, stalling stages 1–2
+//! when all PGUs are busy; stage 4 arbitrates writeback of finished pulses
+//! into the `.pulse` segment and is decoupled from the stall by a
+//! ready-valid interface.
+
+use qtenon_isa::{GateType, QAddress, QccLayout, QubitId};
+use qtenon_sim_engine::{ClockDomain, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::pgu::{PguConfig, PguPool};
+use crate::slt::{PulseResolution, SltController, SltStats};
+
+/// Pipeline clocking and PGU parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Clock driving stages 1/2/4.
+    pub clock: ClockDomain,
+    /// The PGU pool behind stage 3.
+    pub pgu: PguConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            clock: ClockDomain::from_ghz(1.0),
+            pgu: PguConfig::default(),
+        }
+    }
+}
+
+/// One entry flowing through the pipeline: a gate whose pulse must be
+/// located or generated. The `data27` field is already regfile-resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Owning qubit.
+    pub qubit: QubitId,
+    /// Gate kind.
+    pub gate: GateType,
+    /// Resolved 27-bit parameter/partner field.
+    pub data27: u32,
+}
+
+/// The pulse address each work item resolved to, in input order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedPulse {
+    /// The pulse's address in the `.pulse` segment.
+    pub qaddr: QAddress,
+    /// Whether a PGU computed it fresh this run.
+    pub generated: bool,
+}
+
+/// Timing and cache statistics for one pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Wall time from first fetch to last writeback.
+    pub total_time: SimDuration,
+    /// Entries processed.
+    pub entries: u64,
+    /// Pulses actually computed by PGUs.
+    pub generated: u64,
+    /// Time stages 1–2 spent stalled on busy PGUs.
+    pub stall_time: SimDuration,
+    /// SLT statistics delta for this run.
+    pub slt: SltStats,
+}
+
+impl PipelineReport {
+    /// Fraction of entries that skipped generation.
+    pub fn skip_fraction(&self) -> f64 {
+        if self.entries == 0 {
+            0.0
+        } else {
+            1.0 - self.generated as f64 / self.entries as f64
+        }
+    }
+}
+
+/// The pipeline: SLT + PGU pool + stage timing.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_controller::pipeline::{PipelineConfig, PulsePipeline, WorkItem};
+/// use qtenon_isa::{EncodedAngle, GateType, QccLayout, QubitId};
+/// use qtenon_sim_engine::SimTime;
+///
+/// let layout = QccLayout::for_qubits(4)?;
+/// let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout);
+/// let item = WorkItem {
+///     qubit: QubitId::new(0),
+///     gate: GateType::Rx,
+///     data27: EncodedAngle::from_radians(0.5).code(),
+/// };
+/// let (report, _) = pipe.process(SimTime::ZERO, &[item, item]);
+/// assert_eq!(report.generated, 1); // second occurrence hits the SLT
+/// # Ok::<(), qtenon_isa::IsaError>(())
+/// ```
+#[derive(Debug)]
+pub struct PulsePipeline {
+    config: PipelineConfig,
+    slt: SltController,
+    pgus: PguPool,
+}
+
+impl PulsePipeline {
+    /// Creates an idle pipeline for a cache layout.
+    pub fn new(config: PipelineConfig, layout: QccLayout) -> Self {
+        PulsePipeline {
+            config,
+            slt: SltController::new(layout),
+            pgus: PguPool::new(config.pgu),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> PipelineConfig {
+        self.config
+    }
+
+    /// Cumulative SLT statistics across runs.
+    pub fn slt_stats(&self) -> SltStats {
+        self.slt.stats()
+    }
+
+    /// Processes `items` starting at `start`, returning the run report and
+    /// each item's resolved pulse address in order.
+    pub fn process(
+        &mut self,
+        start: SimTime,
+        items: &[WorkItem],
+    ) -> (PipelineReport, Vec<ResolvedPulse>) {
+        let cycle = self.config.clock.period();
+        let slt_before = self.slt.stats();
+        let mut resolved = Vec::with_capacity(items.len());
+        let mut generated = 0u64;
+        let mut stall_time = SimDuration::ZERO;
+        // Time the front of the pipeline (stages 1–2) hands the current
+        // entry to stage 3: advances one cycle per entry, plus stalls.
+        let mut front = start;
+        // Latest completion across all entries (stage 4 writebacks).
+        let mut last_complete = start;
+
+        for item in items {
+            if item.gate == GateType::Idle {
+                // Idle entries occupy a fetch slot but produce nothing.
+                front += cycle;
+                resolved.push(ResolvedPulse {
+                    qaddr: QAddress::new_unchecked(0),
+                    generated: false,
+                });
+                continue;
+            }
+            // Stages 1–2: fetch + decode/SLT, one cycle each, pipelined at
+            // one entry per cycle; `front` models the initiation interval.
+            front += cycle;
+            let decode_done = front + cycle;
+            let resolution = self.slt.resolve(item.qubit, item.gate, item.data27);
+            let (complete, was_generated) = match resolution {
+                PulseResolution::SltHit(qaddr) | PulseResolution::QSpaceHit(qaddr) => {
+                    // No PGU work: the QAddress link writes back next cycle.
+                    let done = decode_done + cycle;
+                    resolved.push(ResolvedPulse {
+                        qaddr,
+                        generated: false,
+                    });
+                    (done, false)
+                }
+                PulseResolution::Allocated(qaddr) => {
+                    // Stage 3: dispatch, stalling the front if all busy.
+                    let dispatch = self.pgus.dispatch(decode_done);
+                    if dispatch.start > decode_done {
+                        let stall = dispatch.start - decode_done;
+                        stall_time += stall;
+                        front += stall; // stages 1–2 stall with us
+                    }
+                    // Stage 4: arbiter + writeback, one cycle.
+                    let done = dispatch.done + cycle;
+                    resolved.push(ResolvedPulse {
+                        qaddr,
+                        generated: true,
+                    });
+                    (done, true)
+                }
+            };
+            if was_generated {
+                generated += 1;
+            }
+            last_complete = last_complete.max(complete);
+        }
+
+        let slt_after = self.slt.stats();
+        let report = PipelineReport {
+            total_time: last_complete.saturating_since(start),
+            entries: items.len() as u64,
+            generated,
+            stall_time,
+            slt: SltStats {
+                lookups: slt_after.lookups - slt_before.lookups,
+                hits: slt_after.hits - slt_before.hits,
+                qspace_hits: slt_after.qspace_hits - slt_before.qspace_hits,
+                allocations: slt_after.allocations - slt_before.allocations,
+                evictions: slt_after.evictions - slt_before.evictions,
+            },
+        };
+        (report, resolved)
+    }
+
+    /// Clears SLT/QSpace contents and PGU occupancy (cold restart; the
+    /// baseline recompile-from-scratch behaviour).
+    pub fn reset(&mut self) {
+        self.slt.reset();
+        self.pgus.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtenon_isa::EncodedAngle;
+
+    fn pipeline() -> PulsePipeline {
+        PulsePipeline::new(
+            PipelineConfig::default(),
+            QccLayout::for_qubits(8).unwrap(),
+        )
+    }
+
+    fn rx(q: u32, theta: f64) -> WorkItem {
+        WorkItem {
+            qubit: QubitId::new(q),
+            gate: GateType::Rx,
+            data27: EncodedAngle::from_radians(theta).code(),
+        }
+    }
+
+    #[test]
+    fn single_item_takes_pipeline_plus_pgu_latency() {
+        let mut p = pipeline();
+        let (report, resolved) = p.process(SimTime::ZERO, &[rx(0, 1.0)]);
+        // fetch (1) + decode (1) + PGU (1000) + writeback (1) cycles.
+        assert_eq!(report.total_time, SimDuration::from_ns(1003));
+        assert_eq!(report.generated, 1);
+        assert!(resolved[0].generated);
+    }
+
+    #[test]
+    fn repeated_parameter_is_skipped() {
+        let mut p = pipeline();
+        let items = [rx(0, 1.0), rx(0, 1.0), rx(0, 1.0)];
+        let (report, resolved) = p.process(SimTime::ZERO, &items);
+        assert_eq!(report.generated, 1);
+        assert_eq!(report.slt.hits, 2);
+        assert_eq!(resolved[0].qaddr, resolved[1].qaddr);
+        assert!(!resolved[2].generated);
+        assert!((report.skip_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_second_run_is_fast() {
+        let mut p = pipeline();
+        let items: Vec<WorkItem> = (0..8).map(|q| rx(q, 0.7)).collect();
+        let (cold, _) = p.process(SimTime::ZERO, &items);
+        let (warm, _) = p.process(SimTime::ZERO, &items);
+        assert_eq!(warm.generated, 0);
+        assert!(warm.total_time < cold.total_time / 10);
+    }
+
+    #[test]
+    fn eight_pgus_absorb_eight_misses_without_stall() {
+        let mut p = pipeline();
+        let items: Vec<WorkItem> = (0..8).map(|q| rx(q, 0.1)).collect();
+        let (report, _) = p.process(SimTime::ZERO, &items);
+        assert_eq!(report.stall_time, SimDuration::ZERO);
+        // Entries enter one per cycle; last enters at cycle 8, finishes
+        // ~1002 cycles later.
+        assert_eq!(report.total_time, SimDuration::from_ns(8 + 1002));
+    }
+
+    #[test]
+    fn ninth_distinct_pulse_stalls_the_front() {
+        let mut p = pipeline();
+        // Nine distinct parameters on one qubit: the ninth waits for PGU 0.
+        let items: Vec<WorkItem> = (0..9).map(|i| rx(0, 0.1 + 0.2 * i as f64)).collect();
+        let (report, _) = p.process(SimTime::ZERO, &items);
+        assert!(report.stall_time > SimDuration::ZERO);
+        assert_eq!(report.generated, 9);
+    }
+
+    #[test]
+    fn idle_entries_produce_nothing() {
+        let mut p = pipeline();
+        let items = [WorkItem {
+            qubit: QubitId::new(0),
+            gate: GateType::Idle,
+            data27: 0,
+        }];
+        let (report, resolved) = p.process(SimTime::ZERO, &items);
+        assert_eq!(report.generated, 0);
+        assert_eq!(report.slt.lookups, 0);
+        assert!(!resolved[0].generated);
+    }
+
+    #[test]
+    fn measurement_pulses_cache_like_gates() {
+        let mut p = pipeline();
+        let m = WorkItem {
+            qubit: QubitId::new(0),
+            gate: GateType::Measure,
+            data27: 0,
+        };
+        let (r1, _) = p.process(SimTime::ZERO, &[m]);
+        let (r2, _) = p.process(SimTime::ZERO, &[m]);
+        assert_eq!(r1.generated, 1);
+        assert_eq!(r2.generated, 0);
+    }
+
+    #[test]
+    fn reset_forces_regeneration() {
+        let mut p = pipeline();
+        p.process(SimTime::ZERO, &[rx(0, 1.0)]);
+        p.reset();
+        let (report, _) = p.process(SimTime::ZERO, &[rx(0, 1.0)]);
+        assert_eq!(report.generated, 1);
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let mut p = pipeline();
+        let items: Vec<WorkItem> = (0..20).map(|i| rx(i % 4, (i % 5) as f64 * 0.3)).collect();
+        let (report, resolved) = p.process(SimTime::ZERO, &items);
+        assert_eq!(report.entries, 20);
+        assert_eq!(
+            report.generated,
+            resolved.iter().filter(|r| r.generated).count() as u64
+        );
+        assert_eq!(
+            report.slt.lookups,
+            report.slt.hits + report.slt.qspace_hits + report.slt.allocations
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! The Reorder Buffer Queue (Fig. 5).
+//!
+//! The system bus returns responses out of order. Each request carries a
+//! unique 5-bit tag; the RBQ holds 32 entries (one per tag) and realigns
+//! responses: a FIFO of issued tags decides which response queue to pop
+//! next, so consumers always observe issue order.
+
+use std::collections::VecDeque;
+
+/// Number of unique tags (5-bit tag space).
+pub const TAG_COUNT: usize = 32;
+
+/// A tag naming one outstanding bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(u8);
+
+impl Tag {
+    /// The raw 5-bit tag value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+/// The reorder buffer realigning out-of-order bus responses.
+///
+/// Generic over the response payload so both read data and write
+/// acknowledgements can flow through it.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_controller::ReorderBufferQueue;
+///
+/// let mut rbq = ReorderBufferQueue::<&str>::new();
+/// let t1 = rbq.issue().unwrap();
+/// let t2 = rbq.issue().unwrap();
+/// rbq.complete(t2, "second"); // arrives first…
+/// rbq.complete(t1, "first");
+/// assert_eq!(rbq.pop_in_order(), Some("first")); // …but pops in issue order
+/// assert_eq!(rbq.pop_in_order(), Some("second"));
+/// ```
+#[derive(Debug)]
+pub struct ReorderBufferQueue<T> {
+    /// Response slot per tag (`None` while the response is outstanding).
+    slots: Vec<Option<T>>,
+    /// Whether each tag is currently allocated.
+    allocated: [bool; TAG_COUNT],
+    /// Tags in issue order, waiting to be popped.
+    order: VecDeque<Tag>,
+    /// Free tags.
+    free: VecDeque<Tag>,
+}
+
+impl<T> ReorderBufferQueue<T> {
+    /// Creates an empty RBQ with all 32 tags free.
+    pub fn new() -> Self {
+        ReorderBufferQueue {
+            slots: (0..TAG_COUNT).map(|_| None).collect(),
+            allocated: [false; TAG_COUNT],
+            order: VecDeque::new(),
+            free: (0..TAG_COUNT as u8).map(Tag).collect(),
+        }
+    }
+
+    /// Allocates a tag for a new request, or `None` if all 32 tags are
+    /// outstanding (the bus must stall until one frees).
+    pub fn issue(&mut self) -> Option<Tag> {
+        let tag = self.free.pop_front()?;
+        self.allocated[tag.0 as usize] = true;
+        self.order.push_back(tag);
+        Some(tag)
+    }
+
+    /// Delivers the response for `tag` (out-of-order arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` is not outstanding or already completed.
+    pub fn complete(&mut self, tag: Tag, payload: T) {
+        assert!(
+            self.allocated[tag.0 as usize],
+            "completing unissued tag {}",
+            tag.0
+        );
+        let slot = &mut self.slots[tag.0 as usize];
+        assert!(slot.is_none(), "tag {} completed twice", tag.0);
+        *slot = Some(payload);
+    }
+
+    /// Pops the next response *in issue order*, if it has arrived.
+    pub fn pop_in_order(&mut self) -> Option<T> {
+        let &tag = self.order.front()?;
+        let payload = self.slots[tag.0 as usize].take()?;
+        self.order.pop_front();
+        self.allocated[tag.0 as usize] = false;
+        self.free.push_back(tag);
+        Some(payload)
+    }
+
+    /// Number of outstanding (issued, unpopped) transactions.
+    pub fn outstanding(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether a new request can be issued right now.
+    pub fn has_free_tag(&self) -> bool {
+        !self.free.is_empty()
+    }
+}
+
+impl<T> Default for ReorderBufferQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realigns_reversed_completions() {
+        let mut rbq = ReorderBufferQueue::new();
+        let tags: Vec<_> = (0..8).map(|_| rbq.issue().unwrap()).collect();
+        for (i, &tag) in tags.iter().enumerate().rev() {
+            rbq.complete(tag, i);
+        }
+        for i in 0..8 {
+            assert_eq!(rbq.pop_in_order(), Some(i));
+        }
+        assert_eq!(rbq.pop_in_order(), None);
+    }
+
+    #[test]
+    fn head_of_line_blocks_until_arrival() {
+        let mut rbq = ReorderBufferQueue::new();
+        let t1 = rbq.issue().unwrap();
+        let t2 = rbq.issue().unwrap();
+        rbq.complete(t2, "b");
+        // t1 hasn't arrived: nothing pops even though t2 is ready.
+        assert_eq!(rbq.pop_in_order(), None);
+        rbq.complete(t1, "a");
+        assert_eq!(rbq.pop_in_order(), Some("a"));
+        assert_eq!(rbq.pop_in_order(), Some("b"));
+    }
+
+    #[test]
+    fn tags_exhaust_at_32_and_recycle() {
+        let mut rbq = ReorderBufferQueue::new();
+        let tags: Vec<_> = (0..TAG_COUNT).map(|_| rbq.issue().unwrap()).collect();
+        assert!(rbq.issue().is_none());
+        assert!(!rbq.has_free_tag());
+        rbq.complete(tags[0], 0u32);
+        assert!(rbq.pop_in_order().is_some());
+        // A tag freed by popping becomes issuable again.
+        assert!(rbq.issue().is_some());
+    }
+
+    #[test]
+    fn outstanding_tracks_lifecycle() {
+        let mut rbq = ReorderBufferQueue::new();
+        assert_eq!(rbq.outstanding(), 0);
+        let t = rbq.issue().unwrap();
+        assert_eq!(rbq.outstanding(), 1);
+        rbq.complete(t, ());
+        assert_eq!(rbq.outstanding(), 1); // completed but not popped
+        rbq.pop_in_order();
+        assert_eq!(rbq.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn double_completion_panics() {
+        let mut rbq = ReorderBufferQueue::new();
+        let t = rbq.issue().unwrap();
+        rbq.complete(t, 1);
+        rbq.complete(t, 2);
+    }
+
+    #[test]
+    fn randomised_order_realigns() {
+        // Deterministic pseudo-shuffle of completion order.
+        let mut rbq = ReorderBufferQueue::new();
+        let tags: Vec<_> = (0..TAG_COUNT).map(|_| rbq.issue().unwrap()).collect();
+        let mut order: Vec<usize> = (0..TAG_COUNT).collect();
+        // Simple LCG-driven Fisher-Yates.
+        let mut state = 12345u64;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            rbq.complete(tags[i], i);
+        }
+        for i in 0..TAG_COUNT {
+            assert_eq!(rbq.pop_in_order(), Some(i));
+        }
+    }
+}

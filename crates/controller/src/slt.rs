@@ -1,0 +1,414 @@
+//! The Skip Lookup Table and its QSpace-backed workflow (Fig. 7).
+//!
+//! The SLT is what makes incremental execution cheap: before generating a
+//! control pulse for a `(gate type, parameter)` pair, the pipeline looks
+//! the pair up in a per-qubit cache of previously computed pulses. A hit
+//! returns the cached pulse's QAddress and skips the 1000-cycle PGU
+//! computation entirely — this is the source of Table 5's 55.7 %–98.9 %
+//! computation-requirement reductions.
+//!
+//! Each qubit owns an SLT of 2 ways × 128 entries (Table 2). The 7-bit set
+//! index concatenates 3 truncated type bits with 4 leading data bits; each
+//! entry holds a 20-bit tag, the pulse QAddress, a valid bit, and a 5-bit
+//! saturating use count. Replacement is Least-Count: invalid ways first,
+//! otherwise the way with the smallest count, which is written back to
+//! QSpace. On an SLT miss the controller consults QSpace: a QSpace hit
+//! reuses the old allocation, a QSpace miss allocates a fresh pulse slot.
+
+use qtenon_isa::{GateType, QAddress, QccLayout, QubitId};
+use qtenon_mem::QSpace;
+use serde::{Deserialize, Serialize};
+
+/// Saturation limit of the 5-bit use counter.
+pub const MAX_COUNT: u8 = 31;
+
+/// Ways per set (Table 2).
+pub const WAYS: usize = 2;
+
+/// Sets per qubit (Table 2).
+pub const SETS: usize = 128;
+
+/// The lookup key derived from a program entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SltKey {
+    /// 7-bit set index: 3 truncated type bits ++ 4 leading data bits.
+    pub index: u8,
+    /// 20-bit tag: the parameter quantized to tag resolution.
+    pub tag: u32,
+}
+
+impl SltKey {
+    /// Builds the key for a gate with a raw 27-bit data field.
+    pub fn for_gate(gate: GateType, data27: u32) -> Self {
+        let type_bits = gate.slt_type_bits();
+        let data_bits = (data27 >> 23) & 0xf;
+        SltKey {
+            index: ((type_bits << 4) | data_bits) as u8 & 0x7f,
+            tag: data27 >> 7,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct SltEntry {
+    tag: u32,
+    qaddr: QAddress,
+    valid: bool,
+    count: u8,
+}
+
+impl SltEntry {
+    const INVALID: SltEntry = SltEntry {
+        tag: 0,
+        qaddr: QAddress::new_unchecked(0),
+        valid: false,
+        count: 0,
+    };
+}
+
+/// How a pulse request was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PulseResolution {
+    /// The SLT held the pulse: no PGU work, no memory traffic.
+    SltHit(QAddress),
+    /// The SLT missed but QSpace knew the parameter: the old allocation is
+    /// reused, still skipping PGU work, at the cost of a QSpace read.
+    QSpaceHit(QAddress),
+    /// Never seen: a fresh pulse slot was allocated and the PGU must run.
+    Allocated(QAddress),
+}
+
+impl PulseResolution {
+    /// The pulse address regardless of path.
+    pub fn qaddr(&self) -> QAddress {
+        match *self {
+            PulseResolution::SltHit(a)
+            | PulseResolution::QSpaceHit(a)
+            | PulseResolution::Allocated(a) => a,
+        }
+    }
+
+    /// Whether the PGU must compute a pulse.
+    pub fn needs_generation(&self) -> bool {
+        matches!(self, PulseResolution::Allocated(_))
+    }
+}
+
+/// Counters describing SLT behaviour over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SltStats {
+    /// Total lookups.
+    pub lookups: u64,
+    /// SLT hits.
+    pub hits: u64,
+    /// QSpace hits (SLT misses resolved without generation).
+    pub qspace_hits: u64,
+    /// Fresh allocations (PGU work required).
+    pub allocations: u64,
+    /// Valid entries evicted (written back to QSpace).
+    pub evictions: u64,
+}
+
+impl SltStats {
+    /// Fraction of lookups that avoided pulse generation.
+    pub fn skip_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            (self.hits + self.qspace_hits) as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// All per-qubit SLTs plus the QSpace backing store and pulse allocator.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_controller::SltController;
+/// use qtenon_isa::{EncodedAngle, GateType, QccLayout, QubitId};
+///
+/// let layout = QccLayout::for_qubits(4)?;
+/// let mut slt = SltController::new(layout);
+/// let angle = EncodedAngle::from_radians(1.0);
+/// let first = slt.resolve(QubitId::new(0), GateType::Rx, angle.code());
+/// assert!(first.needs_generation());
+/// let again = slt.resolve(QubitId::new(0), GateType::Rx, angle.code());
+/// assert!(!again.needs_generation()); // cached
+/// # Ok::<(), qtenon_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SltController {
+    layout: QccLayout,
+    /// `tables[qubit][set][way]`.
+    tables: Vec<[[SltEntry; WAYS]; SETS]>,
+    qspace: QSpace,
+    /// Next free pulse entry per qubit (wraps when the chunk fills; older
+    /// pulses are overwritten, which is sound because QSpace/SLT entries
+    /// are a cache, not ground truth).
+    next_pulse: Vec<u64>,
+    stats: SltStats,
+}
+
+impl SltController {
+    /// Creates empty SLTs for every qubit in the layout.
+    pub fn new(layout: QccLayout) -> Self {
+        let n = layout.n_qubits() as usize;
+        SltController {
+            layout,
+            tables: vec![[[SltEntry::INVALID; WAYS]; SETS]; n],
+            qspace: QSpace::new(layout.n_qubits()),
+            next_pulse: vec![0; n],
+            stats: SltStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SltStats {
+        self.stats
+    }
+
+    /// The QSpace backing store (for traffic inspection).
+    pub fn qspace(&self) -> &QSpace {
+        &self.qspace
+    }
+
+    /// Resolves a pulse request for `(qubit, gate, data27)` through the
+    /// Fig. 7 workflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is outside the layout.
+    pub fn resolve(&mut self, qubit: QubitId, gate: GateType, data27: u32) -> PulseResolution {
+        let key = SltKey::for_gate(gate, data27);
+        self.stats.lookups += 1;
+        let q = qubit.index() as usize;
+        let set = &mut self.tables[q][key.index as usize];
+
+        // ❶ Compare tags across both ways.
+        for way in set.iter_mut() {
+            if way.valid && way.tag == key.tag {
+                way.count = way.count.saturating_add(1).min(MAX_COUNT);
+                self.stats.hits += 1;
+                return PulseResolution::SltHit(way.qaddr);
+            }
+        }
+
+        // ❷ Least-Count replacement: invalid ways first, else min count.
+        let victim = (0..WAYS)
+            .min_by_key(|&w| {
+                let e = &set[w];
+                if e.valid {
+                    (1, e.count)
+                } else {
+                    (0, 0)
+                }
+            })
+            .expect("WAYS > 0");
+        if set[victim].valid {
+            // Write back the evicted mapping to QSpace.
+            self.stats.evictions += 1;
+            self.qspace
+                .store(qubit.index(), set[victim].tag, set[victim].qaddr);
+        }
+
+        // ❸ Consult QSpace for the incoming tag.
+        let (qaddr, resolution) = match self.qspace.lookup(qubit.index(), key.tag) {
+            Some(entry) => {
+                self.stats.qspace_hits += 1;
+                (entry.qaddr, PulseResolution::QSpaceHit(entry.qaddr))
+            }
+            None => {
+                let slot = self.next_pulse[q];
+                self.next_pulse[q] = (slot + 1) % self.layout.pulse_entries_per_qubit();
+                let qaddr = self
+                    .layout
+                    .pulse_entry(qubit, slot)
+                    .expect("slot within per-qubit pulse chunk");
+                self.stats.allocations += 1;
+                (qaddr, PulseResolution::Allocated(qaddr))
+            }
+        };
+
+        // ❹ Update the SLT entry to reflect the current state.
+        set[victim] = SltEntry {
+            tag: key.tag,
+            qaddr,
+            valid: true,
+            count: 1,
+        };
+        resolution
+    }
+
+    /// Forgets all cached state (fresh run).
+    pub fn reset(&mut self) {
+        for t in &mut self.tables {
+            *t = [[SltEntry::INVALID; WAYS]; SETS];
+        }
+        self.qspace.reset();
+        for n in &mut self.next_pulse {
+            *n = 0;
+        }
+        self.stats = SltStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtenon_isa::EncodedAngle;
+
+    fn controller(n: u32) -> SltController {
+        SltController::new(QccLayout::for_qubits(n).unwrap())
+    }
+
+    fn code(theta: f64) -> u32 {
+        EncodedAngle::from_radians(theta).code()
+    }
+
+    #[test]
+    fn first_use_allocates_second_hits() {
+        let mut slt = controller(2);
+        let r1 = slt.resolve(QubitId::new(0), GateType::Rx, code(1.0));
+        assert!(matches!(r1, PulseResolution::Allocated(_)));
+        let r2 = slt.resolve(QubitId::new(0), GateType::Rx, code(1.0));
+        assert!(matches!(r2, PulseResolution::SltHit(_)));
+        assert_eq!(r1.qaddr(), r2.qaddr());
+        assert_eq!(slt.stats().hits, 1);
+        assert_eq!(slt.stats().allocations, 1);
+    }
+
+    #[test]
+    fn per_qubit_isolation() {
+        let mut slt = controller(2);
+        let a = slt.resolve(QubitId::new(0), GateType::Rx, code(1.0));
+        let b = slt.resolve(QubitId::new(1), GateType::Rx, code(1.0));
+        // Same parameter on a different qubit is a separate pulse.
+        assert!(b.needs_generation());
+        assert_ne!(a.qaddr(), b.qaddr());
+    }
+
+    #[test]
+    fn distinct_gate_types_do_not_collide() {
+        let mut slt = controller(1);
+        let rx = slt.resolve(QubitId::new(0), GateType::Rx, code(1.0));
+        let ry = slt.resolve(QubitId::new(0), GateType::Ry, code(1.0));
+        assert!(rx.needs_generation());
+        assert!(ry.needs_generation());
+        assert_ne!(rx.qaddr(), ry.qaddr());
+    }
+
+    #[test]
+    fn nearby_angles_share_tags() {
+        // Angles within tag resolution share a pulse — quantization reuse.
+        let mut slt = controller(1);
+        let a = slt.resolve(QubitId::new(0), GateType::Rz, code(1.0));
+        let b = slt.resolve(QubitId::new(0), GateType::Rz, code(1.0 + 1e-8));
+        assert!(!b.needs_generation());
+        assert_eq!(a.qaddr(), b.qaddr());
+    }
+
+    #[test]
+    fn eviction_writes_back_and_qspace_restores() {
+        let mut slt = controller(1);
+        let q = QubitId::new(0);
+        // Three distinct tags in the same set evict the least-counted one.
+        // Same type and same leading 4 data bits, different tags: craft
+        // codes that share bits 26..23 but differ in bits 22..7.
+        let base = 0b1010 << 23;
+        let c1 = base | (1 << 7);
+        let c2 = base | (2 << 7);
+        let c3 = base | (3 << 7);
+        let r1 = slt.resolve(q, GateType::Rx, c1);
+        // Bump c1's count so c2 is the least-counted victim later.
+        slt.resolve(q, GateType::Rx, c1);
+        let _r2 = slt.resolve(q, GateType::Rx, c2);
+        let _r3 = slt.resolve(q, GateType::Rx, c3); // evicts c2 (count 1)
+        assert_eq!(slt.stats().evictions, 1);
+        // c1 must still be cached.
+        assert!(!slt.resolve(q, GateType::Rx, c1).needs_generation());
+        assert_eq!(slt.resolve(q, GateType::Rx, c1).qaddr(), r1.qaddr());
+        // c2 now misses the SLT but hits QSpace: no regeneration.
+        let back = slt.resolve(q, GateType::Rx, c2);
+        assert!(matches!(back, PulseResolution::QSpaceHit(_)));
+    }
+
+    #[test]
+    fn least_count_prefers_invalid_ways() {
+        let mut slt = controller(1);
+        let q = QubitId::new(0);
+        let base = 0b0001 << 23;
+        slt.resolve(q, GateType::Rx, base | (1 << 7));
+        // Second distinct tag should fill the invalid way, evicting nothing.
+        slt.resolve(q, GateType::Rx, base | (2 << 7));
+        assert_eq!(slt.stats().evictions, 0);
+    }
+
+    #[test]
+    fn skip_rate_reflects_reuse() {
+        let mut slt = controller(1);
+        let q = QubitId::new(0);
+        for _ in 0..9 {
+            slt.resolve(q, GateType::Ry, code(0.5));
+        }
+        // 1 allocation + 8 hits.
+        let s = slt.stats();
+        assert_eq!(s.lookups, 9);
+        assert!((s.skip_rate() - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_saturates_at_31() {
+        let mut slt = controller(1);
+        let q = QubitId::new(0);
+        for _ in 0..100 {
+            slt.resolve(q, GateType::Rx, code(2.0));
+        }
+        let key = SltKey::for_gate(GateType::Rx, code(2.0));
+        let set = &slt.tables[0][key.index as usize];
+        let entry = set.iter().find(|e| e.valid && e.tag == key.tag).unwrap();
+        assert_eq!(entry.count, MAX_COUNT);
+    }
+
+    #[test]
+    fn allocator_wraps_within_pulse_chunk() {
+        let layout = QccLayout::with_geometry(1, 16, 4, 16, 16).unwrap();
+        let mut slt = SltController::new(layout);
+        let q = QubitId::new(0);
+        let mut addrs = Vec::new();
+        for i in 0..6u32 {
+            // Distinct tags forcing fresh allocations.
+            let r = slt.resolve(q, GateType::Rx, (i + 1) << 7);
+            if r.needs_generation() {
+                addrs.push(r.qaddr().raw());
+            }
+        }
+        // Only 4 pulse slots exist: the 5th allocation reuses slot 0.
+        let base = layout.pulse_entry(q, 0).unwrap().raw();
+        assert_eq!(addrs[0], base);
+        assert_eq!(addrs[4], base);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut slt = controller(1);
+        slt.resolve(QubitId::new(0), GateType::Rx, code(1.0));
+        slt.reset();
+        assert_eq!(slt.stats(), SltStats::default());
+        assert!(slt
+            .resolve(QubitId::new(0), GateType::Rx, code(1.0))
+            .needs_generation());
+    }
+
+    #[test]
+    fn key_bit_slicing() {
+        let key = SltKey::for_gate(GateType::Rz, 0b1111u32 << 23);
+        assert_eq!(key.index & 0xf, 0b1111); // low nibble carries the top 4 data bits
+        // Index fits 7 bits and tag fits 20 bits for any input.
+        for data in [0u32, 1, (1 << 27) - 1, 0x555_5555] {
+            let k = SltKey::for_gate(GateType::Cz, data);
+            assert!(k.index < 128);
+            assert!(k.tag < (1 << 20));
+        }
+    }
+}

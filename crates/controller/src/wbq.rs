@@ -1,0 +1,169 @@
+//! The Write Buffer Queue (Fig. 5).
+//!
+//! The public quantum-controller-cache space is written in 32-bit units
+//! (e.g. program words) while the system bus delivers 256-bit beats. The
+//! WBQ adapts between the widths with eight separate 32-bit queues, one
+//! per 32-bit lane of the bus word; an `SIndex` records which lanes of
+//! each beat carry valid data so variable-length writes land at the right
+//! offsets.
+
+/// Number of 32-bit lanes in a 256-bit bus beat.
+pub const LANES: usize = 8;
+
+/// One buffered 32-bit write with its destination lane resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneWrite {
+    /// Which 32-bit lane of the beat the datum occupies.
+    pub lane: usize,
+    /// The datum.
+    pub data: u32,
+}
+
+/// The eight-lane write buffer adapting 256-bit beats to 32-bit writes.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_controller::WriteBufferQueue;
+///
+/// let mut wbq = WriteBufferQueue::new();
+/// // A 3-word write starting at lane 6 wraps into the next beat.
+/// wbq.enqueue(6, &[0xa, 0xb, 0xc]);
+/// let drained = wbq.drain();
+/// assert_eq!(drained.len(), 3);
+/// assert_eq!(drained[0].lane, 6);
+/// assert_eq!(drained[2].lane, 0); // wrapped
+/// ```
+#[derive(Debug, Default)]
+pub struct WriteBufferQueue {
+    queues: [std::collections::VecDeque<u32>; LANES],
+    /// Order in which lanes were fed, so draining preserves write order.
+    sindex: std::collections::VecDeque<usize>,
+    enqueued: u64,
+}
+
+impl WriteBufferQueue {
+    /// Creates an empty WBQ.
+    pub fn new() -> Self {
+        WriteBufferQueue::default()
+    }
+
+    /// Buffers a write of consecutive 32-bit words starting at
+    /// `start_lane` (the low three bits of the destination word address).
+    /// Words beyond lane 7 wrap to lane 0 of the following beat, exactly
+    /// like consecutive addresses on the 256-bit bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_lane` is not a valid lane index.
+    pub fn enqueue(&mut self, start_lane: usize, words: &[u32]) {
+        assert!(start_lane < LANES, "lane {start_lane} out of range");
+        for (i, &w) in words.iter().enumerate() {
+            let lane = (start_lane + i) % LANES;
+            self.queues[lane].push_back(w);
+            self.sindex.push_back(lane);
+            self.enqueued += 1;
+        }
+    }
+
+    /// Pops the next buffered write in arrival order.
+    pub fn pop(&mut self) -> Option<LaneWrite> {
+        let lane = self.sindex.pop_front()?;
+        let data = self.queues[lane]
+            .pop_front()
+            .expect("sindex names a lane with data");
+        Some(LaneWrite { lane, data })
+    }
+
+    /// Drains everything buffered, in arrival order.
+    pub fn drain(&mut self) -> Vec<LaneWrite> {
+        std::iter::from_fn(|| self.pop()).collect()
+    }
+
+    /// Number of words currently buffered.
+    pub fn len(&self) -> usize {
+        self.sindex.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sindex.is_empty()
+    }
+
+    /// Total words ever enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Number of 256-bit bus beats needed to carry `words` 32-bit words
+    /// starting at `start_lane` (a full beat moves eight words).
+    pub fn beats_for(start_lane: usize, words: usize) -> usize {
+        if words == 0 {
+            return 0;
+        }
+        (start_lane + words).div_ceil(LANES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_full_beat() {
+        let mut wbq = WriteBufferQueue::new();
+        let words: Vec<u32> = (0..8).collect();
+        wbq.enqueue(0, &words);
+        let out = wbq.drain();
+        assert_eq!(out.len(), 8);
+        for (i, w) in out.iter().enumerate() {
+            assert_eq!(w.lane, i);
+            assert_eq!(w.data, i as u32);
+        }
+    }
+
+    #[test]
+    fn unaligned_write_wraps_lanes() {
+        let mut wbq = WriteBufferQueue::new();
+        wbq.enqueue(5, &[1, 2, 3, 4, 5]);
+        let lanes: Vec<usize> = wbq.drain().iter().map(|w| w.lane).collect();
+        assert_eq!(lanes, vec![5, 6, 7, 0, 1]);
+    }
+
+    #[test]
+    fn arrival_order_preserved_across_writes() {
+        let mut wbq = WriteBufferQueue::new();
+        wbq.enqueue(0, &[10]);
+        wbq.enqueue(0, &[20]); // same lane: must come out after 10
+        wbq.enqueue(3, &[30]);
+        let data: Vec<u32> = wbq.drain().iter().map(|w| w.data).collect();
+        assert_eq!(data, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut wbq = WriteBufferQueue::new();
+        assert!(wbq.is_empty());
+        wbq.enqueue(0, &[1, 2, 3]);
+        assert_eq!(wbq.len(), 3);
+        wbq.pop();
+        assert_eq!(wbq.len(), 2);
+        assert_eq!(wbq.total_enqueued(), 3);
+    }
+
+    #[test]
+    fn beat_arithmetic() {
+        assert_eq!(WriteBufferQueue::beats_for(0, 0), 0);
+        assert_eq!(WriteBufferQueue::beats_for(0, 8), 1);
+        assert_eq!(WriteBufferQueue::beats_for(0, 9), 2);
+        assert_eq!(WriteBufferQueue::beats_for(6, 3), 2); // wraps a beat
+        assert_eq!(WriteBufferQueue::beats_for(7, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_lane_panics() {
+        let mut wbq = WriteBufferQueue::new();
+        wbq.enqueue(8, &[1]);
+    }
+}

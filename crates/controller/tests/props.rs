@@ -1,0 +1,106 @@
+//! Property-based tests for the controller's hardware structures.
+
+use proptest::prelude::*;
+
+use qtenon_controller::pgu::{PguConfig, PguPool};
+use qtenon_controller::{MemoryBarrier, ReorderBufferQueue, SltController, WriteBufferQueue};
+use qtenon_isa::{GateType, QccLayout, QubitId};
+use qtenon_sim_engine::{SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn rbq_realigns_any_completion_order(order in prop::collection::vec(0usize..16, 16)) {
+        // Build a permutation from the raw vector (stable dedup).
+        let mut perm: Vec<usize> = (0..16).collect();
+        for (i, &o) in order.iter().enumerate() {
+            perm.swap(i, o % 16);
+        }
+        let mut rbq = ReorderBufferQueue::new();
+        let tags: Vec<_> = (0..16).map(|_| rbq.issue().unwrap()).collect();
+        for &i in &perm {
+            rbq.complete(tags[i], i);
+        }
+        for expected in 0..16 {
+            prop_assert_eq!(rbq.pop_in_order(), Some(expected));
+        }
+    }
+
+    #[test]
+    fn wbq_preserves_order_and_lane_mapping(
+        writes in prop::collection::vec((0usize..8, prop::collection::vec(any::<u32>(), 1..12)), 0..20)
+    ) {
+        let mut wbq = WriteBufferQueue::new();
+        let mut expected = Vec::new();
+        for (lane, data) in &writes {
+            wbq.enqueue(*lane, data);
+            for (i, &d) in data.iter().enumerate() {
+                expected.push(((lane + i) % 8, d));
+            }
+        }
+        let drained = wbq.drain();
+        prop_assert_eq!(drained.len(), expected.len());
+        for (got, (lane, data)) in drained.iter().zip(expected) {
+            prop_assert_eq!(got.lane, lane);
+            prop_assert_eq!(got.data, data);
+        }
+        prop_assert!(wbq.is_empty());
+    }
+
+    #[test]
+    fn barrier_query_matches_marked_ranges(
+        ranges in prop::collection::vec((0u64..10_000, 1u64..256), 0..20),
+        probes in prop::collection::vec(0u64..11_000, 20),
+    ) {
+        let mut barrier = MemoryBarrier::new();
+        for (i, &(start, len)) in ranges.iter().enumerate() {
+            barrier.mark_synced(start, len, SimTime::ZERO + SimDuration::from_ns(i as u64));
+        }
+        for &p in &probes {
+            let expected = ranges.iter().any(|&(s, l)| p >= s && p < s + l);
+            prop_assert_eq!(barrier.is_synced(p), expected, "probe {}", p);
+        }
+    }
+
+    #[test]
+    fn pgu_pool_never_overlaps_a_unit(jobs in 1usize..64, units in 1usize..12) {
+        let mut pool = PguPool::new(PguConfig {
+            units,
+            ..PguConfig::default()
+        });
+        let mut per_unit: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); units];
+        for _ in 0..jobs {
+            let d = pool.dispatch(SimTime::ZERO);
+            per_unit[d.unit].push((d.start, d.done));
+        }
+        for intervals in &per_unit {
+            for w in intervals.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "unit double-booked");
+            }
+        }
+        prop_assert_eq!(pool.dispatched(), jobs as u64);
+    }
+
+    #[test]
+    fn slt_same_key_same_address_forever(
+        codes in prop::collection::vec(0u32..(1 << 27), 1..64)
+    ) {
+        let layout = QccLayout::for_qubits(4).unwrap();
+        let mut slt = SltController::new(layout);
+        let mut book = std::collections::HashMap::new();
+        for &code in &codes {
+            let r = slt.resolve(QubitId::new(0), GateType::Rx, code);
+            // Key = the tag the hardware uses (top 20 bits of the code).
+            let key = code >> 7;
+            let addr = r.qaddr();
+            if let Some(&prev) = book.get(&key) {
+                prop_assert_eq!(addr, prev, "tag {:x} moved", key);
+            } else {
+                book.insert(key, addr);
+            }
+        }
+        // Accounting identity.
+        let s = slt.stats();
+        prop_assert_eq!(s.lookups, codes.len() as u64);
+        prop_assert_eq!(s.hits + s.qspace_hits + s.allocations, s.lookups);
+    }
+}

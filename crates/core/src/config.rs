@@ -1,0 +1,172 @@
+//! System configuration (Table 4) and software policy knobs.
+
+use serde::{Deserialize, Serialize};
+
+use qtenon_controller::{AdiModel, BusConfig, PipelineConfig};
+use qtenon_isa::QccLayout;
+use qtenon_mem::HierarchyConfig;
+use qtenon_quantum::GateTimes;
+
+use crate::SystemError;
+
+/// Which RISC-V host core drives the system (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreModel {
+    /// Rocket: in-order, single-issue, 1 GHz.
+    Rocket,
+    /// BOOM-Large: out-of-order, superscalar, 1 GHz.
+    BoomLarge,
+}
+
+impl CoreModel {
+    /// Display name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreModel::Rocket => "Qtenon-Rocket",
+            CoreModel::BoomLarge => "Qtenon-Boom-L",
+        }
+    }
+}
+
+impl std::fmt::Display for CoreModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How quantum-host synchronisation is enforced (Section 6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SyncMode {
+    /// RISC-V default: FENCE instructions serialise quantum execution,
+    /// transmission, and host post-processing (Fig. 9a).
+    Fence,
+    /// Qtenon's soft memory barrier: transmissions and post-processing
+    /// overlap quantum execution (Fig. 9b).
+    #[default]
+    FineGrained,
+}
+
+/// When measurement results cross the bus (Section 6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TransmissionPolicy {
+    /// One PUT per shot — simple, but under-utilises the 256-bit bus.
+    Immediate,
+    /// Algorithm 1: one PUT every ⌊B/N⌋ shots.
+    #[default]
+    Batched,
+}
+
+/// The full Qtenon system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QtenonConfig {
+    /// Qubit count.
+    pub n_qubits: u32,
+    /// Host core model.
+    pub core: CoreModel,
+    /// Quantum controller cache layout (Table 2 geometry).
+    pub layout: QccLayout,
+    /// Host memory hierarchy (Table 4).
+    pub hierarchy: HierarchyConfig,
+    /// System bus (TileLink, 256-bit).
+    pub bus: BusConfig,
+    /// Pulse pipeline and PGU pool.
+    pub pipeline: PipelineConfig,
+    /// SerDes/ADI model.
+    pub adi: AdiModel,
+    /// Quantum gate durations.
+    pub gate_times: GateTimes,
+    /// Synchronisation mode.
+    pub sync: SyncMode,
+    /// Measurement transmission policy.
+    pub transmission: TransmissionPolicy,
+    /// Seed for chip sampling.
+    pub seed: u64,
+}
+
+impl QtenonConfig {
+    /// The Table 4 configuration at a given qubit count and core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Config`] if the QCC layout cannot be built.
+    pub fn table4(n_qubits: u32, core: CoreModel) -> Result<Self, SystemError> {
+        let layout = QccLayout::for_qubits(n_qubits)
+            .map_err(|e| SystemError::Config(e.to_string()))?;
+        Ok(QtenonConfig {
+            n_qubits,
+            core,
+            layout,
+            hierarchy: HierarchyConfig::default(),
+            bus: BusConfig::default(),
+            pipeline: PipelineConfig::default(),
+            adi: AdiModel::default(),
+            gate_times: GateTimes::default(),
+            sync: SyncMode::FineGrained,
+            transmission: TransmissionPolicy::Batched,
+            seed: 0x51,
+        })
+    }
+
+    /// Returns a copy with a different synchronisation mode.
+    pub fn with_sync(mut self, sync: SyncMode) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Returns a copy with a different transmission policy.
+    pub fn with_transmission(mut self, transmission: TransmissionPolicy) -> Self {
+        self.transmission = transmission;
+        self
+    }
+
+    /// Returns a copy with a different sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_builds_for_paper_sizes() {
+        for n in [8, 16, 24, 32, 40, 48, 56, 64, 128, 256, 320] {
+            let cfg = QtenonConfig::table4(n, CoreModel::Rocket).unwrap();
+            assert_eq!(cfg.n_qubits, n);
+            assert_eq!(cfg.layout.n_qubits(), n);
+        }
+    }
+
+    #[test]
+    fn defaults_match_paper_policies() {
+        let cfg = QtenonConfig::table4(64, CoreModel::BoomLarge).unwrap();
+        assert_eq!(cfg.sync, SyncMode::FineGrained);
+        assert_eq!(cfg.transmission, TransmissionPolicy::Batched);
+        assert_eq!(cfg.pipeline.pgu.units, 8);
+    }
+
+    #[test]
+    fn builder_toggles() {
+        let cfg = QtenonConfig::table4(8, CoreModel::Rocket)
+            .unwrap()
+            .with_sync(SyncMode::Fence)
+            .with_transmission(TransmissionPolicy::Immediate)
+            .with_seed(9);
+        assert_eq!(cfg.sync, SyncMode::Fence);
+        assert_eq!(cfg.transmission, TransmissionPolicy::Immediate);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn zero_qubits_rejected() {
+        assert!(QtenonConfig::table4(0, CoreModel::Rocket).is_err());
+    }
+
+    #[test]
+    fn core_names_match_figures() {
+        assert_eq!(CoreModel::Rocket.to_string(), "Qtenon-Rocket");
+        assert_eq!(CoreModel::BoomLarge.to_string(), "Qtenon-Boom-L");
+    }
+}

@@ -1,0 +1,194 @@
+//! Execution tracing: a timestamped event log of system activity,
+//! exportable as Chrome trace JSON (`chrome://tracing` /
+//! [Perfetto](https://ui.perfetto.dev)).
+//!
+//! Enable with [`crate::system::QtenonSystem::set_tracing`]; every ISA
+//! instruction, controller PUT, and quantum run then records a
+//! [`TraceEvent`] with its simulated start/end times.
+
+use qtenon_sim_engine::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The component lane an event belongs to (the "thread" in trace
+/// viewers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceLane {
+    /// Host core instruction issue.
+    Host,
+    /// Controller communication paths.
+    Communication,
+    /// The pulse pipeline.
+    PulsePipeline,
+    /// The quantum chip.
+    QuantumChip,
+}
+
+impl TraceLane {
+    /// A stable numeric id for trace viewers.
+    pub fn tid(self) -> u32 {
+        match self {
+            TraceLane::Host => 1,
+            TraceLane::Communication => 2,
+            TraceLane::PulsePipeline => 3,
+            TraceLane::QuantumChip => 4,
+        }
+    }
+
+    /// The lane's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLane::Host => "host",
+            TraceLane::Communication => "communication",
+            TraceLane::PulsePipeline => "pulse-pipeline",
+            TraceLane::QuantumChip => "quantum-chip",
+        }
+    }
+}
+
+/// One traced interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event label (e.g. `q_set`, `q_run[500]`).
+    pub name: String,
+    /// The component lane.
+    pub lane: TraceLane,
+    /// Start time.
+    pub start: SimTime,
+    /// Duration.
+    pub duration: SimDuration,
+}
+
+/// An append-only event log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn record(
+        &mut self,
+        name: impl Into<String>,
+        lane: TraceLane,
+        start: SimTime,
+        duration: SimDuration,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            lane,
+            start,
+            duration,
+        });
+    }
+
+    /// The recorded events in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total busy time recorded on one lane.
+    pub fn lane_busy(&self, lane: TraceLane) -> SimDuration {
+        self.events
+            .iter()
+            .filter(|e| e.lane == lane)
+            .map(|e| e.duration)
+            .sum()
+    }
+
+    /// Serialises to the Chrome trace-event JSON array format
+    /// (microsecond timestamps, "X" complete events).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                e.name.replace('"', "'"),
+                e.lane.tid(),
+                e.start.elapsed().as_us(),
+                e.duration.as_us(),
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    #[test]
+    fn records_and_sums_lanes() {
+        let mut t = Trace::new();
+        t.record("q_set", TraceLane::Communication, at(0), SimDuration::from_ns(30));
+        t.record("q_run", TraceLane::QuantumChip, at(30), SimDuration::from_us(5));
+        t.record("put", TraceLane::Communication, at(100), SimDuration::from_ns(20));
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.lane_busy(TraceLane::Communication),
+            SimDuration::from_ns(50)
+        );
+        assert_eq!(t.lane_busy(TraceLane::Host), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let mut t = Trace::new();
+        t.record("q_gen", TraceLane::PulsePipeline, at(1000), SimDuration::from_us(1));
+        let json = t.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"q_gen\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":1.000"));
+        assert!(json.contains(&format!("\"tid\":{}", TraceLane::PulsePipeline.tid())));
+    }
+
+    #[test]
+    fn empty_trace_serialises() {
+        assert_eq!(Trace::new().to_chrome_json(), "[]");
+        assert!(Trace::new().is_empty());
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut t = Trace::new();
+        t.record("a\"b", TraceLane::Host, at(0), SimDuration::ZERO);
+        assert!(!t.to_chrome_json().contains("\"a\"b\""));
+    }
+
+    #[test]
+    fn lane_ids_are_distinct() {
+        let lanes = [
+            TraceLane::Host,
+            TraceLane::Communication,
+            TraceLane::PulsePipeline,
+            TraceLane::QuantumChip,
+        ];
+        let mut ids: Vec<u32> = lanes.iter().map(|l| l.tid()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+}

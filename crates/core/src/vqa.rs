@@ -1,0 +1,541 @@
+//! End-to-end hybrid quantum-classical algorithm execution on Qtenon.
+//!
+//! [`VqaRunner`] reproduces the paper's runtime protocol:
+//!
+//! 1. **Setup** (once): compile the circuit to per-qubit program entries,
+//!    `q_set` the chunks, `q_update` every register slot, and `q_gen` the
+//!    cold pulse set.
+//! 2. **Per evaluation**: incremental compilation diffs the parameter
+//!    vector and issues only the changed `q_update`s; `q_gen` re-walks the
+//!    program but the SLT skips every unchanged pulse; `q_run` executes
+//!    the shots while — under fine-grained synchronisation — measurement
+//!    batches stream back per Algorithm 1 and the host post-processes
+//!    them concurrently (Fig. 9b). Under FENCE everything serialises
+//!    (Fig. 9a).
+//! 3. **Per iteration**: the optimizer consumes the evaluated costs and
+//!    produces the next parameter vector on the host core model.
+
+use qtenon_compiler::{CompiledProgram, ParameterDiff, QtenonCompiler};
+use qtenon_isa::Instruction;
+use qtenon_quantum::BitString;
+use qtenon_sim_engine::{OpClass, OpCounter, SimTime};
+use qtenon_workloads::cost::{CostEvaluator, BLOCK_SHOTS};
+use qtenon_workloads::{evaluate_cost, Optimizer, Workload};
+
+use crate::config::{QtenonConfig, SyncMode, TransmissionPolicy};
+use crate::report::{RunReport, TimeBreakdown};
+use crate::schedule::TransmissionPlan;
+use crate::system::QtenonSystem;
+use crate::SystemError;
+
+/// Host memory address where the program image lives.
+const HOST_PROGRAM_ADDR: u64 = 0x8000_0000;
+/// Host memory address where measurement results land.
+const HOST_RESULT_ADDR: u64 = 0x9000_0000;
+
+/// Per-batch host handshake cost (barrier query, buffer management,
+/// loop control) in abstract ops — paid once per PUT the host consumes,
+/// which is why Algorithm 1's batching shows up as host-time savings.
+fn batch_overhead_ops(ops: &mut OpCounter) {
+    ops.record(OpClass::IntAlu, 400);
+    ops.record(OpClass::Mem, 250);
+    ops.record(OpClass::Branch, 120);
+}
+
+/// Executes hybrid workloads on a [`QtenonSystem`].
+pub struct VqaRunner {
+    system: QtenonSystem,
+    workload: Workload,
+    program: CompiledProgram,
+}
+
+impl std::fmt::Debug for VqaRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VqaRunner")
+            .field("workload", &self.workload.kind)
+            .field("n_qubits", &self.workload.n_qubits())
+            .finish()
+    }
+}
+
+impl VqaRunner {
+    /// Compiles `workload` for `config` and builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] for configuration or compilation failures.
+    pub fn new(config: QtenonConfig, workload: Workload) -> Result<Self, SystemError> {
+        if workload.n_qubits() != config.n_qubits {
+            return Err(SystemError::Config(format!(
+                "workload is {}-qubit but system is {}-qubit",
+                workload.n_qubits(),
+                config.n_qubits
+            )));
+        }
+        let program = QtenonCompiler::new(config.layout).compile(&workload.circuit)?;
+        Ok(VqaRunner {
+            system: QtenonSystem::new(config)?,
+            workload,
+            program,
+        })
+    }
+
+    /// The compiled program (for inspection).
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The underlying system (for inspection).
+    pub fn system(&self) -> &QtenonSystem {
+        &self.system
+    }
+
+    /// Static instruction count of the program text: setup instructions
+    /// plus one loop body (Table 1's code-size comparison).
+    pub fn static_instructions(&self) -> u64 {
+        let setup = self.program.load_instructions(HOST_PROGRAM_ADDR).len()
+            + self.program.slots().len()
+            + self.program.gen_instructions().len();
+        // Loop body: worst-case q_update per slot + q_gen + q_run +
+        // q_acquire.
+        let body = self.program.slots().len() + 3;
+        (setup + body) as u64
+    }
+
+    /// Runs `iterations` optimizer iterations at `shots` shots per
+    /// evaluation and returns the full report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] for any component failure.
+    pub fn run(
+        &mut self,
+        optimizer: &mut dyn Optimizer,
+        iterations: usize,
+        shots: u64,
+    ) -> Result<RunReport, SystemError> {
+        let config = *self.system.config();
+        self.system.cold_reset();
+        let mut now = SimTime::ZERO;
+        let mut breakdown = TimeBreakdown::default();
+        let mut host_ops_total = OpCounter::new();
+        let mut pulses_generated = 0u64;
+        let mut pulse_work_items = 0u64;
+        let mut cost_history = Vec::with_capacity(iterations);
+
+        let mut params = self.workload.initial_params.clone();
+
+        // --- Setup: load program, bind registers, cold pulse generation.
+        {
+            // Host-side compile effort (one-time, proportional to size).
+            let mut ops = OpCounter::new();
+            ops.record(OpClass::IntAlu, 25 * self.program.total_entries());
+            ops.record(OpClass::Mem, 12 * self.program.total_entries());
+            ops.record(OpClass::Branch, 4 * self.program.total_entries());
+            let d = self.system.host().duration_for(&ops);
+            host_ops_total += ops;
+            breakdown.host += d;
+            now += d;
+
+            let comm_before = self.system.comm().total();
+            for (chunk_idx, instr) in self
+                .program
+                .load_instructions(HOST_PROGRAM_ADDR)
+                .into_iter()
+                .enumerate()
+            {
+                if let Instruction::QSet { classical_addr, qaddr, .. } = instr {
+                    // Find the chunk this q_set came from (chunks in order
+                    // of non-empty qubits).
+                    let entries = self
+                        .program
+                        .chunks()
+                        .iter()
+                        .filter(|c| !c.is_empty())
+                        .nth(chunk_idx)
+                        .expect("instruction per non-empty chunk");
+                    now = self.system.q_set_program(now, classical_addr, qaddr, entries)?;
+                }
+            }
+            for instr in self.program.bind_instructions(&params)? {
+                if let Instruction::QUpdate { qaddr, value } = instr {
+                    now = self.system.q_update(now, qaddr, value)?;
+                }
+            }
+            breakdown.communication += self.system.comm().total() - comm_before;
+
+            let items = self.program.work_items(&params)?;
+            pulse_work_items += items.len() as u64;
+            let (report, gen_done) = self.system.q_gen(now, &items)?;
+            pulses_generated += report.generated;
+            breakdown.pulse_generation += report.total_time;
+            now = gen_done;
+        }
+
+        // --- Optimisation loop.
+        let mut loaded_params = params.clone();
+        for _iter in 0..iterations {
+            let plan = optimizer.iteration_plan(&params);
+            let mut evals = Vec::with_capacity(plan.len());
+            for eval_params in &plan {
+                let (cost, t) = self.evaluate(
+                    &config,
+                    now,
+                    &loaded_params,
+                    eval_params,
+                    shots,
+                    &mut breakdown,
+                    &mut host_ops_total,
+                    &mut pulses_generated,
+                    &mut pulse_work_items,
+                )?;
+                loaded_params.clone_from(eval_params);
+                evals.push(cost);
+                now = t;
+            }
+            // Optimizer update on the host.
+            let mut ops = OpCounter::new();
+            params = optimizer.update(&params, &plan, &evals, &mut ops);
+            let d = self.system.host().duration_for(&ops);
+            host_ops_total += ops;
+            breakdown.host += d;
+            now += d;
+            let mean = evals.iter().sum::<f64>() / evals.len().max(1) as f64;
+            cost_history.push(mean);
+        }
+
+        let comm = self.system.comm();
+        breakdown.communication = comm.total();
+        let host_cycles = self.system.host().cycles_for(&host_ops_total);
+        let final_cost = cost_history.last().copied().unwrap_or(f64::NAN);
+        Ok(RunReport {
+            total: now.elapsed(),
+            breakdown,
+            comm,
+            dynamic_instructions: self.system.dynamic_instructions(),
+            static_instructions: self.static_instructions(),
+            pulses_generated,
+            slt: self.system.slt_stats(),
+            host_cycles,
+            cost_history,
+            final_cost,
+            pulse_reduction: if pulse_work_items == 0 {
+                0.0
+            } else {
+                1.0 - pulses_generated as f64 / pulse_work_items as f64
+            },
+        })
+    }
+
+    /// One circuit evaluation: incremental update → pulse generation →
+    /// run with transmission/post-processing per the configured policies.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate(
+        &mut self,
+        config: &QtenonConfig,
+        start: SimTime,
+        loaded_params: &[f64],
+        eval_params: &[f64],
+        shots: u64,
+        breakdown: &mut TimeBreakdown,
+        host_ops_total: &mut OpCounter,
+        pulses_generated: &mut u64,
+        pulse_work_items: &mut u64,
+    ) -> Result<(f64, SimTime), SystemError> {
+        let mut now = start;
+
+        // 1. Incremental compilation: diff on the host, minimal q_updates.
+        let diff = ParameterDiff::between(&self.program, loaded_params, eval_params)?;
+        {
+            let mut ops = OpCounter::new();
+            let slots = self.program.slots().len() as u64;
+            ops.record(OpClass::FpAlu, 2 * slots);
+            ops.record(OpClass::Mem, 3 * slots);
+            ops.record(OpClass::Branch, slots);
+            let d = self.system.host().duration_for(&ops);
+            *host_ops_total += ops;
+            breakdown.host += d;
+            now += d;
+        }
+        for instr in diff.update_instructions(&self.program) {
+            if let Instruction::QUpdate { qaddr, value } = instr {
+                now = self.system.q_update(now, qaddr, value)?;
+            }
+        }
+
+        // 2. Pulse generation: the SLT skips everything unchanged.
+        let items = self.program.work_items(eval_params)?;
+        *pulse_work_items += items.len() as u64;
+        let (gen_report, gen_done) = self.system.q_gen(now, &items)?;
+        *pulses_generated += gen_report.generated;
+        breakdown.pulse_generation += gen_report.total_time;
+        now = gen_done;
+
+        // 3. Quantum run.
+        let bound = self.workload.circuit.bind(eval_params)?;
+        let run_start = now;
+        let outcome = self.system.q_run(now, &bound, shots)?;
+        breakdown.quantum += outcome.complete.saturating_since(run_start);
+
+        let host = self.system.host();
+        let h = self.workload.hamiltonian.clone();
+
+        let (cost, end) = match config.sync {
+            SyncMode::Fence => {
+                // Fig. 9a: run → FENCE → q_acquire → FENCE → post-process.
+                let words_per_shot = (config.n_qubits as u64).div_ceil(64);
+                let measure_base = config.layout.measure_entry(0)?;
+                let (_, acq_done) = self.system.q_acquire(
+                    outcome.complete,
+                    measure_base,
+                    (shots * words_per_shot).min(config.layout.measure_entries()),
+                    HOST_RESULT_ADDR,
+                )?;
+                let mut ops = OpCounter::new();
+                let cost = evaluate_cost(&h, &outcome.shots, &mut ops);
+                batch_overhead_ops(&mut ops);
+                let d = host.duration_for(&ops);
+                *host_ops_total += ops;
+                breakdown.host += d;
+                (cost, acq_done + d)
+            }
+            SyncMode::FineGrained => {
+                // Fig. 9b: PUTs stream per Algorithm 1; the host consumes
+                // each batch as its barrier entry goes valid, folding
+                // completed shots into the bit-sliced cost evaluator one
+                // 64-shot block at a time.
+                let plan = TransmissionPlan::new(
+                    config.transmission,
+                    config.n_qubits,
+                    config.bus.width_bits,
+                    shots,
+                );
+                let overlap = config.transmission == TransmissionPolicy::Batched;
+                let evaluator = CostEvaluator::new(&h);
+                let first_shot_at = run_start + config.adi.interface_latency;
+                let mut host_free = run_start;
+                let mut value_sum = 0.0;
+                let mut addr = HOST_RESULT_ADDR;
+                let mut flushed = 0usize;
+                let mut arrived = 0usize;
+                for batch in plan.batches() {
+                    let ready =
+                        first_shot_at + outcome.shot_duration * (batch.first_shot + batch.shots);
+                    let put_done = self.system.put_results(ready, addr, batch.bytes);
+                    addr += batch.bytes;
+                    // Per-PUT host wake: barrier query + buffer
+                    // bookkeeping, plus any full blocks now evaluable.
+                    let mut ops = OpCounter::new();
+                    batch_overhead_ops(&mut ops);
+                    arrived = (batch.first_shot + batch.shots) as usize;
+                    while arrived - flushed >= BLOCK_SHOTS {
+                        let block = &outcome.shots[flushed..flushed + BLOCK_SHOTS];
+                        value_sum += evaluator.block_value_sum(block, &mut ops);
+                        flushed += BLOCK_SHOTS;
+                    }
+                    let d = host.duration_for(&ops);
+                    *host_ops_total += ops;
+                    breakdown.host += d;
+                    if overlap {
+                        host_free = host_free.max(put_done) + d;
+                    } else {
+                        // Without the scheduling algorithm the host only
+                        // starts consuming after the whole run completes.
+                        host_free = host_free.max(outcome.complete).max(put_done) + d;
+                    }
+                }
+                // Tail block after the final PUT.
+                if flushed < arrived {
+                    let mut ops = OpCounter::new();
+                    value_sum +=
+                        evaluator.block_value_sum(&outcome.shots[flushed..arrived], &mut ops);
+                    let d = host.duration_for(&ops);
+                    *host_ops_total += ops;
+                    breakdown.host += d;
+                    host_free += d;
+                }
+                let cost = if shots == 0 {
+                    h.constant()
+                } else {
+                    h.constant() + value_sum / shots as f64
+                };
+                (cost, outcome.complete.max(host_free))
+            }
+        };
+        Ok((cost, end))
+    }
+
+    /// Convenience wrapper: exact shot-free cost of the workload at given
+    /// parameters (used by tests to verify optimisation progress).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Quantum`] for simulation failures.
+    pub fn reference_cost(&mut self, params: &[f64]) -> Result<f64, SystemError> {
+        let bound = self.workload.circuit.bind(params)?;
+        let mut sim = qtenon_quantum::sim::Simulator::auto(self.workload.n_qubits(), 1234);
+        let shots = sim.run(&bound, 2000)?;
+        Ok(self.workload.hamiltonian.expectation_from_shots(&shots))
+    }
+}
+
+/// Collects measurement words back into bitstrings (the host-side inverse
+/// of the controller's `.measure` packing). Exposed for tests and
+/// examples that drive the raw ISA path.
+pub fn unpack_measurements(words: &[u64], n_qubits: u32, shots: u64) -> Vec<BitString> {
+    let words_per_shot = (n_qubits as u64).div_ceil(64) as usize;
+    (0..shots as usize)
+        .map(|s| {
+            let mut bits = BitString::zeros(n_qubits);
+            for w in 0..words_per_shot {
+                let word = words.get(s * words_per_shot + w).copied().unwrap_or(0);
+                for b in 0..64u32 {
+                    let idx = w as u32 * 64 + b;
+                    if idx < n_qubits && (word >> b) & 1 == 1 {
+                        bits.set(idx, true);
+                    }
+                }
+            }
+            bits
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreModel;
+    use qtenon_sim_engine::SimDuration;
+    use qtenon_workloads::{GradientDescentOptimizer, SpsaOptimizer};
+
+    fn runner(n: u32, kind: qtenon_workloads::WorkloadKind) -> VqaRunner {
+        let config = QtenonConfig::table4(n, CoreModel::Rocket).unwrap();
+        let workload = Workload::benchmark(kind, n, 11).unwrap();
+        VqaRunner::new(config, workload).unwrap()
+    }
+
+    #[test]
+    fn qaoa_run_produces_consistent_report() {
+        let mut r = runner(8, qtenon_workloads::WorkloadKind::Qaoa);
+        let mut opt = SpsaOptimizer::new(5);
+        let report = r.run(&mut opt, 3, 100).unwrap();
+        assert!(report.total > SimDuration::ZERO);
+        assert_eq!(report.cost_history.len(), 3);
+        // Busy times fit within or around the wall time sanely.
+        assert!(report.breakdown.quantum > SimDuration::ZERO);
+        assert!(report.breakdown.host > SimDuration::ZERO);
+        assert!(report.pulses_generated > 0);
+        assert!(report.pulse_reduction > 0.0 && report.pulse_reduction < 1.0);
+        assert!(report.dynamic_instructions > 0);
+        assert!(report.static_instructions < report.dynamic_instructions);
+    }
+
+    #[test]
+    fn gd_reduction_exceeds_spsa_reduction() {
+        // Table 5: GD's single-parameter steps leave far more pulses
+        // cached than SPSA's all-parameter perturbations.
+        let mut r1 = runner(8, qtenon_workloads::WorkloadKind::Qaoa);
+        let gd_report = r1
+            .run(&mut GradientDescentOptimizer::new(0.05), 2, 50)
+            .unwrap();
+        let mut r2 = runner(8, qtenon_workloads::WorkloadKind::Qaoa);
+        let spsa_report = r2.run(&mut SpsaOptimizer::new(5), 2, 50).unwrap();
+        assert!(
+            gd_report.pulse_reduction > spsa_report.pulse_reduction,
+            "gd={} spsa={}",
+            gd_report.pulse_reduction,
+            spsa_report.pulse_reduction
+        );
+    }
+
+    #[test]
+    fn fine_grained_beats_fence_end_to_end() {
+        let workload = Workload::benchmark(qtenon_workloads::WorkloadKind::Vqe, 8, 3).unwrap();
+        let fine_cfg = QtenonConfig::table4(8, CoreModel::Rocket).unwrap();
+        let fence_cfg = fine_cfg.with_sync(SyncMode::Fence);
+        let fine = VqaRunner::new(fine_cfg, workload.clone())
+            .unwrap()
+            .run(&mut SpsaOptimizer::new(1), 2, 100)
+            .unwrap();
+        let fence = VqaRunner::new(fence_cfg, workload)
+            .unwrap()
+            .run(&mut SpsaOptimizer::new(1), 2, 100)
+            .unwrap();
+        assert!(
+            fence.total > fine.total,
+            "fence {} !> fine {}",
+            fence.total,
+            fine.total
+        );
+        // Transmission/classical tail shrinks under fine-grained sync.
+        assert!(fence.classical_time() > fine.classical_time());
+    }
+
+    #[test]
+    fn batched_beats_immediate_classical_time() {
+        let workload = Workload::benchmark(qtenon_workloads::WorkloadKind::Qaoa, 8, 3).unwrap();
+        let batched_cfg = QtenonConfig::table4(8, CoreModel::Rocket).unwrap();
+        let imm_cfg = batched_cfg.with_transmission(TransmissionPolicy::Immediate);
+        let batched = VqaRunner::new(batched_cfg, workload.clone())
+            .unwrap()
+            .run(&mut SpsaOptimizer::new(1), 2, 100)
+            .unwrap();
+        let immediate = VqaRunner::new(imm_cfg, workload)
+            .unwrap()
+            .run(&mut SpsaOptimizer::new(1), 2, 100)
+            .unwrap();
+        assert!(
+            immediate.classical_time() > batched.classical_time(),
+            "immediate {} !> batched {}",
+            immediate.classical_time(),
+            batched.classical_time()
+        );
+    }
+
+    #[test]
+    fn quantum_dominates_under_fine_grained_sync() {
+        // Fig. 13c: with the full software stack the quantum share is
+        // large. At small sizes the exact number differs; require > 50 %.
+        let mut r = runner(8, qtenon_workloads::WorkloadKind::Vqe);
+        let report = r.run(&mut SpsaOptimizer::new(2), 3, 200).unwrap();
+        let share = report.breakdown.quantum.fraction_of(report.total);
+        assert!(share > 0.5, "quantum share {share}");
+    }
+
+    #[test]
+    fn comm_is_negligible_fraction() {
+        // Fig. 13c: quantum-host communication ≈ 0.03 % on Qtenon.
+        let mut r = runner(8, qtenon_workloads::WorkloadKind::Qaoa);
+        let report = r.run(&mut SpsaOptimizer::new(2), 3, 200).unwrap();
+        let share = report.comm.total().fraction_of(report.total);
+        assert!(share < 0.1, "comm share {share}");
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let config = QtenonConfig::table4(16, CoreModel::Rocket).unwrap();
+        let workload = Workload::benchmark(qtenon_workloads::WorkloadKind::Qaoa, 8, 0).unwrap();
+        assert!(VqaRunner::new(config, workload).is_err());
+    }
+
+    #[test]
+    fn unpack_measurements_round_trip() {
+        let words = vec![0b101u64, 0, u64::MAX, 1];
+        let shots = unpack_measurements(&words, 70, 2);
+        assert_eq!(shots.len(), 2);
+        assert!(shots[0].get(0) && !shots[0].get(1) && shots[0].get(2));
+        assert!(!shots[0].get(64));
+        assert!(shots[1].get(0) && shots[1].get(63) && shots[1].get(64));
+        assert!(!shots[1].get(65));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = runner(8, qtenon_workloads::WorkloadKind::Qnn);
+        let mut b = runner(8, qtenon_workloads::WorkloadKind::Qnn);
+        let ra = a.run(&mut SpsaOptimizer::new(9), 2, 50).unwrap();
+        let rb = b.run(&mut SpsaOptimizer::new(9), 2, 50).unwrap();
+        assert_eq!(ra.total, rb.total);
+        assert_eq!(ra.cost_history, rb.cost_history);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the core system's scheduling and reporting
+//! structures.
+
+use proptest::prelude::*;
+
+use qtenon_core::config::TransmissionPolicy;
+use qtenon_core::host::HostCoreModel;
+use qtenon_core::config::CoreModel;
+use qtenon_core::report::TimeBreakdown;
+use qtenon_core::schedule::TransmissionPlan;
+use qtenon_sim_engine::{OpClass, OpCounter, SimDuration};
+
+proptest! {
+    #[test]
+    fn transmission_plan_covers_every_shot_once(
+        n_qubits in 1u32..400,
+        shots in 0u64..2_000,
+        policy in prop::sample::select(vec![TransmissionPolicy::Immediate, TransmissionPolicy::Batched]),
+    ) {
+        let plan = TransmissionPlan::new(policy, n_qubits, 256, shots);
+        let mut covered = 0u64;
+        for b in plan.batches() {
+            prop_assert_eq!(b.first_shot, covered, "gap or overlap");
+            prop_assert!(b.shots >= 1);
+            prop_assert!(b.shots <= plan.batch_interval().max(1));
+            prop_assert_eq!(b.bytes, b.shots * (n_qubits as u64).div_ceil(8));
+            covered += b.shots;
+        }
+        prop_assert_eq!(covered, shots);
+    }
+
+    #[test]
+    fn algorithm1_interval_is_floor_b_over_n(n_qubits in 1u32..1024) {
+        let plan = TransmissionPlan::new(TransmissionPolicy::Batched, n_qubits, 256, 1);
+        let expected = (256 / n_qubits as u64).max(1);
+        prop_assert_eq!(plan.batch_interval(), expected);
+    }
+
+    #[test]
+    fn host_models_are_monotone_in_work(
+        base in prop::collection::vec(0u64..100_000, 5),
+        extra in prop::collection::vec(0u64..100_000, 5),
+    ) {
+        let mut small = OpCounter::new();
+        let mut large = OpCounter::new();
+        for (i, class) in OpClass::ALL.iter().enumerate() {
+            small.record(*class, base[i]);
+            large.record(*class, base[i] + extra[i]);
+        }
+        for core in [CoreModel::Rocket, CoreModel::BoomLarge] {
+            let m = HostCoreModel::new(core);
+            prop_assert!(m.cycles_for(&large) >= m.cycles_for(&small));
+        }
+        // Boom never costs more cycles than Rocket for the same work.
+        let rocket = HostCoreModel::new(CoreModel::Rocket);
+        let boom = HostCoreModel::new(CoreModel::BoomLarge);
+        prop_assert!(boom.cycles_for(&large) <= rocket.cycles_for(&large));
+    }
+
+    #[test]
+    fn breakdown_shares_form_distribution(
+        q in 0u64..1_000_000, c in 0u64..1_000_000,
+        p in 0u64..1_000_000, h in 0u64..1_000_000,
+    ) {
+        let b = TimeBreakdown {
+            quantum: SimDuration::from_ns(q),
+            communication: SimDuration::from_ns(c),
+            pulse_generation: SimDuration::from_ns(p),
+            host: SimDuration::from_ns(h),
+        };
+        let total = b.busy_total();
+        if !total.is_zero() {
+            let shares = b.shares_of(total);
+            prop_assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for s in shares {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+            }
+        }
+    }
+}

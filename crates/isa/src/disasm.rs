@@ -1,0 +1,144 @@
+//! Disassembly of `.program` chunks into Fig. 4-style listings.
+//!
+//! The paper's Fig. 4 renders a program chunk as rows of
+//! `idx | info | addr` (e.g. `0x0  RY.0.pi/2  p#1`). [`disassemble_chunk`]
+//! produces that listing from packed or decoded entries — useful for
+//! debugging compiled programs and for golden tests.
+
+use std::fmt::Write;
+
+use crate::program::{EntryStatus, ProgramEntry};
+use crate::qaddress::{QccLayout, QubitId};
+use crate::IsaError;
+
+/// One disassembled row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmRow {
+    /// The entry's QAddress.
+    pub addr: u64,
+    /// Human-readable gate/payload description.
+    pub info: String,
+    /// Pulse link description (`p#<idx>` or `-`).
+    pub pulse: String,
+}
+
+/// Disassembles one qubit's program chunk into rows.
+///
+/// # Errors
+///
+/// Returns [`IsaError`] if the qubit is out of range for the layout.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_isa::{disasm, EncodedAngle, GateType, ProgramEntry, QccLayout, QubitId};
+///
+/// let layout = QccLayout::for_qubits(4)?;
+/// let entries = [ProgramEntry::rotation(GateType::Ry, EncodedAngle::from_radians(1.0))];
+/// let rows = disasm::disassemble_chunk(&layout, QubitId::new(1), &entries)?;
+/// assert_eq!(rows[0].addr, 0x400);
+/// assert!(rows[0].info.starts_with("RY"));
+/// # Ok::<(), qtenon_isa::IsaError>(())
+/// ```
+pub fn disassemble_chunk(
+    layout: &QccLayout,
+    qubit: QubitId,
+    entries: &[ProgramEntry],
+) -> Result<Vec<DisasmRow>, IsaError> {
+    let base = layout.program_entry(qubit, 0)?;
+    let pulse_base = layout.segment_base(crate::Segment::Pulse);
+    Ok(entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| DisasmRow {
+            addr: base.raw() + i as u64,
+            info: e.to_string(),
+            pulse: match e.status {
+                EntryStatus::PulseReady => {
+                    format!("p#{}", (e.qaddr as u64).saturating_sub(pulse_base))
+                }
+                EntryStatus::Pending => "…".into(),
+                EntryStatus::Invalid => "-".into(),
+            },
+        })
+        .collect())
+}
+
+/// Formats rows as an aligned text listing.
+pub fn format_listing(rows: &[DisasmRow]) -> String {
+    let mut out = String::new();
+    let width = rows
+        .iter()
+        .map(|r| r.info.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let _ = writeln!(out, "{:<10}  {:<width$}  {}", "idx", "info", "addr");
+    for r in rows {
+        let _ = writeln!(out, "{:<#10x}  {:<width$}  {}", r.addr, r.info, r.pulse);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angle::EncodedAngle;
+    use crate::program::GateType;
+    use crate::QAddress;
+
+    fn layout() -> QccLayout {
+        QccLayout::for_qubits(64).unwrap()
+    }
+
+    #[test]
+    fn rows_carry_chunk_addresses() {
+        let entries = [
+            ProgramEntry::rotation(GateType::Ry, EncodedAngle::from_radians(1.57)),
+            ProgramEntry::cz(5).unwrap(),
+            ProgramEntry::measure(),
+        ];
+        let rows = disassemble_chunk(&layout(), QubitId::new(2), &entries).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].addr, 0x800);
+        assert_eq!(rows[2].addr, 0x802);
+        assert!(rows[1].info.contains("CZ"));
+        assert_eq!(rows[0].pulse, "-");
+    }
+
+    #[test]
+    fn linked_entries_show_pulse_index() {
+        let l = layout();
+        let pulse = l.pulse_entry(QubitId::new(0), 3).unwrap();
+        let entry = ProgramEntry::rotation(GateType::Rx, EncodedAngle::from_radians(0.5))
+            .with_pulse(QAddress::new(pulse.raw()).unwrap());
+        // with_pulse fails for >30-bit addresses; 0x80003 fits.
+        let entry = entry.unwrap();
+        let rows = disassemble_chunk(&l, QubitId::new(0), &[entry]).unwrap();
+        assert_eq!(rows[0].pulse, "p#3");
+    }
+
+    #[test]
+    fn listing_is_aligned_and_headed() {
+        let entries = [ProgramEntry::measure()];
+        let rows = disassemble_chunk(&layout(), QubitId::new(0), &entries).unwrap();
+        let text = format_listing(&rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("idx"));
+        assert!(lines[1].starts_with("0x0"));
+        assert!(lines[1].contains("MEASURE"));
+    }
+
+    #[test]
+    fn out_of_range_qubit_rejected() {
+        assert!(disassemble_chunk(&layout(), QubitId::new(64), &[]).is_err());
+    }
+
+    #[test]
+    fn empty_chunk_gives_header_only() {
+        let rows = disassemble_chunk(&layout(), QubitId::new(0), &[]).unwrap();
+        assert!(rows.is_empty());
+        let text = format_listing(&rows);
+        assert_eq!(text.lines().count(), 1);
+    }
+}

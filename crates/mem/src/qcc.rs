@@ -1,0 +1,297 @@
+//! The quantum controller cache: five segments with real storage and
+//! public/private access control.
+//!
+//! The QCC sits at the same level as the host L1 (Fig. 4). `.program`,
+//! `.regfile`, and `.measure` are public; `.pulse` and `.slt` are enforced
+//! private — the paper keeps them under exclusive hardware control to
+//! avoid three-way synchronisation between interdependent segments.
+
+use qtenon_isa::{ProgramEntry, QAddress, QccLayout, Segment};
+use serde::{Deserialize, Serialize};
+
+use crate::MemError;
+
+/// Who is performing a QCC access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPort {
+    /// User software via data paths ❶/❷ — public segments only.
+    HostPublic,
+    /// The controller's own logic via data path ❸ — all segments.
+    Controller,
+}
+
+/// A 640-bit `.pulse` entry, stored as ten 64-bit words (the hardware
+/// splits each entry into ten parallel buffers ahead of the SerDes).
+pub type PulseWord = [u64; 10];
+
+/// The quantum controller cache with functional storage for every segment.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_isa::{EncodedAngle, GateType, ProgramEntry, QccLayout, QubitId};
+/// use qtenon_mem::qcc::{AccessPort, QuantumControllerCache};
+///
+/// let layout = QccLayout::for_qubits(8)?;
+/// let mut qcc = QuantumControllerCache::new(layout);
+/// let addr = layout.program_entry(QubitId::new(2), 0)?;
+/// let entry = ProgramEntry::rotation(GateType::Ry, EncodedAngle::from_radians(1.0));
+/// qcc.write_program(AccessPort::HostPublic, addr, entry)?;
+/// assert_eq!(qcc.read_program(AccessPort::HostPublic, addr)?, entry);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantumControllerCache {
+    layout: QccLayout,
+    program: Vec<ProgramEntry>,
+    pulse: Vec<PulseWord>,
+    measure: Vec<u64>,
+    regfile: Vec<u32>,
+}
+
+impl QuantumControllerCache {
+    /// Allocates the cache for a layout, zero/idle-initialised.
+    pub fn new(layout: QccLayout) -> Self {
+        QuantumControllerCache {
+            layout,
+            program: vec![
+                ProgramEntry::idle();
+                layout.segment_entries(Segment::Program) as usize
+            ],
+            pulse: vec![[0; 10]; layout.segment_entries(Segment::Pulse) as usize],
+            measure: vec![0; layout.segment_entries(Segment::Measure) as usize],
+            regfile: vec![0; layout.segment_entries(Segment::Regfile) as usize],
+        }
+    }
+
+    /// The layout this cache was built for.
+    pub fn layout(&self) -> QccLayout {
+        self.layout
+    }
+
+    fn locate(
+        &self,
+        port: AccessPort,
+        addr: QAddress,
+        expected: Segment,
+    ) -> Result<usize, MemError> {
+        let decoded = self
+            .layout
+            .decode(addr)
+            .map_err(|_| MemError::BadAddress { addr })?;
+        if decoded.segment != expected {
+            return Err(MemError::WrongSegment {
+                expected,
+                actual: decoded.segment,
+            });
+        }
+        if port == AccessPort::HostPublic && !decoded.segment.is_public() {
+            return Err(MemError::PrivateSegment {
+                segment: decoded.segment,
+            });
+        }
+        // Flat index within the segment's backing store.
+        let base = self.layout.segment_base(expected);
+        Ok((addr.raw() - base) as usize)
+    }
+
+    /// Reads a `.program` entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped or wrong-segment addresses.
+    pub fn read_program(&self, port: AccessPort, addr: QAddress) -> Result<ProgramEntry, MemError> {
+        let idx = self.locate(port, addr, Segment::Program)?;
+        Ok(self.program[idx])
+    }
+
+    /// Writes a `.program` entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped or wrong-segment addresses.
+    pub fn write_program(
+        &mut self,
+        port: AccessPort,
+        addr: QAddress,
+        entry: ProgramEntry,
+    ) -> Result<(), MemError> {
+        let idx = self.locate(port, addr, Segment::Program)?;
+        self.program[idx] = entry;
+        Ok(())
+    }
+
+    /// Reads a `.pulse` entry (controller-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::PrivateSegment`] for host access.
+    pub fn read_pulse(&self, port: AccessPort, addr: QAddress) -> Result<PulseWord, MemError> {
+        let idx = self.locate(port, addr, Segment::Pulse)?;
+        Ok(self.pulse[idx])
+    }
+
+    /// Writes a `.pulse` entry (controller-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::PrivateSegment`] for host access.
+    pub fn write_pulse(
+        &mut self,
+        port: AccessPort,
+        addr: QAddress,
+        word: PulseWord,
+    ) -> Result<(), MemError> {
+        let idx = self.locate(port, addr, Segment::Pulse)?;
+        self.pulse[idx] = word;
+        Ok(())
+    }
+
+    /// Reads a `.measure` entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped or wrong-segment addresses.
+    pub fn read_measure(&self, port: AccessPort, addr: QAddress) -> Result<u64, MemError> {
+        let idx = self.locate(port, addr, Segment::Measure)?;
+        Ok(self.measure[idx])
+    }
+
+    /// Writes a `.measure` entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped or wrong-segment addresses.
+    pub fn write_measure(
+        &mut self,
+        port: AccessPort,
+        addr: QAddress,
+        value: u64,
+    ) -> Result<(), MemError> {
+        let idx = self.locate(port, addr, Segment::Measure)?;
+        self.measure[idx] = value;
+        Ok(())
+    }
+
+    /// Reads a `.regfile` entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped or wrong-segment addresses.
+    pub fn read_regfile(&self, port: AccessPort, addr: QAddress) -> Result<u32, MemError> {
+        let idx = self.locate(port, addr, Segment::Regfile)?;
+        Ok(self.regfile[idx])
+    }
+
+    /// Writes a `.regfile` entry (the `q_update` fast path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped or wrong-segment addresses.
+    pub fn write_regfile(
+        &mut self,
+        port: AccessPort,
+        addr: QAddress,
+        value: u32,
+    ) -> Result<(), MemError> {
+        let idx = self.locate(port, addr, Segment::Regfile)?;
+        self.regfile[idx] = value;
+        Ok(())
+    }
+
+    /// Reads a register by flat index (pipeline stage 2's regfile fetch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the register file.
+    pub fn regfile_by_index(&self, index: u32) -> u32 {
+        self.regfile[index as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtenon_isa::{EncodedAngle, GateType, QubitId};
+
+    fn qcc() -> (QccLayout, QuantumControllerCache) {
+        let layout = QccLayout::for_qubits(8).unwrap();
+        (layout, QuantumControllerCache::new(layout))
+    }
+
+    #[test]
+    fn program_round_trip_per_qubit_chunks() {
+        let (layout, mut qcc) = qcc();
+        let e0 = ProgramEntry::rotation(GateType::Rx, EncodedAngle::from_radians(0.5));
+        let e1 = ProgramEntry::cz(3).unwrap();
+        let a0 = layout.program_entry(QubitId::new(0), 7).unwrap();
+        let a1 = layout.program_entry(QubitId::new(7), 7).unwrap();
+        qcc.write_program(AccessPort::HostPublic, a0, e0).unwrap();
+        qcc.write_program(AccessPort::HostPublic, a1, e1).unwrap();
+        assert_eq!(qcc.read_program(AccessPort::HostPublic, a0).unwrap(), e0);
+        assert_eq!(qcc.read_program(AccessPort::HostPublic, a1).unwrap(), e1);
+    }
+
+    #[test]
+    fn pulse_is_private_to_controller() {
+        let (layout, mut qcc) = qcc();
+        let addr = layout.pulse_entry(QubitId::new(0), 0).unwrap();
+        assert!(matches!(
+            qcc.write_pulse(AccessPort::HostPublic, addr, [1; 10]),
+            Err(MemError::PrivateSegment {
+                segment: Segment::Pulse
+            })
+        ));
+        qcc.write_pulse(AccessPort::Controller, addr, [7; 10]).unwrap();
+        assert_eq!(
+            qcc.read_pulse(AccessPort::Controller, addr).unwrap(),
+            [7; 10]
+        );
+        assert!(qcc.read_pulse(AccessPort::HostPublic, addr).is_err());
+    }
+
+    #[test]
+    fn measure_and_regfile_round_trip() {
+        let (layout, mut qcc) = qcc();
+        let m = layout.measure_entry(5).unwrap();
+        let r = layout.regfile_entry(3).unwrap();
+        qcc.write_measure(AccessPort::Controller, m, 0xdead).unwrap();
+        qcc.write_regfile(AccessPort::HostPublic, r, 0xbeef).unwrap();
+        assert_eq!(qcc.read_measure(AccessPort::HostPublic, m).unwrap(), 0xdead);
+        assert_eq!(qcc.read_regfile(AccessPort::HostPublic, r).unwrap(), 0xbeef);
+        assert_eq!(qcc.regfile_by_index(3), 0xbeef);
+    }
+
+    #[test]
+    fn wrong_segment_rejected() {
+        let (layout, qcc) = qcc();
+        let prog = layout.program_entry(QubitId::new(0), 0).unwrap();
+        assert!(matches!(
+            qcc.read_measure(AccessPort::HostPublic, prog),
+            Err(MemError::WrongSegment {
+                expected: Segment::Measure,
+                actual: Segment::Program
+            })
+        ));
+    }
+
+    #[test]
+    fn unmapped_address_rejected() {
+        let (_, qcc) = qcc();
+        let hole = QAddress::new(0x40000).unwrap();
+        assert!(matches!(
+            qcc.read_program(AccessPort::HostPublic, hole),
+            Err(MemError::BadAddress { .. })
+        ));
+    }
+
+    #[test]
+    fn storage_sizes_match_layout() {
+        let (layout, qcc) = qcc();
+        assert_eq!(
+            qcc.program.len() as u64,
+            layout.segment_entries(Segment::Program)
+        );
+        assert_eq!(qcc.pulse.len() as u64, layout.segment_entries(Segment::Pulse));
+    }
+}

@@ -1,0 +1,184 @@
+//! Packed measurement bitstrings.
+//!
+//! The scalability experiments run up to 320 qubits, past the width of any
+//! primitive integer, so measurement outcomes are stored as packed 64-bit
+//! words. One [`BitString`] is one shot's outcome across all measured
+//! qubits.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width string of measurement bits, packed into 64-bit words.
+///
+/// Bit `i` is qubit `i`'s measured value.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_quantum::BitString;
+///
+/// let mut bits = BitString::zeros(70);
+/// bits.set(69, true);
+/// assert!(bits.get(69));
+/// assert_eq!(bits.count_ones(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct BitString {
+    len: u32,
+    words: Vec<u64>,
+}
+
+impl BitString {
+    /// Creates an all-zero bitstring of `len` bits.
+    pub fn zeros(len: u32) -> Self {
+        BitString {
+            len,
+            words: vec![0; (len as usize).div_ceil(64)],
+        }
+    }
+
+    /// Creates a bitstring from the low `len` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_u64(value: u64, len: u32) -> Self {
+        assert!(len <= 64, "from_u64 supports at most 64 bits");
+        let mut out = BitString::zeros(len);
+        if len > 0 {
+            let mask = if len == 64 { u64::MAX } else { (1 << len) - 1 };
+            out.words[0] = value & mask;
+        }
+        out
+    }
+
+    /// The number of bits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Returns `true` for a zero-width bitstring.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: u32) -> bool {
+        assert!(i < self.len, "bit index {i} out of range ({})", self.len);
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: u32, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range ({})", self.len);
+        let word = &mut self.words[(i / 64) as usize];
+        if value {
+            *word |= 1 << (i % 64);
+        } else {
+            *word &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Parity (XOR) of the bits at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn parity_of(&self, indices: &[u32]) -> bool {
+        indices.iter().fold(false, |acc, &i| acc ^ self.get(i))
+    }
+
+    /// The packed words, least-significant first.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The number of bytes needed to transmit this bitstring (the paper's
+    /// Algorithm 1 uses ⌈N/8⌉ bytes per shot).
+    pub fn byte_len(&self) -> u64 {
+        (self.len as u64).div_ceil(8)
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Most-significant qubit first, like ket notation.
+        for i in (0..self.len).rev() {
+            write!(f, "{}", self.get(i) as u8)?;
+        }
+        if self.len == 0 {
+            write!(f, "ε")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_across_word_boundary() {
+        let mut b = BitString::zeros(130);
+        b.set(0, true);
+        b.set(63, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(65));
+        assert_eq!(b.count_ones(), 4);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn from_u64_masks() {
+        let b = BitString::from_u64(0b1011, 3);
+        assert_eq!(b.count_ones(), 2); // top bit masked off
+        assert!(b.get(0) && b.get(1) && !b.get(2));
+    }
+
+    #[test]
+    fn parity() {
+        let b = BitString::from_u64(0b101, 3);
+        assert!(!b.parity_of(&[0, 2]));
+        assert!(b.parity_of(&[0, 1]));
+        assert!(!b.parity_of(&[]));
+    }
+
+    #[test]
+    fn byte_len_matches_algorithm1() {
+        assert_eq!(BitString::zeros(64).byte_len(), 8);
+        assert_eq!(BitString::zeros(65).byte_len(), 9);
+        assert_eq!(BitString::zeros(8).byte_len(), 1);
+    }
+
+    #[test]
+    fn display_msb_first() {
+        let b = BitString::from_u64(0b01, 2);
+        assert_eq!(b.to_string(), "01");
+        assert_eq!(BitString::zeros(0).to_string(), "ε");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let b = BitString::zeros(4);
+        b.get(4);
+    }
+}

@@ -1,0 +1,192 @@
+//! NISQ noise models for the sampling backends.
+//!
+//! The paper targets Noisy Intermediate-Scale Quantum devices; while its
+//! *timing* evaluation uses noiseless simulator data, a downstream user of
+//! this library will want realistic measurement statistics. [`NoiseModel`]
+//! provides the two dominant superconducting-qubit error channels in
+//! sampled form:
+//!
+//! - **depolarizing gate error**: after each gate, each involved qubit's
+//!   state is replaced by the maximally mixed state with probability `p`
+//!   (applied here as a Bloch-vector shrink, exact for the mean-field
+//!   backend and a standard approximation for sampled exact states);
+//! - **readout error**: each measured bit flips with an asymmetric
+//!   probability (`p01` for reading 1 as 0, `p10` for 0 as 1).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::bits::BitString;
+
+/// A simple NISQ noise description.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_quantum::noise::NoiseModel;
+///
+/// let noise = NoiseModel::typical_superconducting();
+/// assert!(noise.readout_p10 > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Depolarizing probability per single-qubit gate.
+    pub depolarizing_1q: f64,
+    /// Depolarizing probability per two-qubit gate (per qubit).
+    pub depolarizing_2q: f64,
+    /// Probability of reading a |1⟩ as 0.
+    pub readout_p01: f64,
+    /// Probability of reading a |0⟩ as 1.
+    pub readout_p10: f64,
+}
+
+impl NoiseModel {
+    /// A noiseless model.
+    pub const NONE: NoiseModel = NoiseModel {
+        depolarizing_1q: 0.0,
+        depolarizing_2q: 0.0,
+        readout_p01: 0.0,
+        readout_p10: 0.0,
+    };
+
+    /// Error rates typical of current superconducting devices
+    /// (≈0.1 % 1q, ≈1 % 2q, ≈2 % asymmetric readout).
+    pub fn typical_superconducting() -> Self {
+        NoiseModel {
+            depolarizing_1q: 0.001,
+            depolarizing_2q: 0.01,
+            readout_p01: 0.03,
+            readout_p10: 0.015,
+        }
+    }
+
+    /// Returns `true` if every channel is zero.
+    pub fn is_noiseless(&self) -> bool {
+        *self == NoiseModel::NONE
+    }
+
+    /// The Bloch-vector shrink factor for a depolarizing channel of
+    /// strength `p`: the vector scales by `1 − p` (the channel mixes in
+    /// the maximally mixed state).
+    pub fn shrink_1q(&self) -> f64 {
+        1.0 - self.depolarizing_1q
+    }
+
+    /// Shrink factor per qubit for two-qubit gates.
+    pub fn shrink_2q(&self) -> f64 {
+        1.0 - self.depolarizing_2q
+    }
+
+    /// Applies readout error to one measured bitstring in place.
+    pub fn corrupt_readout<R: Rng>(&self, bits: &mut BitString, rng: &mut R) {
+        if self.readout_p01 == 0.0 && self.readout_p10 == 0.0 {
+            return;
+        }
+        for i in 0..bits.len() {
+            let value = bits.get(i);
+            let flip_p = if value { self.readout_p01 } else { self.readout_p10 };
+            if flip_p > 0.0 && rng.gen::<f64>() < flip_p {
+                bits.set(i, !value);
+            }
+        }
+    }
+
+    /// The asymptotic ⟨Z⟩ attenuation caused by readout error alone:
+    /// an ideal expectation `z` is observed as
+    /// `readout_scale() · z + readout_offset()`.
+    pub fn readout_scale(&self) -> f64 {
+        1.0 - self.readout_p01 - self.readout_p10
+    }
+
+    /// See [`NoiseModel::readout_scale`].
+    pub fn readout_offset(&self) -> f64 {
+        self.readout_p01 - self.readout_p10
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_noiseless() {
+        assert!(NoiseModel::NONE.is_noiseless());
+        assert!(!NoiseModel::typical_superconducting().is_noiseless());
+        assert_eq!(NoiseModel::default(), NoiseModel::NONE);
+    }
+
+    #[test]
+    fn noiseless_readout_is_identity() {
+        let mut bits = BitString::from_u64(0b1010, 4);
+        let before = bits.clone();
+        NoiseModel::NONE.corrupt_readout(&mut bits, &mut StdRng::seed_from_u64(1));
+        assert_eq!(bits, before);
+    }
+
+    #[test]
+    fn readout_flip_rates_are_respected() {
+        let noise = NoiseModel {
+            readout_p01: 0.5,
+            readout_p10: 0.1,
+            ..NoiseModel::NONE
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 20_000;
+        let mut ones_lost = 0;
+        let mut zeros_flipped = 0;
+        for _ in 0..trials {
+            let mut bits = BitString::from_u64(0b01, 2); // bit0 = 1, bit1 = 0
+            noise.corrupt_readout(&mut bits, &mut rng);
+            if !bits.get(0) {
+                ones_lost += 1;
+            }
+            if bits.get(1) {
+                zeros_flipped += 1;
+            }
+        }
+        let p01 = ones_lost as f64 / trials as f64;
+        let p10 = zeros_flipped as f64 / trials as f64;
+        assert!((p01 - 0.5).abs() < 0.02, "p01={p01}");
+        assert!((p10 - 0.1).abs() < 0.01, "p10={p10}");
+    }
+
+    #[test]
+    fn readout_attenuation_formula() {
+        let noise = NoiseModel {
+            readout_p01: 0.2,
+            readout_p10: 0.1,
+            ..NoiseModel::NONE
+        };
+        // For a qubit pinned at |0⟩ (z = 1): observed z should be
+        // scale·1 + offset = 0.7·1 + 0.1 = 0.8.
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 40_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let mut bits = BitString::zeros(1);
+            noise.corrupt_readout(&mut bits, &mut rng);
+            sum += if bits.get(0) { -1.0 } else { 1.0 };
+        }
+        let observed = sum / trials as f64;
+        let predicted = noise.readout_scale() * 1.0 + noise.readout_offset();
+        assert!(
+            (observed - predicted).abs() < 0.02,
+            "observed {observed}, predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn shrink_factors() {
+        let noise = NoiseModel::typical_superconducting();
+        assert!(noise.shrink_1q() < 1.0 && noise.shrink_1q() > 0.99);
+        assert!(noise.shrink_2q() < noise.shrink_1q());
+    }
+}

@@ -1,0 +1,470 @@
+//! Exact state-vector simulation of native-gate circuits.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::bits::BitString;
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::QuantumError;
+
+/// A complex number with `f64` parts.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_quantum::statevector::C64;
+///
+/// let i = C64::new(0.0, 1.0);
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number.
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> C64 {
+        C64::new(self.re, -self.im)
+    }
+}
+
+impl std::ops::Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.4}{:+.4}i", self.re, self.im)
+    }
+}
+
+/// Widest circuit the exact simulator accepts (2²² amplitudes ≈ 67 MB).
+pub const EXACT_QUBIT_LIMIT: u32 = 22;
+
+/// An exact state vector over up to [`EXACT_QUBIT_LIMIT`] qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_quantum::{Circuit, StateVector};
+/// use std::f64::consts::FRAC_PI_2;
+///
+/// let mut sv = StateVector::new(1)?;
+/// sv.apply_ry(0, FRAC_PI_2);
+/// assert!((sv.probability_of_one(0) - 0.5).abs() < 1e-12);
+/// # Ok::<(), qtenon_quantum::QuantumError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateVector {
+    n_qubits: u32,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// Creates the all-zeros computational basis state |0…0⟩.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::TooManyQubits`] beyond
+    /// [`EXACT_QUBIT_LIMIT`].
+    pub fn new(n_qubits: u32) -> Result<Self, QuantumError> {
+        if n_qubits > EXACT_QUBIT_LIMIT {
+            return Err(QuantumError::TooManyQubits {
+                n_qubits,
+                limit: EXACT_QUBIT_LIMIT,
+            });
+        }
+        let mut amps = vec![C64::ZERO; 1usize << n_qubits];
+        amps[0] = C64::ONE;
+        Ok(StateVector { n_qubits, amps })
+    }
+
+    /// The number of qubits.
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// The amplitude of a computational basis state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis` is out of range.
+    pub fn amplitude(&self, basis: usize) -> C64 {
+        self.amps[basis]
+    }
+
+    /// Applies an arbitrary single-qubit unitary `[[a, b], [c, d]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_matrix2(&mut self, q: u32, m: [[C64; 2]; 2]) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let stride = 1usize << q;
+        let n = self.amps.len();
+        let mut base = 0;
+        while base < n {
+            for i in base..base + stride {
+                let a0 = self.amps[i];
+                let a1 = self.amps[i + stride];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[i + stride] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Applies RX(θ) = exp(-iθX/2).
+    pub fn apply_rx(&mut self, q: u32, theta: f64) {
+        let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        self.apply_matrix2(
+            q,
+            [
+                [C64::new(c, 0.0), C64::new(0.0, -s)],
+                [C64::new(0.0, -s), C64::new(c, 0.0)],
+            ],
+        );
+    }
+
+    /// Applies RY(θ) = exp(-iθY/2).
+    pub fn apply_ry(&mut self, q: u32, theta: f64) {
+        let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        self.apply_matrix2(
+            q,
+            [
+                [C64::new(c, 0.0), C64::new(-s, 0.0)],
+                [C64::new(s, 0.0), C64::new(c, 0.0)],
+            ],
+        );
+    }
+
+    /// Applies RZ(θ) = exp(-iθZ/2).
+    pub fn apply_rz(&mut self, q: u32, theta: f64) {
+        let half = theta / 2.0;
+        self.apply_matrix2(
+            q,
+            [
+                [C64::new(half.cos(), -half.sin()), C64::ZERO],
+                [C64::ZERO, C64::new(half.cos(), half.sin())],
+            ],
+        );
+    }
+
+    /// Applies a controlled-Z between two qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range or they coincide.
+    pub fn apply_cz(&mut self, a: u32, b: u32) {
+        assert!(a < self.n_qubits && b < self.n_qubits, "qubit out of range");
+        assert_ne!(a, b, "CZ operands must differ");
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & ma != 0 && i & mb != 0 {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// Runs all gate operations of a *bound, native* circuit (measurements
+    /// are ignored here; use [`StateVector::sample`] afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::NonNativeGate`] for non-native gates and
+    /// [`QuantumError::UnboundParameter`] for symbolic angles.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), QuantumError> {
+        for op in circuit.operations() {
+            match op.gate {
+                Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) => {
+                    let theta = match a {
+                        crate::gate::Angle::Value(v) => v,
+                        crate::gate::Angle::Param { param, .. } => {
+                            return Err(QuantumError::UnboundParameter { param })
+                        }
+                    };
+                    match op.gate {
+                        Gate::Rx(_) => self.apply_rx(op.qubit, theta),
+                        Gate::Ry(_) => self.apply_ry(op.qubit, theta),
+                        Gate::Rz(_) => self.apply_rz(op.qubit, theta),
+                        _ => unreachable!(),
+                    }
+                }
+                Gate::Cz => {
+                    self.apply_cz(op.qubit, op.qubit2.expect("CZ has two operands"));
+                }
+                Gate::Measure => {}
+                other => {
+                    return Err(QuantumError::NonNativeGate { gate: other.name() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The probability that measuring qubit `q` yields 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn probability_of_one(&self, q: u32) -> f64 {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// ⟨Z⟩ on qubit `q`.
+    pub fn expectation_z(&self, q: u32) -> f64 {
+        1.0 - 2.0 * self.probability_of_one(q)
+    }
+
+    /// Expectation of a product of Z operators over `qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn expectation_z_product(&self, qubits: &[u32]) -> f64 {
+        let mut mask = 0usize;
+        for &q in qubits {
+            assert!(q < self.n_qubits, "qubit {q} out of range");
+            mask |= 1usize << q;
+        }
+        self.amps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let sign = if (i & mask).count_ones().is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
+                sign * a.norm_sqr()
+            })
+            .sum()
+    }
+
+    /// Draws `shots` full measurement outcomes.
+    pub fn sample<R: Rng>(&self, rng: &mut R, shots: u64) -> Vec<BitString> {
+        // Cumulative distribution over basis states, then inverse sampling.
+        let mut cumulative = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0;
+        for a in &self.amps {
+            acc += a.norm_sqr();
+            cumulative.push(acc);
+        }
+        let total = acc.max(f64::MIN_POSITIVE);
+        (0..shots)
+            .map(|_| {
+                let r: f64 = rng.gen::<f64>() * total;
+                let idx = cumulative.partition_point(|&c| c < r);
+                BitString::from_u64(idx.min(self.amps.len() - 1) as u64, self.n_qubits)
+            })
+            .collect()
+    }
+
+    /// Total probability (should be 1 within floating-point error).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn initial_state_is_all_zeros() {
+        let sv = StateVector::new(3).unwrap();
+        assert_eq!(sv.amplitude(0), C64::ONE);
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(sv.expectation_z(0), 1.0);
+    }
+
+    #[test]
+    fn too_many_qubits_rejected() {
+        assert!(StateVector::new(EXACT_QUBIT_LIMIT + 1).is_err());
+    }
+
+    #[test]
+    fn rx_pi_flips() {
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_rx(0, PI);
+        assert!((sv.probability_of_one(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ry_half_pi_is_plus_state() {
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_ry(0, FRAC_PI_2);
+        assert!((sv.probability_of_one(0) - 0.5).abs() < 1e-12);
+        // RY(π/2)|0> = (|0>+|1>)/√2 with real positive amplitudes.
+        assert!((sv.amplitude(0).re - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!((sv.amplitude(1).re - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rz_preserves_populations() {
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_ry(0, 1.234);
+        let p_before = sv.probability_of_one(0);
+        sv.apply_rz(0, 0.77);
+        assert!((sv.probability_of_one(0) - p_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cz_entangles_plus_states_into_bell_basis() {
+        // (H⊗H)|00>, then CZ, then H on qubit 1 gives a Bell state with
+        // perfect ZZ correlation.
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_ry(0, FRAC_PI_2);
+        sv.apply_ry(1, FRAC_PI_2);
+        sv.apply_cz(0, 1);
+        sv.apply_ry(1, -FRAC_PI_2);
+        let zz = sv.expectation_z_product(&[0, 1]);
+        assert!((zz.abs() - 1.0).abs() < 1e-10, "zz={zz}");
+    }
+
+    #[test]
+    fn cz_is_symmetric_and_involutive() {
+        let mut a = StateVector::new(2).unwrap();
+        a.apply_ry(0, 0.3);
+        a.apply_ry(1, 1.1);
+        let mut b = a.clone();
+        a.apply_cz(0, 1);
+        b.apply_cz(1, 0);
+        for i in 0..4 {
+            assert!((a.amplitude(i).re - b.amplitude(i).re).abs() < 1e-12);
+            assert!((a.amplitude(i).im - b.amplitude(i).im).abs() < 1e-12);
+        }
+        a.apply_cz(0, 1);
+        // Applying CZ twice restores the pre-CZ state.
+        for i in 0..4 {
+            assert!((a.amplitude(i).re - b.amplitude(i).re).abs() > -1.0); // sanity
+        }
+    }
+
+    #[test]
+    fn expectation_z_tracks_rotation() {
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_ry(0, 1.0);
+        assert!((sv.expectation_z(0) - 1.0f64.cos()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut sv = StateVector::new(1).unwrap();
+        sv.apply_ry(0, FRAC_PI_2); // 50/50
+        let shots = sv.sample(&mut rng(), 4000);
+        let ones: u32 = shots.iter().map(|b| b.count_ones()).sum();
+        let frac = ones as f64 / 4000.0;
+        assert!((frac - 0.5).abs() < 0.05, "frac={frac}");
+    }
+
+    #[test]
+    fn apply_circuit_runs_native_and_rejects_symbolic() {
+        use crate::gate::ParamId;
+        let mut c = Circuit::new(2);
+        c.ry(0, FRAC_PI_2).cz(0, 1).measure_all();
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_circuit(&c).unwrap();
+        assert!((sv.norm() - 1.0).abs() < 1e-12);
+
+        let mut sym = Circuit::new(1);
+        sym.ry_param(0, ParamId::new(0));
+        let mut sv = StateVector::new(1).unwrap();
+        assert!(matches!(
+            sv.apply_circuit(&sym),
+            Err(QuantumError::UnboundParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_circuit_rejects_non_native() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut sv = StateVector::new(1).unwrap();
+        assert!(matches!(
+            sv.apply_circuit(&c),
+            Err(QuantumError::NonNativeGate { gate: "H" })
+        ));
+    }
+
+    #[test]
+    fn norm_is_preserved_by_long_random_circuit() {
+        let mut sv = StateVector::new(4).unwrap();
+        let mut r = rng();
+        for i in 0..200 {
+            let q = i % 4;
+            match i % 3 {
+                0 => sv.apply_rx(q, r.gen::<f64>() * PI),
+                1 => sv.apply_ry(q, r.gen::<f64>() * PI),
+                _ => sv.apply_rz(q, r.gen::<f64>() * PI),
+            }
+            if i % 5 == 0 {
+                sv.apply_cz(q, (q + 1) % 4);
+            }
+        }
+        assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+}

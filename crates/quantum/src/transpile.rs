@@ -1,0 +1,217 @@
+//! Lowering logical circuits to the chip-native gate set.
+//!
+//! The Qtenon chip natively executes `{RX, RY, RZ, CZ}` plus measurement
+//! (Section 7.1's benchmarks are all expressed this way: QAOA's standard
+//! ansatz, VQE's hardware-efficient ansatz, and QNN's alternating RY/CZ
+//! layers). [`to_native`] rewrites every non-native gate into that set, up
+//! to global phase:
+//!
+//! - `H → RZ(π) · RY(π/2)`;
+//! - `X → RX(π)`, `Y → RY(π)`, `Z → RZ(π)`, `S → RZ(π/2)`, `T → RZ(π/4)`;
+//! - `CX(c, t) → H(t) · CZ(c, t) · H(t)` with the `H`s expanded.
+
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+use crate::circuit::{Circuit, Operation};
+use crate::gate::{Angle, Gate};
+use crate::QuantumError;
+
+/// Rewrites `circuit` into the native gate set.
+///
+/// Symbolic (parameterised) rotations pass through untouched, so circuits
+/// can be transpiled once and bound many times — exactly the property
+/// Qtenon's incremental compilation exploits.
+///
+/// # Errors
+///
+/// Returns [`QuantumError`] only via internal pushes, which cannot fail
+/// for a well-formed input circuit.
+pub fn to_native(circuit: &Circuit) -> Result<Circuit, QuantumError> {
+    let mut out = Circuit::new(circuit.n_qubits());
+    for op in circuit.operations() {
+        lower(op, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn lower(op: &Operation, out: &mut Circuit) -> Result<(), QuantumError> {
+    let q = op.qubit;
+    match op.gate {
+        Gate::Rx(_) | Gate::Ry(_) | Gate::Rz(_) | Gate::Cz | Gate::Measure => {
+            out.push(*op)?;
+        }
+        Gate::H => {
+            push_h(out, q)?;
+        }
+        Gate::X => {
+            push_rot(out, q, Gate::Rx(Angle::Value(PI)))?;
+        }
+        Gate::Y => {
+            push_rot(out, q, Gate::Ry(Angle::Value(PI)))?;
+        }
+        Gate::Z => {
+            push_rot(out, q, Gate::Rz(Angle::Value(PI)))?;
+        }
+        Gate::S => {
+            push_rot(out, q, Gate::Rz(Angle::Value(FRAC_PI_2)))?;
+        }
+        Gate::T => {
+            push_rot(out, q, Gate::Rz(Angle::Value(FRAC_PI_4)))?;
+        }
+        Gate::Cx => {
+            let t = op.qubit2.expect("CX has two operands");
+            push_h(out, t)?;
+            out.push(Operation {
+                gate: Gate::Cz,
+                qubit: q,
+                qubit2: Some(t),
+            })?;
+            push_h(out, t)?;
+        }
+    }
+    Ok(())
+}
+
+fn push_rot(out: &mut Circuit, q: u32, gate: Gate) -> Result<(), QuantumError> {
+    out.push(Operation {
+        gate,
+        qubit: q,
+        qubit2: None,
+    })?;
+    Ok(())
+}
+
+fn push_h(out: &mut Circuit, q: u32) -> Result<(), QuantumError> {
+    // H ≅ RY(π/2) ∘ RZ(π): apply RZ(π) first, then RY(π/2).
+    push_rot(out, q, Gate::Rz(Angle::Value(PI)))?;
+    push_rot(out, q, Gate::Ry(Angle::Value(FRAC_PI_2)))?;
+    Ok(())
+}
+
+/// Returns `true` if every gate in `circuit` is native.
+pub fn is_native(circuit: &Circuit) -> bool {
+    circuit.operations().iter().all(|op| op.gate.is_native())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::ParamId;
+    use crate::statevector::StateVector;
+
+    fn run(circuit: &Circuit) -> StateVector {
+        let native = to_native(circuit).unwrap();
+        assert!(is_native(&native));
+        let mut sv = StateVector::new(circuit.n_qubits()).unwrap();
+        sv.apply_circuit(&native).unwrap();
+        sv
+    }
+
+    #[test]
+    fn h_gives_uniform_superposition() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let sv = run(&c);
+        assert!((sv.probability_of_one(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_twice_is_identity() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        let sv = run(&c);
+        assert!(sv.probability_of_one(0) < 1e-12);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let sv = run(&c);
+        assert!((sv.probability_of_one(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s_phase_detected_by_ramsey() {
+        // H · S · H |0⟩ has p(1) = 1/2 (S rotates the equator by π/2).
+        let mut c = Circuit::new(1);
+        c.h(0)
+            .push(Operation {
+                gate: Gate::S,
+                qubit: 0,
+                qubit2: None,
+            })
+            .unwrap()
+            .h(0);
+        let sv = run(&c);
+        assert!((sv.probability_of_one(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_phase_detected_by_ramsey() {
+        // H · T · H |0⟩ has p(1) = sin²(π/8).
+        let mut c = Circuit::new(1);
+        c.h(0)
+            .push(Operation {
+                gate: Gate::T,
+                qubit: 0,
+                qubit2: None,
+            })
+            .unwrap()
+            .h(0);
+        let sv = run(&c);
+        let expected = (PI / 8.0).sin().powi(2);
+        assert!((sv.probability_of_one(0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_builds_bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = run(&c);
+        // Perfect ZZ correlation, maximally mixed marginals.
+        assert!((sv.expectation_z_product(&[0, 1]) - 1.0).abs() < 1e-10);
+        assert!((sv.probability_of_one(0) - 0.5).abs() < 1e-10);
+        assert!((sv.probability_of_one(1) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        // |10⟩ → |11⟩ (control = qubit 0).
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        let sv = run(&c);
+        assert!((sv.probability_of_one(1) - 1.0).abs() < 1e-10);
+        // |00⟩ → |00⟩.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let sv = run(&c);
+        assert!(sv.probability_of_one(1) < 1e-10);
+    }
+
+    #[test]
+    fn parameterised_gates_pass_through() {
+        let mut c = Circuit::new(1);
+        c.ry_param(0, ParamId::new(0));
+        let native = to_native(&c).unwrap();
+        assert_eq!(native.num_params(), 1);
+        assert_eq!(native.operations().len(), 1);
+    }
+
+    #[test]
+    fn native_circuits_are_untouched() {
+        let mut c = Circuit::new(2);
+        c.rx(0, 0.2).cz(0, 1).measure_all();
+        let native = to_native(&c).unwrap();
+        assert_eq!(native, c);
+    }
+
+    #[test]
+    fn gate_counts_grow_as_expected() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let native = to_native(&c).unwrap();
+        // H -> 2 gates; CX -> 2 + 1 + 2 gates.
+        assert_eq!(native.operations().len(), 7);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the quantum substrate's invariants.
+
+use proptest::prelude::*;
+
+use qtenon_quantum::sim::MeanFieldState;
+use qtenon_quantum::{Circuit, CircuitTiming, GateTimes, Hamiltonian, PauliTerm, StateVector};
+
+proptest! {
+    #[test]
+    fn statevector_norm_invariant_under_random_rotations(
+        gates in prop::collection::vec((0u8..4, 0u32..3, -7.0f64..7.0), 0..60)
+    ) {
+        let mut sv = StateVector::new(3).unwrap();
+        for (kind, q, theta) in gates {
+            match kind {
+                0 => sv.apply_rx(q, theta),
+                1 => sv.apply_ry(q, theta),
+                2 => sv.apply_rz(q, theta),
+                _ => sv.apply_cz(q, (q + 1) % 3),
+            }
+        }
+        prop_assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_field_agrees_with_exact_on_single_qubit_chains(
+        gates in prop::collection::vec((0u8..3, -7.0f64..7.0), 0..40)
+    ) {
+        let mut sv = StateVector::new(1).unwrap();
+        let mut mf = MeanFieldState::new(1);
+        for (kind, theta) in gates {
+            match kind {
+                0 => { sv.apply_rx(0, theta); mf.apply_rx(0, theta); }
+                1 => { sv.apply_ry(0, theta); mf.apply_ry(0, theta); }
+                _ => { sv.apply_rz(0, theta); mf.apply_rz(0, theta); }
+            }
+        }
+        prop_assert!((sv.expectation_z(0) - mf.expectation_z(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn z_expectations_bounded(
+        gates in prop::collection::vec((0u8..4, 0u32..4, -7.0f64..7.0), 0..60)
+    ) {
+        let mut mf = MeanFieldState::new(4);
+        for (kind, q, theta) in gates {
+            match kind {
+                0 => mf.apply_rx(q, theta),
+                1 => mf.apply_ry(q, theta),
+                2 => mf.apply_rz(q, theta),
+                _ => mf.apply_cz(q, (q + 1) % 4),
+            }
+        }
+        for q in 0..4 {
+            let z = mf.expectation_z(q);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&z));
+        }
+    }
+
+    #[test]
+    fn circuit_duration_bounds(
+        thetas in prop::collection::vec(-3.0f64..3.0, 1..20),
+    ) {
+        // Duration is at least the longest per-qubit path and at most the
+        // serial sum.
+        let mut c = Circuit::new(2);
+        for (i, &t) in thetas.iter().enumerate() {
+            c.ry((i % 2) as u32, t);
+            if i % 3 == 0 {
+                c.cz(0, 1);
+            }
+        }
+        let timing = CircuitTiming::of(&c, &GateTimes::default());
+        prop_assert!(timing.shot_duration <= timing.total_gate_time);
+        prop_assert!(timing.shot_duration.as_ns() * 2.0 + 1e-9 >= timing.total_gate_time.as_ns());
+    }
+
+    #[test]
+    fn hamiltonian_expectation_bounded_by_coefficients(
+        coeffs in prop::collection::vec(-5.0f64..5.0, 1..10),
+        bits in any::<u64>(),
+    ) {
+        let terms: Vec<PauliTerm> = coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| PauliTerm::z((i % 8) as u32, w))
+            .collect();
+        let h = Hamiltonian::new(8, terms, 0.0);
+        let shot = qtenon_quantum::BitString::from_u64(bits, 8);
+        let bound: f64 = coeffs.iter().map(|w| w.abs()).sum();
+        prop_assert!(h.value_on(&shot).abs() <= bound + 1e-9);
+    }
+
+    #[test]
+    fn binding_is_idempotent(params in prop::collection::vec(-3.0f64..3.0, 3)) {
+        use qtenon_quantum::ParamId;
+        let mut c = Circuit::new(3);
+        for q in 0..3u32 {
+            c.ry_param(q, ParamId::new(q));
+        }
+        let bound = c.bind(&params).unwrap();
+        let rebound = bound.bind(&[]).unwrap();
+        prop_assert_eq!(bound, rebound);
+    }
+}

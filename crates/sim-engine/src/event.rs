@@ -1,0 +1,184 @@
+//! Deterministic timestamped event queue.
+//!
+//! The component models (controller pipeline, bus, SerDes) are simulated by
+//! draining an [`EventQueue`]: events fire in timestamp order, and events
+//! that share a timestamp fire in insertion order, so runs are fully
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending event: ordered by time, then by insertion sequence.
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first, breaking ties by insertion order.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_sim_engine::{EventQueue, SimTime, SimDuration};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::ZERO + SimDuration::from_ns(10), "b");
+/// q.push(SimTime::ZERO + SimDuration::from_ns(10), "c");
+/// q.push(SimTime::ZERO + SimDuration::from_ns(5), "a");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the simulation clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    ///
+    /// Scheduling in the past is a logic error in a component model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the time of the last popped event.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        assert!(time >= self.now, "event scheduled in the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        self.now = ev.time;
+        Some((ev.time, ev.payload))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|ev| ev.time)
+    }
+
+    /// The time of the most recently popped event (time zero initially).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(at(30), 3);
+        q.push(at(10), 1);
+        q.push(at(20), 2);
+        assert_eq!(q.pop(), Some((at(10), 1)));
+        assert_eq!(q.pop(), Some((at(20), 2)));
+        assert_eq!(q.pop(), Some((at(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(at(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.push(at(7), ());
+        q.pop();
+        assert_eq!(q.now(), at(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(at(10), ());
+        q.pop();
+        q.push(at(5), ());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(at(4), ());
+        q.push(at(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(at(2)));
+    }
+}

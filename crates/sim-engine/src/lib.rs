@@ -1,0 +1,39 @@
+//! Discrete-event simulation kernel for the Qtenon reproduction.
+//!
+//! This crate is the timing substrate every other Qtenon crate builds on. It
+//! provides:
+//!
+//! - [`SimTime`] and [`SimDuration`]: picosecond-resolution simulation time,
+//!   so that a 2 GHz DAC (0.5 ns period) and a 1 GHz host core can coexist
+//!   without rounding error;
+//! - [`ClockDomain`]: frequency-aware cycle/time conversion for the paper's
+//!   three clock domains (1 GHz host, 200 MHz controller SRAM, 2 GHz DAC);
+//! - [`EventQueue`]: a deterministic priority queue of timestamped events
+//!   with stable FIFO ordering among simultaneous events;
+//! - [`stats`]: counters and tallies used by the component models;
+//! - [`opcount`]: the abstract-operation counter that drives the host core
+//!   cost models.
+//!
+//! # Examples
+//!
+//! ```
+//! use qtenon_sim_engine::{ClockDomain, EventQueue, SimTime};
+//!
+//! let host = ClockDomain::from_ghz(1.0);
+//! let mut queue = EventQueue::new();
+//! queue.push(SimTime::ZERO + host.cycles(3), "pulse ready");
+//! queue.push(SimTime::ZERO + host.cycles(1), "request issued");
+//! assert_eq!(queue.pop().unwrap().1, "request issued");
+//! ```
+
+pub mod clock;
+pub mod event;
+pub mod opcount;
+pub mod stats;
+pub mod time;
+
+pub use clock::ClockDomain;
+pub use event::EventQueue;
+pub use opcount::{OpClass, OpCounter};
+pub use stats::{Counter, Tally};
+pub use time::{SimDuration, SimTime};

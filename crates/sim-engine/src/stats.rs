@@ -1,0 +1,186 @@
+//! Lightweight statistics used by component models.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_sim_engine::Counter;
+///
+/// let mut hits = Counter::new();
+/// hits.add(3);
+/// hits.incr();
+/// assert_eq!(hits.count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// The current count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.count)
+    }
+}
+
+/// Running min/max/mean tally over observed samples.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_sim_engine::Tally;
+///
+/// let mut occupancy = Tally::new();
+/// for v in [2.0, 4.0, 6.0] {
+///     occupancy.observe(v);
+/// }
+/// assert_eq!(occupancy.mean(), Some(4.0));
+/// assert_eq!(occupancy.max(), Some(6.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Tally {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Tally::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: f64) {
+        if self.n == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.n += 1;
+        self.sum += v;
+    }
+
+    /// The number of samples observed.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns `true` if no samples have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+
+    /// Smallest observed sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observed sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl fmt::Display for Tally {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={:.3} min={:.3} max={:.3}",
+                self.n, mean, self.min, self.max
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        assert_eq!(c.count(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.count(), 10);
+        c.reset();
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn tally_tracks_extrema_and_mean() {
+        let mut t = Tally::new();
+        assert!(t.is_empty());
+        assert_eq!(t.mean(), None);
+        t.observe(5.0);
+        t.observe(-1.0);
+        t.observe(2.0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.min(), Some(-1.0));
+        assert_eq!(t.max(), Some(5.0));
+        assert_eq!(t.mean(), Some(2.0));
+        assert_eq!(t.sum(), 6.0);
+    }
+
+    #[test]
+    fn tally_single_sample() {
+        let mut t = Tally::new();
+        t.observe(7.5);
+        assert_eq!(t.min(), Some(7.5));
+        assert_eq!(t.max(), Some(7.5));
+        assert_eq!(t.mean(), Some(7.5));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Tally::new().to_string(), "n=0");
+        assert_eq!(Counter::new().to_string(), "0");
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the simulation kernel's data structures.
+
+use proptest::prelude::*;
+
+use qtenon_sim_engine::{ClockDomain, EventQueue, OpClass, OpCounter, SimDuration, SimTime, Tally};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::ZERO + SimDuration::from_ns(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut current = None;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= last_time, "times must be non-decreasing");
+            if current == Some(t) {
+                // FIFO among equal timestamps: indices increase.
+                prop_assert!(seen_at_time.last().is_none_or(|&prev| prev < idx));
+            } else {
+                current = Some(t);
+                seen_at_time.clear();
+            }
+            seen_at_time.push(idx);
+            last_time = t;
+        }
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let da = SimDuration::from_ps(a);
+        let db = SimDuration::from_ps(b);
+        prop_assert_eq!((da + db).as_ps(), a + b);
+        prop_assert_eq!(da.saturating_sub(db).as_ps(), a.saturating_sub(b));
+        prop_assert_eq!(da.max(db).as_ps(), a.max(b));
+        prop_assert_eq!(da.min(db).as_ps(), a.min(b));
+    }
+
+    #[test]
+    fn clock_cycles_round_trip(freq_mhz in 1.0f64..4_000.0, cycles in 1u64..1_000_000) {
+        let clock = ClockDomain::from_mhz(freq_mhz);
+        let d = clock.cycles(cycles);
+        // cycles_in rounds up, so the round trip is exact on multiples.
+        prop_assert_eq!(clock.cycles_in(d), cycles);
+        // One picosecond more needs one more cycle.
+        prop_assert_eq!(clock.cycles_in(d + SimDuration::from_ps(1)), cycles + 1);
+    }
+
+    #[test]
+    fn op_counter_addition_is_commutative(
+        a in prop::collection::vec(0u64..1_000, 5),
+        b in prop::collection::vec(0u64..1_000, 5),
+    ) {
+        let mut ca = OpCounter::new();
+        let mut cb = OpCounter::new();
+        for (i, class) in OpClass::ALL.iter().enumerate() {
+            ca.record(*class, a[i]);
+            cb.record(*class, b[i]);
+        }
+        prop_assert_eq!(ca + cb, cb + ca);
+        prop_assert_eq!((ca + cb).total(), ca.total() + cb.total());
+        prop_assert_eq!(ca.scaled(3).total(), 3 * ca.total());
+    }
+
+    #[test]
+    fn tally_bounds_hold(samples in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut t = Tally::new();
+        for &s in &samples {
+            t.observe(s);
+        }
+        let mean = t.mean().unwrap();
+        prop_assert!(t.min().unwrap() <= mean + 1e-9);
+        prop_assert!(mean <= t.max().unwrap() + 1e-9);
+        prop_assert_eq!(t.len() as usize, samples.len());
+    }
+}

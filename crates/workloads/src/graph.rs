@@ -1,0 +1,193 @@
+//! Problem graphs for MAX-CUT workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An undirected weighted graph on `n` vertices.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_workloads::Graph;
+///
+/// let ring = Graph::ring(6);
+/// assert_eq!(ring.edges().len(), 6);
+/// assert_eq!(ring.max_degree(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    n: u32,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl Graph {
+    /// Creates a graph from an explicit edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a vertex ≥ `n` or is a self-loop.
+    pub fn new(n: u32, edges: Vec<(u32, u32, f64)>) -> Self {
+        for &(u, v, _) in &edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range");
+            assert_ne!(u, v, "self-loop at {u}");
+        }
+        Graph { n, edges }
+    }
+
+    /// The unit-weight cycle graph C_n.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: u32) -> Self {
+        assert!(n >= 3, "ring needs at least 3 vertices");
+        let edges = (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
+        Graph { n, edges }
+    }
+
+    /// A deterministic 3-regular graph: the ring plus diameter chords.
+    /// This is the MAX-CUT instance family used for the QAOA benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is odd or `n < 4`.
+    pub fn circulant_3_regular(n: u32) -> Self {
+        assert!(n >= 4 && n.is_multiple_of(2), "3-regular circulant needs even n ≥ 4");
+        let mut edges: Vec<(u32, u32, f64)> = (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
+        for i in 0..n / 2 {
+            edges.push((i, i + n / 2, 1.0));
+        }
+        Graph { n, edges }
+    }
+
+    /// An Erdős–Rényi graph with edge probability `p` and seeded,
+    /// reproducible randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn erdos_renyi(n: u32, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < p {
+                    edges.push((u, v, 1.0));
+                }
+            }
+        }
+        Graph { n, edges }
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> u32 {
+        self.n
+    }
+
+    /// The edge list.
+    pub fn edges(&self) -> &[(u32, u32, f64)] {
+        &self.edges
+    }
+
+    /// The maximum vertex degree.
+    pub fn max_degree(&self) -> usize {
+        let mut deg = vec![0usize; self.n as usize];
+        for &(u, v, _) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        deg.into_iter().max().unwrap_or(0)
+    }
+
+    /// Greedy edge coloring: partitions the edges into matchings
+    /// (vertex-disjoint groups). QAOA cost terms commute, so each
+    /// matching's two-qubit interactions run in parallel on hardware —
+    /// without this, a ring's edges would serialize into a wavefront.
+    pub fn matchings(&self) -> Vec<Vec<(u32, u32, f64)>> {
+        let mut groups: Vec<Vec<(u32, u32, f64)>> = Vec::new();
+        let mut used: Vec<Vec<bool>> = Vec::new();
+        for &(u, v, w) in &self.edges {
+            let slot = (0..groups.len())
+                .find(|&g| !used[g][u as usize] && !used[g][v as usize])
+                .unwrap_or_else(|| {
+                    groups.push(Vec::new());
+                    used.push(vec![false; self.n as usize]);
+                    groups.len() - 1
+                });
+            groups[slot].push((u, v, w));
+            used[slot][u as usize] = true;
+            used[slot][v as usize] = true;
+        }
+        groups
+    }
+
+    /// The cut value of a vertex bipartition given as a bitmask over
+    /// word-packed vertices (vertex `i` on side `bits[i]`).
+    pub fn cut_value(&self, side: &[bool]) -> f64 {
+        self.edges
+            .iter()
+            .filter(|&&(u, v, _)| side[u as usize] != side[v as usize])
+            .map(|&(_, _, w)| w)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_structure() {
+        let g = Graph::ring(5);
+        assert_eq!(g.n_vertices(), 5);
+        assert_eq!(g.edges().len(), 5);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn circulant_is_3_regular() {
+        for n in [4u32, 8, 16, 64] {
+            let g = Graph::circulant_3_regular(n);
+            assert_eq!(g.edges().len() as u32, n + n / 2);
+            assert_eq!(g.max_degree(), 3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic() {
+        let a = Graph::erdos_renyi(20, 0.3, 7);
+        let b = Graph::erdos_renyi(20, 0.3, 7);
+        assert_eq!(a, b);
+        let c = Graph::erdos_renyi(20, 0.3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn erdos_renyi_extreme_probabilities() {
+        assert!(Graph::erdos_renyi(10, 0.0, 1).edges().is_empty());
+        assert_eq!(Graph::erdos_renyi(10, 1.0, 1).edges().len(), 45);
+    }
+
+    #[test]
+    fn cut_value_counts_crossing_edges() {
+        let g = Graph::ring(4);
+        // Alternating sides cut every edge.
+        assert_eq!(g.cut_value(&[true, false, true, false]), 4.0);
+        assert_eq!(g.cut_value(&[true, true, true, true]), 0.0);
+        assert_eq!(g.cut_value(&[true, true, false, false]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let _ = Graph::new(3, vec![(1, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even n")]
+    fn odd_circulant_rejected() {
+        let _ = Graph::circulant_3_regular(5);
+    }
+}

@@ -1,0 +1,67 @@
+//! NISQ noise study: how gate and readout errors degrade a VQA's cost
+//! landscape, and where the readout error physically comes from.
+//!
+//! Runs the same VQE instance on an ideal chip and on chips with
+//! increasing noise, then relates the observed readout error to the
+//! controller's IQ-discrimination unit.
+//!
+//! ```text
+//! cargo run --release --example noise_study
+//! ```
+
+use qtenon::controller::readout::ReadoutProcessor;
+use qtenon::quantum::noise::NoiseModel;
+use qtenon::quantum::sim::Simulator;
+use qtenon::workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 12;
+    let workload = Workload::vqe(n, 5)?;
+    let bound = workload.circuit.bind(&workload.initial_params)?;
+    let shots = 4000;
+
+    println!("VQE-{n} energy under increasing noise ({shots} shots):");
+    let noiseless = NoiseModel::NONE;
+    let mild = NoiseModel {
+        depolarizing_1q: 0.0005,
+        depolarizing_2q: 0.005,
+        readout_p01: 0.01,
+        readout_p10: 0.005,
+    };
+    let typical = NoiseModel::typical_superconducting();
+    let harsh = NoiseModel {
+        depolarizing_1q: 0.005,
+        depolarizing_2q: 0.05,
+        readout_p01: 0.08,
+        readout_p10: 0.05,
+    };
+    for (name, noise) in [
+        ("ideal   ", noiseless),
+        ("mild    ", mild),
+        ("typical ", typical),
+        ("harsh   ", harsh),
+    ] {
+        let mut sim = Simulator::mean_field(n, 7).with_noise(noise);
+        let samples = sim.run(&bound, shots)?;
+        let cost = workload.hamiltonian.expectation_from_shots(&samples);
+        println!("  {name} energy {cost:>8.4}");
+    }
+
+    // Where readout error comes from: the controller's IQ discriminator.
+    println!("\nreadout discrimination (controller's data processor):");
+    for sigma in [0.2, 0.35, 0.5, 0.8] {
+        let unit = ReadoutProcessor {
+            sigma,
+            ..ReadoutProcessor::default()
+        };
+        println!(
+            "  sigma {sigma:.2}: SNR {:>5.2} → assignment error {:>8.5} (latency {})",
+            unit.separation_snr(),
+            unit.expected_error_rate(),
+            unit.latency()
+        );
+    }
+    println!("\nNoisier integration (higher sigma) is exactly what the");
+    println!("aggregate readout_p01/p10 channels in NoiseModel describe.");
+    Ok(())
+}

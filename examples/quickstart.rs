@@ -1,0 +1,51 @@
+//! Quickstart: run one hybrid quantum-classical workload on the Qtenon
+//! system and print where the time went.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qtenon::core::config::{CoreModel, QtenonConfig};
+use qtenon::core::vqa::VqaRunner;
+use qtenon::workloads::{SpsaOptimizer, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Table-4 hardware at 16 qubits with a Rocket host core.
+    let config = QtenonConfig::table4(16, CoreModel::Rocket)?;
+
+    // A 16-qubit QAOA MAX-CUT instance with three layers.
+    let workload = Workload::qaoa(16, 3, 7)?;
+    println!(
+        "workload: {} on {} qubits, {} parameters, {} native gates",
+        workload.kind,
+        workload.n_qubits(),
+        workload.num_params(),
+        workload.circuit.operations().len()
+    );
+
+    // Optimise for five iterations of SPSA at 200 shots per evaluation.
+    let mut runner = VqaRunner::new(config, workload)?;
+    let mut optimizer = SpsaOptimizer::new(7);
+    let report = runner.run(&mut optimizer, 5, 200)?;
+
+    println!("\nend-to-end time: {}", report.total);
+    let [q, c, p, h] = report.exposed_shares();
+    println!("  quantum execution   {:>6.2}%", q * 100.0);
+    println!("  quantum-host comm.  {:>6.2}%", c * 100.0);
+    println!("  pulse generation    {:>6.2}%", p * 100.0);
+    println!("  host computation    {:>6.2}%", h * 100.0);
+
+    println!("\ninstructions: {} dynamic / {} static", report.dynamic_instructions, report.static_instructions);
+    println!(
+        "pulse cache: {} lookups, {:.1}% skipped ({} pulses actually computed)",
+        report.slt.lookups,
+        report.pulse_reduction * 100.0,
+        report.pulses_generated
+    );
+
+    println!("\ncost per iteration (lower is better):");
+    for (i, cost) in report.cost_history.iter().enumerate() {
+        println!("  iter {:>2}: {cost:>8.4}", i + 1);
+    }
+    Ok(())
+}

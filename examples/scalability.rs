@@ -1,0 +1,49 @@
+//! Scalability study: Qtenon from 64 to 320 qubits (Fig. 17 in
+//! miniature).
+//!
+//! Sweeps the qubit count, printing communication time, classical time,
+//! and the quantum share of the wall clock — demonstrating that the
+//! design keeps quantum execution dominant as the system grows.
+//!
+//! ```text
+//! cargo run --release --example scalability
+//! ```
+
+use qtenon::core::config::{CoreModel, QtenonConfig};
+use qtenon::core::vqa::VqaRunner;
+use qtenon::isa::{QccLayout, Segment};
+use qtenon::workloads::{SpsaOptimizer, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("cache budget by qubit count (Section 7.5):");
+    for n in [64u32, 128, 192, 256, 320] {
+        let layout = QccLayout::for_qubits(n)?;
+        println!(
+            "  {n:>3} qubits: QCC {:6.2} MB ({} pulse entries), QSpace {:5} MB",
+            layout.total_bytes() as f64 / (1024.0 * 1024.0),
+            layout.segment_entries(Segment::Pulse),
+            n as u64 * 4
+        );
+    }
+
+    println!("\nQAOA (SPSA, 3 iterations × 200 shots) across the sweep:");
+    println!(
+        "{:>7}  {:>12}  {:>12}  {:>12}  {:>9}",
+        "#qubits", "total", "comm", "classical", "quantum %"
+    );
+    for n in [64u32, 128, 192, 256, 320] {
+        let config = QtenonConfig::table4(n, CoreModel::BoomLarge)?;
+        let workload = Workload::qaoa(n, 5, 17)?;
+        let mut runner = VqaRunner::new(config, workload)?;
+        let report = runner.run(&mut SpsaOptimizer::new(17), 3, 200)?;
+        println!(
+            "{:>7}  {:>12}  {:>12}  {:>12}  {:>8.1}%",
+            n,
+            report.total.to_string(),
+            report.comm.total().to_string(),
+            report.classical_time().to_string(),
+            report.exposed_shares()[0] * 100.0
+        );
+    }
+    Ok(())
+}

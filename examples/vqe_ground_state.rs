@@ -1,0 +1,74 @@
+//! VQE ground-state search with optimizer and synchronisation ablations.
+//!
+//! Runs the same molecular-stand-in Hamiltonian under Gradient Descent
+//! (parameter-shift) and SPSA, and under FENCE vs fine-grained
+//! synchronisation, showing how Qtenon's software stack changes both the
+//! wall time and nothing about the physics.
+//!
+//! ```text
+//! cargo run --release --example vqe_ground_state
+//! ```
+
+use qtenon::core::config::{CoreModel, QtenonConfig, SyncMode};
+use qtenon::core::vqa::VqaRunner;
+use qtenon::workloads::{GradientDescentOptimizer, Optimizer, SpsaOptimizer, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10;
+    let workload = Workload::vqe(n, 21)?;
+    println!(
+        "VQE: {} qubits, {} parameters, {} Hamiltonian terms",
+        n,
+        workload.num_params(),
+        workload.hamiltonian.terms().len()
+    );
+
+    let shots = 400;
+    let iterations = 6;
+
+    // --- Optimizer comparison (fine-grained sync, batched transmission).
+    for (name, mut opt) in [
+        (
+            "GD (parameter shift)",
+            Box::new(GradientDescentOptimizer::new(0.08)) as Box<dyn Optimizer>,
+        ),
+        ("SPSA", Box::new(SpsaOptimizer::new(21)) as Box<dyn Optimizer>),
+    ] {
+        let config = QtenonConfig::table4(n, CoreModel::Rocket)?;
+        let mut runner = VqaRunner::new(config, workload.clone())?;
+        let report = runner.run(opt.as_mut(), iterations, shots)?;
+        println!("\n{name}:");
+        println!(
+            "  total {} | energy history {:?}",
+            report.total,
+            report
+                .cost_history
+                .iter()
+                .map(|c| (c * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "  pulse reuse {:.1}% | comm {} over {} instructions",
+            report.pulse_reduction * 100.0,
+            report.comm.total(),
+            report.dynamic_instructions
+        );
+    }
+
+    // --- Synchronisation ablation (Fig. 9 / Fig. 16a in miniature).
+    println!("\nsynchronisation ablation (SPSA):");
+    for (name, sync) in [
+        ("FENCE (RISC-V default)", SyncMode::Fence),
+        ("fine-grained barrier  ", SyncMode::FineGrained),
+    ] {
+        let config = QtenonConfig::table4(n, CoreModel::Rocket)?.with_sync(sync);
+        let mut runner = VqaRunner::new(config, workload.clone())?;
+        let report = runner.run(&mut SpsaOptimizer::new(21), iterations, shots)?;
+        println!(
+            "  {name}: total {} (classical tail {})",
+            report.total,
+            report.classical_time()
+        );
+    }
+    Ok(())
+}

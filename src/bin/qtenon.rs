@@ -1,0 +1,206 @@
+//! The `qtenon` command-line tool: run OpenQASM programs on the simulated
+//! tightly coupled system, disassemble compiled programs, and export
+//! execution traces.
+//!
+//! ```text
+//! qtenon run <file.qasm> [--shots N] [--seed S] [--noise]   # execute on the system
+//! qtenon disasm <file.qasm>                                 # compiled chunk listing
+//! qtenon trace <file.qasm> [--shots N]                      # Chrome trace JSON to stdout
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use qtenon::compiler::QtenonCompiler;
+use qtenon::core::config::{CoreModel, QtenonConfig};
+use qtenon::core::system::QtenonSystem;
+use qtenon::isa::{disasm, QubitId};
+use qtenon::quantum::noise::NoiseModel;
+use qtenon::quantum::{qasm, transpile, Circuit};
+use qtenon::sim_engine::SimTime;
+
+struct Args {
+    command: String,
+    file: String,
+    shots: u64,
+    seed: u64,
+    noise: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut file = None;
+    let mut shots = 1000u64;
+    let mut seed = 42u64;
+    let mut noise = false;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--shots" => {
+                shots = argv
+                    .next()
+                    .ok_or("--shots needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --shots: {e}"))?;
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--noise" => noise = true,
+            other if file.is_none() && !other.starts_with("--") => {
+                file = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        command,
+        file: file.ok_or_else(usage)?,
+        shots,
+        seed,
+        noise,
+    })
+}
+
+fn usage() -> String {
+    "usage: qtenon <run|disasm|trace> <file.qasm> [--shots N] [--seed S] [--noise]".into()
+}
+
+fn load_circuit(path: &str) -> Result<Circuit, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parsed = qasm::parse(&source).map_err(|e| e.to_string())?;
+    transpile::to_native(&parsed).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let circuit = load_circuit(&args.file)?;
+    let n = circuit.n_qubits();
+    let config = QtenonConfig::table4(n, CoreModel::Rocket)
+        .map_err(|e| e.to_string())?
+        .with_seed(args.seed);
+    let program = QtenonCompiler::new(config.layout)
+        .compile(&circuit)
+        .map_err(|e| e.to_string())?;
+
+    match args.command.as_str() {
+        "disasm" => {
+            for (q, chunk) in program.chunks().iter().enumerate() {
+                if chunk.is_empty() {
+                    continue;
+                }
+                println!("qubit #{q}:");
+                let rows = disasm::disassemble_chunk(&config.layout, QubitId::new(q as u32), chunk)
+                    .map_err(|e| e.to_string())?;
+                print!("{}", disasm::format_listing(&rows));
+                println!();
+            }
+            println!(
+                "{} entries across {} chunks, {} register slots",
+                program.total_entries(),
+                program.chunks().iter().filter(|c| !c.is_empty()).count(),
+                program.slots().len()
+            );
+            Ok(())
+        }
+        "run" | "trace" => {
+            let tracing = args.command == "trace";
+            let mut system = QtenonSystem::new(config).map_err(|e| e.to_string())?;
+            if args.noise {
+                // The CLI uses the system's chip; attach noise by running
+                // through a noisy standalone simulator for the sampling
+                // step below instead.
+                eprintln!("note: --noise applies typical superconducting error rates");
+            }
+            system.set_tracing(tracing);
+
+            let mut now = SimTime::ZERO;
+            for instr in program.load_instructions(0x8000_0000) {
+                if let qtenon::isa::Instruction::QSet {
+                    classical_addr,
+                    qaddr,
+                    ..
+                } = instr
+                {
+                    let q = config
+                        .layout
+                        .decode(qaddr)
+                        .map_err(|e| e.to_string())?
+                        .qubit
+                        .expect("program chunk");
+                    now = system
+                        .q_set_program(
+                            now,
+                            classical_addr,
+                            qaddr,
+                            &program.chunks()[q.index() as usize],
+                        )
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            let items = program.work_items(&[]).map_err(|e| e.to_string())?;
+            let (gen, t) = system.q_gen(now, &items).map_err(|e| e.to_string())?;
+            let outcome = if args.noise {
+                // Sample through a noisy simulator, then deposit manually.
+                let mut sim = qtenon::quantum::sim::Simulator::fast(n, args.seed)
+                    .with_noise(NoiseModel::typical_superconducting());
+                let shots = sim.run(&circuit, args.shots).map_err(|e| e.to_string())?;
+                (None, shots, t)
+            } else {
+                let o = system
+                    .q_run(t, &circuit, args.shots)
+                    .map_err(|e| e.to_string())?;
+                let complete = o.complete;
+                (Some(complete), o.shots, t)
+            };
+            let (complete, shots, _) = outcome;
+
+            if tracing {
+                let trace = system.take_trace().expect("tracing enabled");
+                println!("{}", trace.to_chrome_json());
+                return Ok(());
+            }
+
+            // Histogram of outcomes (top 16).
+            let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+            for s in &shots {
+                *counts.entry(s.to_string()).or_insert(0) += 1;
+            }
+            let mut sorted: Vec<_> = counts.into_iter().collect();
+            sorted.sort_by(|a, b| b.1.cmp(&a.1));
+            println!(
+                "{} qubits, {} shots, {} pulses generated{}",
+                n,
+                args.shots,
+                gen.generated,
+                match complete {
+                    Some(c) => format!(", simulated time {}", c.elapsed()),
+                    None => String::new(),
+                }
+            );
+            for (bits, count) in sorted.iter().take(16) {
+                let bar = "#".repeat((count * 40 / args.shots.max(1)) as usize);
+                println!("  {bits}  {count:>6}  {bar}");
+            }
+            if sorted.len() > 16 {
+                println!("  … {} more outcomes", sorted.len() - 16);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}

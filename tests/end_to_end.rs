@@ -1,0 +1,216 @@
+//! Integration tests: full system runs across crates.
+
+use qtenon::baseline::{BaselineConfig, BaselineRunner};
+use qtenon::core::config::{CoreModel, QtenonConfig, SyncMode, TransmissionPolicy};
+use qtenon::core::vqa::VqaRunner;
+use qtenon::sim_engine::SimDuration;
+use qtenon::workloads::{GradientDescentOptimizer, Optimizer, SpsaOptimizer, Workload, WorkloadKind};
+
+const ITERS: usize = 2;
+const SHOTS: u64 = 100;
+const SEED: u64 = 7;
+
+fn qtenon(kind: WorkloadKind, n: u32, core: CoreModel) -> qtenon::core::report::RunReport {
+    let config = QtenonConfig::table4(n, core).unwrap();
+    let workload = Workload::benchmark(kind, n, SEED).unwrap();
+    VqaRunner::new(config, workload)
+        .unwrap()
+        .run(&mut SpsaOptimizer::new(SEED), ITERS, SHOTS)
+        .unwrap()
+}
+
+fn baseline(kind: WorkloadKind, n: u32) -> qtenon::core::report::RunReport {
+    let workload = Workload::benchmark(kind, n, SEED).unwrap();
+    BaselineRunner::new(BaselineConfig::default(), workload)
+        .run(&mut SpsaOptimizer::new(SEED), ITERS, SHOTS)
+        .unwrap()
+}
+
+#[test]
+fn qtenon_beats_baseline_on_every_workload() {
+    for kind in WorkloadKind::ALL {
+        let b = baseline(kind, 16);
+        let q = qtenon(kind, 16, CoreModel::Rocket);
+        assert!(
+            b.total > q.total,
+            "{kind}: baseline {} should exceed qtenon {}",
+            b.total,
+            q.total
+        );
+        assert!(
+            b.classical_time() > q.classical_time() * 10,
+            "{kind}: classical speedup should be an order of magnitude"
+        );
+    }
+}
+
+#[test]
+fn end_to_end_speedup_grows_with_qubits() {
+    // The paper's central scaling trend (Figs. 11b/12b).
+    let mut last = 0.0;
+    for n in [8u32, 24, 48] {
+        let b = baseline(WorkloadKind::Vqe, n);
+        let q = qtenon(WorkloadKind::Vqe, n, CoreModel::Rocket);
+        let speedup = b.total.as_ns() / q.total.as_ns();
+        assert!(
+            speedup > last,
+            "speedup should grow: {speedup} after {last} at n={n}"
+        );
+        last = speedup;
+    }
+}
+
+#[test]
+fn quantum_dominates_qtenon_but_not_baseline() {
+    let q = qtenon(WorkloadKind::Vqe, 32, CoreModel::BoomLarge);
+    let b = baseline(WorkloadKind::Vqe, 32);
+    assert!(q.exposed_shares()[0] > 0.5, "qtenon quantum share too low");
+    assert!(b.exposed_shares()[0] < 0.35, "baseline quantum share too high");
+}
+
+#[test]
+fn both_systems_produce_identical_physics() {
+    // Same workload, same seeds, same optimizer: both systems sample the
+    // same simulated chip, so their cost trajectories must agree.
+    let kind = WorkloadKind::Qaoa;
+    let q = qtenon(kind, 8, CoreModel::Rocket);
+    let b = baseline(kind, 8);
+    assert_eq!(q.cost_history.len(), b.cost_history.len());
+    for (a, c) in q.cost_history.iter().zip(&b.cost_history) {
+        assert!((a - c).abs() < 1e-9, "cost divergence: {a} vs {c}");
+    }
+}
+
+#[test]
+fn software_features_stack_monotonically() {
+    // Hardware-only < +fine-grained sync < +batched scheduling.
+    let workload = Workload::benchmark(WorkloadKind::Vqe, 16, SEED).unwrap();
+    let run = |sync: SyncMode, policy: TransmissionPolicy| {
+        let config = QtenonConfig::table4(16, CoreModel::Rocket)
+            .unwrap()
+            .with_sync(sync)
+            .with_transmission(policy);
+        VqaRunner::new(config, workload.clone())
+            .unwrap()
+            .run(&mut SpsaOptimizer::new(SEED), ITERS, SHOTS)
+            .unwrap()
+            .total
+    };
+    let fence = run(SyncMode::Fence, TransmissionPolicy::Batched);
+    let unscheduled = run(SyncMode::FineGrained, TransmissionPolicy::Immediate);
+    let full = run(SyncMode::FineGrained, TransmissionPolicy::Batched);
+    // The full software stack wins outright…
+    assert!(fence > full, "fine-grained + batched should beat FENCE: {fence} vs {full}");
+    // …and fine-grained sync *without* Algorithm 1 is not enough: the
+    // per-shot wakeups make overlap unprofitable (the paper's motivation
+    // for batched transmission).
+    assert!(
+        unscheduled > full,
+        "batching should help under fine-grained sync: {unscheduled} vs {full}"
+    );
+}
+
+#[test]
+fn gd_and_spsa_trade_comm_for_rounds() {
+    // GD: many single-parameter evaluations → more dynamic instructions
+    // and more communication events than SPSA at the same iterations.
+    let workload = Workload::benchmark(WorkloadKind::Vqe, 8, SEED).unwrap();
+    let run = |opt: &mut dyn Optimizer| {
+        let config = QtenonConfig::table4(8, CoreModel::Rocket).unwrap();
+        VqaRunner::new(config, workload.clone())
+            .unwrap()
+            .run(opt, ITERS, SHOTS)
+            .unwrap()
+    };
+    let gd = run(&mut GradientDescentOptimizer::new(0.05));
+    let spsa = run(&mut SpsaOptimizer::new(SEED));
+    assert!(gd.dynamic_instructions > spsa.dynamic_instructions);
+    assert!(gd.comm.q_acquire_count > spsa.comm.q_acquire_count);
+    // And GD leaves more of the pulse cache intact (Table 5).
+    assert!(gd.pulse_reduction > spsa.pulse_reduction);
+}
+
+#[test]
+fn optimisation_actually_descends() {
+    // Over a few iterations the measured cost should not get much worse;
+    // over enough iterations it should improve on QAOA's landscape.
+    let config = QtenonConfig::table4(8, CoreModel::Rocket).unwrap();
+    let workload = Workload::qaoa(8, 2, 3).unwrap();
+    let mut runner = VqaRunner::new(config, workload).unwrap();
+    let report = runner
+        .run(&mut GradientDescentOptimizer::new(0.1), 6, 300)
+        .unwrap();
+    let first = report.cost_history.first().unwrap();
+    let last = report.cost_history.last().unwrap();
+    assert!(
+        last < first,
+        "GD should reduce QAOA cost: first {first}, last {last}"
+    );
+}
+
+#[test]
+fn breakdown_components_are_bounded() {
+    let r = qtenon(WorkloadKind::Qnn, 16, CoreModel::Rocket);
+    // Quantum busy time can never exceed wall time (it is never
+    // overlapped with itself).
+    assert!(r.breakdown.quantum <= r.total);
+    // Exposed shares form a distribution.
+    let shares = r.exposed_shares();
+    assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    assert!(shares.iter().all(|s| (0.0..=1.0).contains(s)));
+    // Communication is negligible on the tightly coupled system.
+    assert!(r.comm.total() < r.total / 20);
+}
+
+#[test]
+fn reports_are_reproducible() {
+    let a = qtenon(WorkloadKind::Qaoa, 8, CoreModel::Rocket);
+    let b = qtenon(WorkloadKind::Qaoa, 8, CoreModel::Rocket);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn boom_never_slower_than_rocket() {
+    for kind in WorkloadKind::ALL {
+        let rocket = qtenon(kind, 16, CoreModel::Rocket);
+        let boom = qtenon(kind, 16, CoreModel::BoomLarge);
+        assert!(
+            boom.total <= rocket.total,
+            "{kind}: boom {} vs rocket {}",
+            boom.total,
+            rocket.total
+        );
+    }
+}
+
+#[test]
+fn larger_systems_take_longer_on_both_sides() {
+    {
+        let (small, large) = (8u32, 32u32);
+        let qs = qtenon(WorkloadKind::Vqe, small, CoreModel::Rocket);
+        let ql = qtenon(WorkloadKind::Vqe, large, CoreModel::Rocket);
+        assert!(ql.total > qs.total);
+        let bs = baseline(WorkloadKind::Vqe, small);
+        let bl = baseline(WorkloadKind::Vqe, large);
+        assert!(bl.total > bs.total);
+    }
+}
+
+#[test]
+fn shots_scale_quantum_time_linearly() {
+    let config = QtenonConfig::table4(8, CoreModel::Rocket).unwrap();
+    let workload = Workload::qaoa(8, 2, SEED).unwrap();
+    let run = |shots: u64| {
+        VqaRunner::new(config, workload.clone())
+            .unwrap()
+            .run(&mut SpsaOptimizer::new(SEED), 1, shots)
+            .unwrap()
+            .breakdown
+            .quantum
+    };
+    let q100 = run(100);
+    let q200 = run(200);
+    let delta = q200.as_ns() / q100.as_ns();
+    assert!((delta - 2.0).abs() < 0.1, "quantum time ratio {delta}");
+    assert!(q100 > SimDuration::ZERO);
+}

@@ -1,0 +1,198 @@
+//! Cross-crate property-based tests.
+
+use proptest::prelude::*;
+
+use qtenon::compiler::{ParameterDiff, QtenonCompiler};
+use qtenon::isa::{EncodedAngle, Instruction, QAddress, QccLayout, QubitId};
+use qtenon::quantum::{transpile, BitString, Circuit, Gate, Operation, ParamId, StateVector};
+use qtenon::workloads::Graph;
+
+/// Strategy: a random logical circuit over `n` qubits.
+fn arb_circuit(n: u32, max_ops: usize) -> impl Strategy<Value = Circuit> {
+    let op = (0u8..8, 0..n, 0..n, -6.0f64..6.0);
+    prop::collection::vec(op, 0..max_ops).prop_map(move |ops| {
+        let mut c = Circuit::new(n);
+        for (kind, a, b, theta) in ops {
+            let gate = match kind {
+                0 => Gate::H,
+                1 => Gate::X,
+                2 => Gate::S,
+                3 => Gate::T,
+                4 => Gate::Rx(theta.into()),
+                5 => Gate::Ry(theta.into()),
+                6 => Gate::Rz(theta.into()),
+                _ => Gate::Cx,
+            };
+            let (qubit, qubit2) = if gate.arity() == 2 {
+                if a == b {
+                    continue;
+                }
+                (a, Some(b))
+            } else {
+                (a, None)
+            };
+            c.push(Operation { gate, qubit, qubit2 }).unwrap();
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpiled_circuits_are_native_and_norm_preserving(
+        circuit in arb_circuit(4, 24)
+    ) {
+        let native = transpile::to_native(&circuit).unwrap();
+        prop_assert!(transpile::is_native(&native));
+        let mut sv = StateVector::new(4).unwrap();
+        sv.apply_circuit(&native).unwrap();
+        prop_assert!((sv.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transpile_preserves_marginals_vs_known_gates(
+        thetas in prop::collection::vec(-6.0f64..6.0, 3)
+    ) {
+        // X/H built from rotations behave like the direct rotations.
+        let mut logical = Circuit::new(2);
+        logical.h(0).rx(0, thetas[0]).cx(0, 1).ry(1, thetas[1]).rz(0, thetas[2]);
+        let native = transpile::to_native(&logical).unwrap();
+        let mut sv = StateVector::new(2).unwrap();
+        sv.apply_circuit(&native).unwrap();
+        // Equivalent construction: H = RZ(pi) RY(pi/2); CX via CZ.
+        let probs: Vec<f64> = (0..2).map(|q| sv.probability_of_one(q)).collect();
+        for p in probs {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+        }
+    }
+
+    #[test]
+    fn compiled_programs_preserve_gate_counts(circuit in arb_circuit(6, 40)) {
+        let native = transpile::to_native(&circuit).unwrap();
+        let layout = QccLayout::for_qubits(6).unwrap();
+        let program = QtenonCompiler::new(layout).compile(&native).unwrap();
+        prop_assert_eq!(
+            program.total_entries() as usize,
+            native.operations().len()
+        );
+        // Work items mirror entries one-to-one.
+        let items = program.work_items(&[]).unwrap();
+        prop_assert_eq!(items.len() as u64, program.total_entries());
+    }
+
+    #[test]
+    fn incremental_diff_is_sound_and_minimal(
+        old in prop::collection::vec(-3.0f64..3.0, 5),
+        new in prop::collection::vec(-3.0f64..3.0, 5),
+    ) {
+        let mut c = Circuit::new(5);
+        for q in 0..5u32 {
+            c.ry_param(q, ParamId::new(q));
+        }
+        let layout = QccLayout::for_qubits(5).unwrap();
+        let program = QtenonCompiler::new(layout).compile(&c).unwrap();
+        let diff = ParameterDiff::between(&program, &old, &new).unwrap();
+        // Sound: the changed count equals the number of slots whose
+        // encoded value differs.
+        let expected = old.iter().zip(&new).filter(|(a, b)| {
+            EncodedAngle::from_radians(**a) != EncodedAngle::from_radians(**b)
+        }).count();
+        prop_assert_eq!(diff.changed_slots(), expected);
+        // Minimal: no update for identical vectors.
+        let noop = ParameterDiff::between(&program, &new, &new).unwrap();
+        prop_assert_eq!(noop.changed_slots(), 0);
+    }
+
+    #[test]
+    fn instruction_encoding_round_trips(
+        raw_addr in 0u64..(1 << 39),
+        value in any::<u32>(),
+        length in 0u64..(1 << 25),
+        shots in any::<u64>(),
+        caddr in any::<u64>(),
+    ) {
+        let qaddr = QAddress::new(raw_addr).unwrap();
+        for instr in [
+            Instruction::QUpdate { qaddr, value },
+            Instruction::QSet { classical_addr: caddr, qaddr, length },
+            Instruction::QAcquire { classical_addr: caddr, qaddr, length },
+            Instruction::QGen { qaddr, length },
+            Instruction::QRun { shots },
+        ] {
+            let enc = instr.encode();
+            prop_assert_eq!(Instruction::decode(&enc).unwrap(), instr);
+            // Textual form round-trips too.
+            let parsed = Instruction::parse_asm(&instr.to_string()).unwrap();
+            prop_assert_eq!(parsed, instr);
+        }
+    }
+
+    #[test]
+    fn qaddress_layout_decode_is_inverse_of_encode(
+        qubit in 0u32..64,
+        prog_entry in 0u64..1024,
+        pulse_entry in 0u64..1024,
+    ) {
+        let layout = QccLayout::for_qubits(64).unwrap();
+        let p = layout.program_entry(QubitId::new(qubit), prog_entry).unwrap();
+        let d = layout.decode(p).unwrap();
+        prop_assert_eq!(d.qubit.unwrap().index(), qubit);
+        prop_assert_eq!(d.entry, prog_entry);
+        let u = layout.pulse_entry(QubitId::new(qubit), pulse_entry).unwrap();
+        let d = layout.decode(u).unwrap();
+        prop_assert_eq!(d.entry, pulse_entry);
+    }
+
+    #[test]
+    fn bitstring_set_get_consistency(
+        len in 1u32..300,
+        ops in prop::collection::vec((0u32..300, any::<bool>()), 0..64)
+    ) {
+        let mut bits = BitString::zeros(len);
+        let mut model = vec![false; len as usize];
+        for (i, v) in ops {
+            let i = i % len;
+            bits.set(i, v);
+            model[i as usize] = v;
+        }
+        for i in 0..len {
+            prop_assert_eq!(bits.get(i), model[i as usize]);
+        }
+        prop_assert_eq!(
+            bits.count_ones() as usize,
+            model.iter().filter(|&&b| b).count()
+        );
+    }
+
+    #[test]
+    fn graph_matchings_partition_edges(n in 4u32..40) {
+        let n = n - n % 2;
+        let g = Graph::circulant_3_regular(n.max(4));
+        let groups = g.matchings();
+        // Every edge appears exactly once.
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.edges().len());
+        // Within a group, no vertex repeats.
+        for group in &groups {
+            let mut seen = std::collections::HashSet::new();
+            for &(u, v, _) in group {
+                prop_assert!(seen.insert(u), "vertex {} repeated", u);
+                prop_assert!(seen.insert(v), "vertex {} repeated", v);
+            }
+        }
+        // Greedy edge coloring of a degree-3 graph needs at most 2·3−1
+        // groups.
+        prop_assert!(groups.len() <= 5);
+    }
+
+    #[test]
+    fn angle_encoding_error_is_bounded(theta in -100.0f64..100.0) {
+        let enc = EncodedAngle::from_radians(theta);
+        let err = (enc.to_radians() - theta.rem_euclid(std::f64::consts::TAU)).abs();
+        // Off by at most one code step (or a full turn at the wrap edge).
+        let step = std::f64::consts::TAU / (1u64 << 27) as f64;
+        prop_assert!(err <= step || (err - std::f64::consts::TAU).abs() <= step);
+    }
+}
