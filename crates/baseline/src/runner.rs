@@ -179,8 +179,7 @@ impl BaselineRunner {
             breakdown,
             comm,
             dynamic_instructions,
-            static_instructions: dynamic_instructions
-                / (iterations as u64 * 2).max(1), // one compile's worth
+            static_instructions: dynamic_instructions / (iterations as u64 * 2).max(1), // one compile's worth
             pulses_generated,
             slt: Default::default(),
             host_cycles: qtenon_core::host::HostCoreModel::new(

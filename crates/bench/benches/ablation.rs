@@ -23,7 +23,11 @@ fn qaoa_items(n: u32) -> (QccLayout, Vec<WorkItem>) {
         .work_items(&w.initial_params)
         .unwrap()
         .into_iter()
-        .map(|(qubit, gate, data27)| WorkItem { qubit, gate, data27 })
+        .map(|(qubit, gate, data27)| WorkItem {
+            qubit,
+            gate,
+            data27,
+        })
         .collect();
     (layout, items)
 }

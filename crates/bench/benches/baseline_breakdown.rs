@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use qtenon_bench::experiments::{
-    baseline_run, qtenon_run, ExperimentScale, OptimizerKind,
-};
+use qtenon_bench::experiments::{baseline_run, qtenon_run, ExperimentScale, OptimizerKind};
 use qtenon_core::config::{CoreModel, SyncMode, TransmissionPolicy};
 use qtenon_workloads::WorkloadKind;
 
@@ -44,7 +42,14 @@ fn fig13_three_systems(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(1));
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.bench_function("baseline", |b| {
-        b.iter(|| black_box(baseline_run(WorkloadKind::Vqe, 16, OptimizerKind::Spsa, &scale)))
+        b.iter(|| {
+            black_box(baseline_run(
+                WorkloadKind::Vqe,
+                16,
+                OptimizerKind::Spsa,
+                &scale,
+            ))
+        })
     });
     group.bench_function("qtenon_hw_only", |b| {
         b.iter(|| {

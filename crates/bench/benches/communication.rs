@@ -48,8 +48,7 @@ fn comm_mix_per_workload(c: &mut Criterion) {
         for opt in [OptimizerKind::Gd, OptimizerKind::Spsa] {
             group.bench_function(format!("{kind}_{}", opt.name()), |b| {
                 b.iter(|| {
-                    let report =
-                        qtenon_default(kind, 16, CoreModel::BoomLarge, opt, &scale);
+                    let report = qtenon_default(kind, 16, CoreModel::BoomLarge, opt, &scale);
                     black_box((report.comm.shares(), report.comm.total()))
                 })
             });

@@ -64,9 +64,7 @@ fn fig11_12(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("baseline_{kind}"), n),
                 &n,
-                |b, &n| {
-                    b.iter(|| black_box(baseline_run(kind, n, OptimizerKind::Spsa, &scale)))
-                },
+                |b, &n| b.iter(|| black_box(baseline_run(kind, n, OptimizerKind::Spsa, &scale))),
             );
         }
     }

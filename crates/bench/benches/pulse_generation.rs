@@ -19,7 +19,11 @@ fn work_items(kind: WorkloadKind, n: u32) -> (QccLayout, Vec<WorkItem>) {
         .work_items(&w.initial_params)
         .unwrap()
         .into_iter()
-        .map(|(qubit, gate, data27)| WorkItem { qubit, gate, data27 })
+        .map(|(qubit, gate, data27)| WorkItem {
+            qubit,
+            gate,
+            data27,
+        })
         .collect();
     (layout, items)
 }
@@ -31,26 +35,18 @@ fn table5_pipeline(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     for kind in WorkloadKind::ALL {
         let (layout, items) = work_items(kind, 16);
-        group.bench_with_input(
-            BenchmarkId::new("cold", kind.name()),
-            &items,
-            |b, items| {
-                b.iter(|| {
-                    let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout);
-                    black_box(pipe.process(SimTime::ZERO, items))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("warm", kind.name()),
-            &items,
-            |b, items| {
-                // Pre-warm once; each measured pass is all-hits.
+        group.bench_with_input(BenchmarkId::new("cold", kind.name()), &items, |b, items| {
+            b.iter(|| {
                 let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout);
-                pipe.process(SimTime::ZERO, items);
-                b.iter(|| black_box(pipe.process(SimTime::ZERO, items)))
-            },
-        );
+                black_box(pipe.process(SimTime::ZERO, items))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", kind.name()), &items, |b, items| {
+            // Pre-warm once; each measured pass is all-hits.
+            let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout);
+            pipe.process(SimTime::ZERO, items);
+            b.iter(|| black_box(pipe.process(SimTime::ZERO, items)))
+        });
     }
     group.finish();
 }

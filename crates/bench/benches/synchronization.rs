@@ -26,7 +26,10 @@ fn fig16a_sync_modes(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(1));
     group.warm_up_time(std::time::Duration::from_millis(300));
-    for (name, sync) in [("fence", SyncMode::Fence), ("fine_grained", SyncMode::FineGrained)] {
+    for (name, sync) in [
+        ("fence", SyncMode::Fence),
+        ("fine_grained", SyncMode::FineGrained),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 black_box(qtenon_run(
@@ -90,5 +93,10 @@ fn fig15_host_models(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig16a_sync_modes, fig16b_scheduling, fig15_host_models);
+criterion_group!(
+    benches,
+    fig16a_sync_modes,
+    fig16b_scheduling,
+    fig15_host_models
+);
 criterion_main!(benches);

@@ -3,25 +3,43 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--full] [ids...]
+//! experiments [--full] [--metrics out.json] [ids...]
 //! ```
 //!
 //! With no ids, all experiments run. `--full` uses the paper-scale setup
 //! (500 shots × 10 iterations, 8–64 qubit sweeps); the default quick
 //! scale preserves every ratio's shape at a fraction of the runtime.
+//! `--metrics PATH` additionally runs the representative 64-qubit VQE
+//! and dumps its full metric tree to `PATH` (JSON) and `PATH.prom`
+//! (Prometheus text format).
 //! Valid ids: `fig1 table1 table2 table4 fig11 fig12 fig13 fig14 table5
 //! fig15 fig16a fig16b fig17 ablation`.
 
 use qtenon_bench::experiments::{self, ExperimentScale, OptimizerKind};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut full = false;
+    let mut metrics_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--metrics" => match argv.next() {
+                Some(path) => metrics_path = Some(path),
+                None => {
+                    eprintln!("error: --metrics needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    let ids: Vec<&str> = ids.iter().map(String::as_str).collect();
     let scale = if full {
         ExperimentScale::paper()
     } else {
@@ -122,6 +140,21 @@ fn main() {
         section(
             "Ablation (beyond the paper) — PGU pool width × SLT reuse",
             experiments::ablation(&scale).to_string(),
+        );
+    }
+
+    if let Some(path) = metrics_path {
+        let snapshot = experiments::telemetry_snapshot(&scale);
+        let prom_path = format!("{path}.prom");
+        if let Err(e) = std::fs::write(&path, snapshot.to_json())
+            .and_then(|()| std::fs::write(&prom_path, snapshot.to_prometheus()))
+        {
+            eprintln!("error: cannot write telemetry: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "## Telemetry — {} metrics from the 64-qubit VQE written to {path} and {prom_path}\n",
+            snapshot.len()
         );
     }
 }

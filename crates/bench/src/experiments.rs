@@ -7,7 +7,7 @@ use qtenon_core::config::{CoreModel, QtenonConfig, SyncMode, TransmissionPolicy}
 use qtenon_core::report::RunReport;
 use qtenon_core::vqa::VqaRunner;
 use qtenon_isa::{QccLayout, Segment};
-use qtenon_sim_engine::{SimDuration, SimTime};
+use qtenon_sim_engine::{MetricsRegistry, MetricsSnapshot, SimDuration, SimTime};
 use qtenon_workloads::{
     GradientDescentOptimizer, Optimizer, SpsaOptimizer, Workload, WorkloadKind,
 };
@@ -256,8 +256,7 @@ pub fn table1(scale: &ExperimentScale) -> TextTable {
     // Recompile overhead: one-parameter change.
     let mut shifted = workload.initial_params.clone();
     shifted[0] += 0.3;
-    let diff = ParameterDiff::between(&program, &workload.initial_params, &shifted)
-        .expect("diff");
+    let diff = ParameterDiff::between(&program, &workload.initial_params, &shifted).expect("diff");
     let qtenon_recompile = SimDuration::from_ns(diff.changed_slots() as u64); // 1 cycle per q_update
     t.row(vec![
         "recompile overhead".into(),
@@ -294,10 +293,7 @@ pub fn table2() -> TextTable {
     t.row(vec![
         "total".into(),
         String::new(),
-        format!(
-            "{:.2} MB",
-            layout.total_bytes() as f64 / (1024.0 * 1024.0)
-        ),
+        format!("{:.2} MB", layout.total_bytes() as f64 / (1024.0 * 1024.0)),
         String::new(),
     ]);
     t
@@ -595,6 +591,29 @@ pub fn fig17(scale: &ExperimentScale) -> TextTable {
     t
 }
 
+/// Runs the representative workload (64-qubit VQE, SPSA, Rocket core,
+/// paper-default policies) and captures the full metric tree — what the
+/// `experiments` binary dumps with `--metrics`.
+///
+/// # Panics
+///
+/// Panics if construction or execution fails (the configuration is
+/// known-valid).
+pub fn telemetry_snapshot(scale: &ExperimentScale) -> MetricsSnapshot {
+    let config = QtenonConfig::table4(64, CoreModel::Rocket)
+        .expect("valid config")
+        .with_seed(scale.seed);
+    let workload = Workload::benchmark(WorkloadKind::Vqe, 64, scale.seed).expect("valid workload");
+    let mut runner = VqaRunner::new(config, workload).expect("runner builds");
+    let mut optimizer = OptimizerKind::Spsa.build(scale.seed);
+    runner
+        .run(optimizer.as_mut(), scale.iterations, scale.shots)
+        .expect("run succeeds");
+    let mut registry = MetricsRegistry::new();
+    runner.export_metrics(&mut registry);
+    registry.snapshot()
+}
+
 /// Ablation beyond the paper: simulated pulse-generation time versus the
 /// PGU pool width, with and without the SLT, for the 64-qubit QAOA-5
 /// program (cold pass = first iteration, warm pass = steady state).
@@ -611,7 +630,11 @@ pub fn ablation(scale: &ExperimentScale) -> TextTable {
         .work_items(&workload.initial_params)
         .expect("items")
         .into_iter()
-        .map(|(qubit, gate, data27)| WorkItem { qubit, gate, data27 })
+        .map(|(qubit, gate, data27)| WorkItem {
+            qubit,
+            gate,
+            data27,
+        })
         .collect();
 
     let mut t = TextTable::new(vec![
@@ -707,5 +730,26 @@ mod tests {
     fn fig17_scales_monotonically() {
         let t = fig17(&tiny());
         assert_eq!(t.len(), 4); // 2 workloads × 2 sizes
+    }
+
+    #[test]
+    fn telemetry_snapshot_spans_all_namespaces_and_parses() {
+        let snapshot = telemetry_snapshot(&tiny());
+        assert!(snapshot.len() >= 20, "only {} metrics", snapshot.len());
+        for ns in ["mem.", "controller.", "core."] {
+            assert!(
+                snapshot.paths().iter().any(|p| p.starts_with(ns)),
+                "no {ns}* metrics"
+            );
+        }
+        // Every Prometheus line is `name value` with a numeric value.
+        for line in snapshot.to_prometheus().lines() {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value in {line:?}"
+            );
+        }
     }
 }

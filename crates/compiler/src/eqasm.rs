@@ -140,7 +140,11 @@ impl EqasmProgram {
         for op in circuit.operations() {
             // Dedicated ISAs schedule on an explicit timing grid: emit a
             // WAIT when the operand is still busy.
-            let start = op.qubits().map(|q| busy_until[q as usize]).max().unwrap_or(0);
+            let start = op
+                .qubits()
+                .map(|q| busy_until[q as usize])
+                .max()
+                .unwrap_or(0);
             if start > 0 && op.qubits().any(|q| busy_until[q as usize] == start) {
                 out.push(EqasmInstruction {
                     opcode: EqasmOpcode::Wait,

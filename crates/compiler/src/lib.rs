@@ -76,7 +76,10 @@ impl fmt::Display for CompileError {
                 write!(f, "gate {gate} is not native; transpile before compiling")
             }
             CompileError::ChunkOverflow { qubit, capacity } => {
-                write!(f, "program chunk for qubit {qubit} overflows {capacity} entries")
+                write!(
+                    f,
+                    "program chunk for qubit {qubit} overflows {capacity} entries"
+                )
             }
             CompileError::RegfileOverflow { needed, capacity } => {
                 write!(f, "{needed} register slots needed, {capacity} available")

@@ -1,8 +1,6 @@
 //! Circuit → Qtenon program compilation.
 
-use qtenon_isa::{
-    EncodedAngle, GateType, Instruction, ProgramEntry, QccLayout, QubitId,
-};
+use qtenon_isa::{EncodedAngle, GateType, Instruction, ProgramEntry, QccLayout, QubitId};
 use qtenon_quantum::{Angle, Circuit, Gate, ParamId};
 use serde::{Deserialize, Serialize};
 
@@ -153,7 +151,10 @@ impl CompiledProgram {
     /// # Errors
     ///
     /// Returns [`CompileError::ParameterCountMismatch`] on a short vector.
-    pub fn work_items(&self, params: &[f64]) -> Result<Vec<(QubitId, GateType, u32)>, CompileError> {
+    pub fn work_items(
+        &self,
+        params: &[f64],
+    ) -> Result<Vec<(QubitId, GateType, u32)>, CompileError> {
         if params.len() < self.num_params {
             return Err(CompileError::ParameterCountMismatch {
                 expected: self.num_params,
@@ -218,8 +219,7 @@ impl QtenonCompiler {
                 layout: self.layout.n_qubits(),
             });
         }
-        let mut chunks: Vec<Vec<ProgramEntry>> =
-            vec![Vec::new(); self.layout.n_qubits() as usize];
+        let mut chunks: Vec<Vec<ProgramEntry>> = vec![Vec::new(); self.layout.n_qubits() as usize];
         let mut slots: Vec<RegSlot> = Vec::new();
         let mut measured = Vec::new();
 
@@ -371,10 +371,7 @@ mod tests {
                 assert_eq!(length, 2);
                 // Host image advances past qubit 0's 1 entry × 9 bytes.
                 assert_eq!(classical_addr, 0x9000_0000 + 9);
-                assert_eq!(
-                    qaddr,
-                    layout().program_entry(QubitId::new(5), 0).unwrap()
-                );
+                assert_eq!(qaddr, layout().program_entry(QubitId::new(5), 0).unwrap());
             }
             ref other => panic!("expected q_set, got {other}"),
         }

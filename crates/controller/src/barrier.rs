@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use qtenon_sim_engine::SimTime;
+use qtenon_sim_engine::{MetricsRegistry, SimTime};
 
 /// The memory barrier: an interval map from host-address ranges to the
 /// simulation time their write requests were issued on the bus.
@@ -83,6 +83,13 @@ impl MemoryBarrier {
     /// Number of barrier queries performed (each costs one cycle).
     pub fn queries(&self) -> u64 {
         self.queries
+    }
+
+    /// Registers barrier statistics under `prefix`
+    /// (e.g. `controller.barrier`).
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter(&format!("{prefix}.queries"), self.queries);
+        m.gauge(&format!("{prefix}.ranges"), self.ranges.len() as f64);
     }
 
     /// Clears all synchronisation state (new iteration/region reuse).

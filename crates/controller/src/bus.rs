@@ -7,7 +7,7 @@
 
 use std::collections::VecDeque;
 
-use qtenon_sim_engine::{ClockDomain, SimDuration, SimTime};
+use qtenon_sim_engine::{ClockDomain, Histogram, MetricsRegistry, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::rbq::TAG_COUNT;
@@ -67,6 +67,8 @@ pub struct TileLinkBus {
     outstanding: VecDeque<SimTime>,
     bytes_moved: u64,
     transfers: u64,
+    /// Grant-to-completion latency of each transfer, in nanoseconds.
+    latency: Histogram,
 }
 
 impl TileLinkBus {
@@ -78,6 +80,7 @@ impl TileLinkBus {
             outstanding: VecDeque::new(),
             bytes_moved: 0,
             transfers: 0,
+            latency: Histogram::new(),
         }
     }
 
@@ -118,6 +121,7 @@ impl TileLinkBus {
         self.outstanding.push_back(complete);
         self.bytes_moved += bytes;
         self.transfers += 1;
+        self.latency.record((complete - start).as_ps() / 1_000);
         TransferTiming { start, complete }
     }
 
@@ -131,12 +135,25 @@ impl TileLinkBus {
         self.transfers
     }
 
+    /// Per-transfer latency distribution in nanoseconds.
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Registers bus statistics under `prefix` (e.g. `controller.bus`).
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter(&format!("{prefix}.bytes_moved"), self.bytes_moved);
+        m.counter(&format!("{prefix}.transfers"), self.transfers);
+        m.histogram(&format!("{prefix}.latency_ns"), &self.latency);
+    }
+
     /// Resets the bus to idle (new experiment run).
     pub fn reset(&mut self) {
         self.link_free_at = SimTime::ZERO;
         self.outstanding.clear();
         self.bytes_moved = 0;
         self.transfers = 0;
+        self.latency.reset();
     }
 }
 

@@ -5,7 +5,7 @@
 //! computation times). A priority encoder dispatches each request to the
 //! lowest-numbered free unit; when all are busy, stages 1–2 stall.
 
-use qtenon_sim_engine::{ClockDomain, SimDuration, SimTime};
+use qtenon_sim_engine::{ClockDomain, Histogram, MetricsRegistry, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the PGU pool.
@@ -58,6 +58,9 @@ pub struct PguPool {
     config: PguConfig,
     busy_until: Vec<SimTime>,
     dispatched: u64,
+    /// Request-to-start wait of each dispatch, in nanoseconds (zero when
+    /// a unit was free immediately).
+    wait: Histogram,
 }
 
 impl PguPool {
@@ -72,6 +75,7 @@ impl PguPool {
             config,
             busy_until: vec![SimTime::ZERO; config.units],
             dispatched: 0,
+            wait: Histogram::new(),
         }
     }
 
@@ -113,6 +117,8 @@ impl PguPool {
         let done = start + self.pulse_latency();
         self.busy_until[unit] = done;
         self.dispatched += 1;
+        self.wait
+            .record(start.saturating_since(now).as_ps() / 1_000);
         Dispatch { unit, start, done }
     }
 
@@ -121,10 +127,23 @@ impl PguPool {
         self.dispatched
     }
 
+    /// Per-dispatch wait distribution in nanoseconds.
+    pub fn wait(&self) -> &Histogram {
+        &self.wait
+    }
+
+    /// Registers pool statistics under `prefix` (e.g. `controller.pgu`).
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.gauge(&format!("{prefix}.units"), self.config.units as f64);
+        m.counter(&format!("{prefix}.dispatched"), self.dispatched);
+        m.histogram(&format!("{prefix}.wait_ns"), &self.wait);
+    }
+
     /// Returns all units to idle at time zero.
     pub fn reset(&mut self) {
         self.busy_until.fill(SimTime::ZERO);
         self.dispatched = 0;
+        self.wait.reset();
     }
 }
 

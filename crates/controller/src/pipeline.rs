@@ -9,7 +9,7 @@
 //! ready-valid interface.
 
 use qtenon_isa::{GateType, QAddress, QccLayout, QubitId};
-use qtenon_sim_engine::{ClockDomain, SimDuration, SimTime};
+use qtenon_sim_engine::{ClockDomain, Histogram, MetricsRegistry, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::pgu::{PguConfig, PguPool};
@@ -105,6 +105,14 @@ pub struct PulsePipeline {
     config: PipelineConfig,
     slt: SltController,
     pgus: PguPool,
+    /// Cumulative entries processed across runs.
+    total_entries: u64,
+    /// Cumulative pulses generated across runs.
+    total_generated: u64,
+    /// Cumulative stall time across runs.
+    total_stall: SimDuration,
+    /// Wall time of each `process` call, in nanoseconds.
+    run_latency: Histogram,
 }
 
 impl PulsePipeline {
@@ -114,6 +122,10 @@ impl PulsePipeline {
             config,
             slt: SltController::new(layout),
             pgus: PguPool::new(config.pgu),
+            total_entries: 0,
+            total_generated: 0,
+            total_stall: SimDuration::ZERO,
+            run_latency: Histogram::new(),
         }
     }
 
@@ -207,7 +219,32 @@ impl PulsePipeline {
                 evictions: slt_after.evictions - slt_before.evictions,
             },
         };
+        self.total_entries += report.entries;
+        self.total_generated += report.generated;
+        self.total_stall += report.stall_time;
+        self.run_latency.record(report.total_time.as_ps() / 1_000);
         (report, resolved)
+    }
+
+    /// Registers pipeline, SLT, and PGU statistics under `prefix`
+    /// (e.g. `controller`), yielding `controller.pipeline.*`,
+    /// `controller.slt.*`, and `controller.pgu.*`.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter(&format!("{prefix}.pipeline.entries"), self.total_entries);
+        m.counter(
+            &format!("{prefix}.pipeline.generated"),
+            self.total_generated,
+        );
+        m.gauge(
+            &format!("{prefix}.pipeline.stall_ns"),
+            self.total_stall.as_ns(),
+        );
+        m.histogram(
+            &format!("{prefix}.pipeline.run_latency_ns"),
+            &self.run_latency,
+        );
+        self.slt.export_metrics(m, &format!("{prefix}.slt"));
+        self.pgus.export_metrics(m, &format!("{prefix}.pgu"));
     }
 
     /// Clears SLT/QSpace contents and PGU occupancy (cold restart; the
@@ -215,6 +252,10 @@ impl PulsePipeline {
     pub fn reset(&mut self) {
         self.slt.reset();
         self.pgus.reset();
+        self.total_entries = 0;
+        self.total_generated = 0;
+        self.total_stall = SimDuration::ZERO;
+        self.run_latency.reset();
     }
 }
 
@@ -224,10 +265,7 @@ mod tests {
     use qtenon_isa::EncodedAngle;
 
     fn pipeline() -> PulsePipeline {
-        PulsePipeline::new(
-            PipelineConfig::default(),
-            QccLayout::for_qubits(8).unwrap(),
-        )
+        PulsePipeline::new(PipelineConfig::default(), QccLayout::for_qubits(8).unwrap())
     }
 
     fn rx(q: u32, theta: f64) -> WorkItem {

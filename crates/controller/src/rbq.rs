@@ -7,6 +7,8 @@
 
 use std::collections::VecDeque;
 
+use qtenon_sim_engine::MetricsRegistry;
+
 /// Number of unique tags (5-bit tag space).
 pub const TAG_COUNT: usize = 32;
 
@@ -49,6 +51,10 @@ pub struct ReorderBufferQueue<T> {
     order: VecDeque<Tag>,
     /// Free tags.
     free: VecDeque<Tag>,
+    /// Total tags ever issued.
+    issued: u64,
+    /// High-water mark of outstanding transactions.
+    peak_outstanding: usize,
 }
 
 impl<T> ReorderBufferQueue<T> {
@@ -59,6 +65,8 @@ impl<T> ReorderBufferQueue<T> {
             allocated: [false; TAG_COUNT],
             order: VecDeque::new(),
             free: (0..TAG_COUNT as u8).map(Tag).collect(),
+            issued: 0,
+            peak_outstanding: 0,
         }
     }
 
@@ -68,6 +76,8 @@ impl<T> ReorderBufferQueue<T> {
         let tag = self.free.pop_front()?;
         self.allocated[tag.0 as usize] = true;
         self.order.push_back(tag);
+        self.issued += 1;
+        self.peak_outstanding = self.peak_outstanding.max(self.order.len());
         Some(tag)
     }
 
@@ -105,6 +115,25 @@ impl<T> ReorderBufferQueue<T> {
     /// Whether a new request can be issued right now.
     pub fn has_free_tag(&self) -> bool {
         !self.free.is_empty()
+    }
+
+    /// Total tags ever issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// High-water mark of outstanding transactions.
+    pub fn peak_outstanding(&self) -> usize {
+        self.peak_outstanding
+    }
+
+    /// Registers RBQ statistics under `prefix` (e.g. `controller.rbq`).
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter(&format!("{prefix}.issued"), self.issued);
+        m.gauge(
+            &format!("{prefix}.peak_outstanding"),
+            self.peak_outstanding as f64,
+        );
     }
 }
 

@@ -17,6 +17,7 @@
 
 use qtenon_isa::{GateType, QAddress, QccLayout, QubitId};
 use qtenon_mem::QSpace;
+use qtenon_sim_engine::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 /// Saturation limit of the 5-bit use counter.
@@ -240,6 +241,20 @@ impl SltController {
         resolution
     }
 
+    /// Registers SLT and QSpace statistics under `prefix`
+    /// (e.g. `controller.slt`).
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        let s = self.stats;
+        m.counter(&format!("{prefix}.lookups"), s.lookups);
+        m.counter(&format!("{prefix}.hits"), s.hits);
+        m.counter(&format!("{prefix}.qspace_hits"), s.qspace_hits);
+        m.counter(&format!("{prefix}.allocations"), s.allocations);
+        m.counter(&format!("{prefix}.evictions"), s.evictions);
+        m.gauge(&format!("{prefix}.skip_rate"), s.skip_rate());
+        m.counter(&format!("{prefix}.qspace.reads"), self.qspace.reads());
+        m.counter(&format!("{prefix}.qspace.writes"), self.qspace.writes());
+    }
+
     /// Forgets all cached state (fresh run).
     pub fn reset(&mut self) {
         for t in &mut self.tables {
@@ -404,7 +419,7 @@ mod tests {
     fn key_bit_slicing() {
         let key = SltKey::for_gate(GateType::Rz, 0b1111u32 << 23);
         assert_eq!(key.index & 0xf, 0b1111); // low nibble carries the top 4 data bits
-        // Index fits 7 bits and tag fits 20 bits for any input.
+                                             // Index fits 7 bits and tag fits 20 bits for any input.
         for data in [0u32, 1, (1 << 27) - 1, 0x555_5555] {
             let k = SltKey::for_gate(GateType::Cz, data);
             assert!(k.index < 128);

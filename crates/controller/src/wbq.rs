@@ -7,6 +7,8 @@
 //! each beat carry valid data so variable-length writes land at the right
 //! offsets.
 
+use qtenon_sim_engine::MetricsRegistry;
+
 /// Number of 32-bit lanes in a 256-bit bus beat.
 pub const LANES: usize = 8;
 
@@ -93,6 +95,12 @@ impl WriteBufferQueue {
     /// Total words ever enqueued.
     pub fn total_enqueued(&self) -> u64 {
         self.enqueued
+    }
+
+    /// Registers WBQ statistics under `prefix` (e.g. `controller.wbq`).
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter(&format!("{prefix}.enqueued"), self.enqueued);
+        m.gauge(&format!("{prefix}.buffered"), self.len() as f64);
     }
 
     /// Number of 256-bit bus beats needed to carry `words` 32-bit words

@@ -90,8 +90,8 @@ impl QtenonConfig {
     ///
     /// Returns [`SystemError::Config`] if the QCC layout cannot be built.
     pub fn table4(n_qubits: u32, core: CoreModel) -> Result<Self, SystemError> {
-        let layout = QccLayout::for_qubits(n_qubits)
-            .map_err(|e| SystemError::Config(e.to_string()))?;
+        let layout =
+            QccLayout::for_qubits(n_qubits).map_err(|e| SystemError::Config(e.to_string()))?;
         Ok(QtenonConfig {
             n_qubits,
             core,

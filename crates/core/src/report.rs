@@ -164,9 +164,8 @@ impl RunReport {
             .quantum
             .min(self.total)
             .fraction_of(self.total);
-        let classical_busy = self.breakdown.communication
-            + self.breakdown.pulse_generation
-            + self.breakdown.host;
+        let classical_busy =
+            self.breakdown.communication + self.breakdown.pulse_generation + self.breakdown.host;
         let rest = 1.0 - quantum;
         if classical_busy.is_zero() {
             return [quantum, 0.0, 0.0, rest];

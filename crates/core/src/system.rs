@@ -7,13 +7,14 @@
 //! fine-grained synchronisation allows.
 
 use qtenon_controller::pipeline::{PipelineReport, PulsePipeline, WorkItem};
-use qtenon_controller::{AdiModel, MemoryBarrier, TileLinkBus};
+use qtenon_controller::rbq::Tag;
+use qtenon_controller::{AdiModel, MemoryBarrier, ReorderBufferQueue, TileLinkBus};
 use qtenon_isa::{GateType, ProgramEntry, QAddress, QubitId};
 use qtenon_mem::qcc::{AccessPort, QuantumControllerCache};
 use qtenon_mem::MemoryHierarchy;
 use qtenon_quantum::sim::Simulator;
 use qtenon_quantum::{BitString, Circuit, CircuitTiming};
-use qtenon_sim_engine::{SimDuration, SimTime};
+use qtenon_sim_engine::{Histogram, MetricsRegistry, SimDuration, SimTime};
 
 use crate::config::QtenonConfig;
 use crate::host::HostCoreModel;
@@ -47,6 +48,18 @@ pub struct QtenonSystem {
     measure_cursor: u64,
     dynamic_instructions: u64,
     trace: Option<Trace>,
+    /// RBQ tags naming in-flight logical requests for flow tracing.
+    rbq: ReorderBufferQueue<()>,
+    /// The currently open flow (flow id, RBQ tag), if tracing.
+    active_flow: Option<(u64, Tag)>,
+    /// Monotonic flow-id allocator.
+    flow_seq: u64,
+    /// Per-instruction latency distributions, in nanoseconds.
+    lat_q_update: Histogram,
+    lat_q_set: Histogram,
+    lat_q_acquire: Histogram,
+    lat_q_gen: Histogram,
+    lat_q_run: Histogram,
 }
 
 impl std::fmt::Debug for QtenonSystem {
@@ -80,6 +93,14 @@ impl QtenonSystem {
             measure_cursor: 0,
             dynamic_instructions: 0,
             trace: None,
+            rbq: ReorderBufferQueue::new(),
+            active_flow: None,
+            flow_seq: 0,
+            lat_q_update: Histogram::new(),
+            lat_q_set: Histogram::new(),
+            lat_q_acquire: Histogram::new(),
+            lat_q_gen: Histogram::new(),
+            lat_q_run: Histogram::new(),
         })
     }
 
@@ -129,6 +150,58 @@ impl QtenonSystem {
         }
     }
 
+    /// Returns the open flow id, opening one on the Host lane if needed.
+    ///
+    /// A flow names one logical request — issued by the host, carried over
+    /// the communication paths, expanded by the pulse pipeline, executed on
+    /// the chip — with an RBQ tag, so trace viewers draw a single arrow
+    /// chain across the four lanes. Returns `None` when tracing is off or
+    /// all 32 tags are in flight.
+    fn ensure_flow(&mut self, now: SimTime) -> Option<u64> {
+        self.trace.as_ref()?;
+        if let Some((flow, _)) = self.active_flow {
+            return Some(flow);
+        }
+        let tag = self.rbq.issue()?;
+        let flow = self.flow_seq;
+        self.flow_seq += 1;
+        self.active_flow = Some((flow, tag));
+        let issue_cost = self.host.clock().cycles(1);
+        let name = format!("issue rbq:{}", tag.value());
+        if let Some(trace) = &mut self.trace {
+            trace.record(&name, TraceLane::Host, now, issue_cost);
+            trace.record_flow_start(format!("rbq:{}", tag.value()), TraceLane::Host, now, flow);
+        }
+        Some(flow)
+    }
+
+    /// Adds a flow-step on `lane` at `now` for the open flow, if any.
+    fn flow_step(&mut self, lane: TraceLane, now: SimTime) {
+        let Some(flow) = self.ensure_flow(now) else {
+            return;
+        };
+        let tag = self.active_flow.expect("flow just ensured").1;
+        if let Some(trace) = &mut self.trace {
+            trace.record_flow_step(format!("rbq:{}", tag.value()), lane, now, flow);
+        }
+    }
+
+    /// Ends the open flow on `lane` at `now`, retiring its RBQ tag.
+    fn flow_end(&mut self, lane: TraceLane, now: SimTime) {
+        let Some(flow) = self.ensure_flow(now) else {
+            return;
+        };
+        let (_, tag) = self.active_flow.take().expect("flow just ensured");
+        if let Some(trace) = &mut self.trace {
+            trace.record_flow_end(format!("rbq:{}", tag.value()), lane, now, flow);
+        }
+        self.rbq.complete(tag, ());
+        // The flow protocol issues and retires tags strictly in order, so
+        // the completed tag is always at the head of the RBQ.
+        let popped = self.rbq.pop_in_order();
+        debug_assert!(popped.is_some(), "completed tag must pop");
+    }
+
     /// Cumulative SLT statistics.
     pub fn slt_stats(&self) -> qtenon_controller::SltStats {
         self.pipeline.slt_stats()
@@ -151,6 +224,8 @@ impl QtenonSystem {
         self.comm.q_update += d;
         self.comm.q_update_count += 1;
         self.dynamic_instructions += 1;
+        self.lat_q_update.record(d.as_ps() / 1_000);
+        self.flow_step(TraceLane::Communication, now);
         self.trace_event("q_update", TraceLane::Communication, now, d);
         Ok(now + d)
     }
@@ -170,7 +245,8 @@ impl QtenonSystem {
     ) -> Result<SimTime, SystemError> {
         for (i, entry) in entries.iter().enumerate() {
             let dst = qaddr.offset(i as u64)?;
-            self.qcc.write_program(AccessPort::HostPublic, dst, *entry)?;
+            self.qcc
+                .write_program(AccessPort::HostPublic, dst, *entry)?;
         }
         // Source read walks the host hierarchy; the bus then moves the
         // 9-byte records. The two pipelines overlap, so charge the max.
@@ -182,6 +258,8 @@ impl QtenonSystem {
         self.comm.q_set += d;
         self.comm.q_set_count += 1;
         self.dynamic_instructions += 1;
+        self.lat_q_set.record(d.as_ps() / 1_000);
+        self.flow_step(TraceLane::Communication, now);
         self.trace_event("q_set", TraceLane::Communication, now, d);
         Ok(complete)
     }
@@ -215,6 +293,8 @@ impl QtenonSystem {
         self.comm.q_acquire += d;
         self.comm.q_acquire_count += 1;
         self.dynamic_instructions += 1;
+        self.lat_q_acquire.record(d.as_ps() / 1_000);
+        self.flow_step(TraceLane::Communication, now);
         self.trace_event("q_acquire", TraceLane::Communication, now, d);
         Ok((data, complete))
     }
@@ -226,14 +306,12 @@ impl QtenonSystem {
         let transfer = self.bus.schedule_transfer(now, bytes);
         self.barrier
             .mark_synced(classical_addr, bytes, transfer.complete);
-        self.comm.q_acquire += transfer.complete.saturating_since(now);
+        let d = transfer.complete.saturating_since(now);
+        self.comm.q_acquire += d;
         self.comm.q_acquire_count += 1;
-        self.trace_event(
-            "put",
-            TraceLane::Communication,
-            now,
-            transfer.complete.saturating_since(now),
-        );
+        self.lat_q_acquire.record(d.as_ps() / 1_000);
+        self.flow_step(TraceLane::Communication, now);
+        self.trace_event("put", TraceLane::Communication, now, d);
         transfer.complete
     }
 
@@ -272,6 +350,8 @@ impl QtenonSystem {
             }
         }
         self.dynamic_instructions += 1;
+        self.lat_q_gen.record(report.total_time.as_ps() / 1_000);
+        self.flow_step(TraceLane::PulsePipeline, now);
         self.trace_event(
             &format!("q_gen[{}]", report.entries),
             TraceLane::PulsePipeline,
@@ -308,14 +388,17 @@ impl QtenonSystem {
                     ))
                 })?;
                 self.qcc.write_measure(AccessPort::Controller, addr, word)?;
-                self.measure_cursor =
-                    (self.measure_cursor + 1) % layout.measure_entries();
+                self.measure_cursor = (self.measure_cursor + 1) % layout.measure_entries();
             }
         }
-        let complete =
-            now + self.adi.interface_latency + timing.shot_duration * shots
-                + self.adi.readout_latency();
+        let complete = now
+            + self.adi.interface_latency
+            + timing.shot_duration * shots
+            + self.adi.readout_latency();
         self.dynamic_instructions += 1;
+        self.lat_q_run
+            .record(complete.saturating_since(now).as_ps() / 1_000);
+        self.flow_end(TraceLane::QuantumChip, now);
         self.trace_event(
             &format!("q_run[{shots}]"),
             TraceLane::QuantumChip,
@@ -329,6 +412,32 @@ impl QtenonSystem {
         })
     }
 
+    /// Registers every modelled component's statistics under the stable
+    /// dotted namespaces `mem.*`, `controller.*`, and `core.*`.
+    ///
+    /// Calling this repeatedly overwrites earlier values, so one registry
+    /// can track a system across snapshots.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry) {
+        self.hierarchy.export_metrics(m, "mem");
+        self.qcc.export_metrics(m, "mem.qcc");
+        self.pipeline.export_metrics(m, "controller");
+        self.bus.export_metrics(m, "controller.bus");
+        self.barrier.export_metrics(m, "controller.barrier");
+        self.rbq.export_metrics(m, "controller.rbq");
+        m.counter("core.instructions", self.dynamic_instructions);
+        m.counter("core.instr.q_update.count", self.comm.q_update_count);
+        m.gauge("core.instr.q_update.total_ns", self.comm.q_update.as_ns());
+        m.histogram("core.instr.q_update.latency_ns", &self.lat_q_update);
+        m.counter("core.instr.q_set.count", self.comm.q_set_count);
+        m.gauge("core.instr.q_set.total_ns", self.comm.q_set.as_ns());
+        m.histogram("core.instr.q_set.latency_ns", &self.lat_q_set);
+        m.counter("core.instr.q_acquire.count", self.comm.q_acquire_count);
+        m.gauge("core.instr.q_acquire.total_ns", self.comm.q_acquire.as_ns());
+        m.histogram("core.instr.q_acquire.latency_ns", &self.lat_q_acquire);
+        m.histogram("core.instr.q_gen.latency_ns", &self.lat_q_gen);
+        m.histogram("core.instr.q_run.latency_ns", &self.lat_q_run);
+    }
+
     /// Resets transient state between independent experiment runs while
     /// keeping the warm SLT (use [`QtenonSystem::cold_reset`] to drop it).
     pub fn reset_accounting(&mut self) {
@@ -336,6 +445,13 @@ impl QtenonSystem {
         self.dynamic_instructions = 0;
         self.bus.reset();
         self.barrier.reset();
+        self.rbq = ReorderBufferQueue::new();
+        self.active_flow = None;
+        self.lat_q_update.reset();
+        self.lat_q_set.reset();
+        self.lat_q_acquire.reset();
+        self.lat_q_gen.reset();
+        self.lat_q_run.reset();
     }
 
     /// Drops all cached pulse state as well (a from-scratch system).
@@ -386,10 +502,8 @@ mod tests {
         let mut sys = system(8);
         let layout = sys.config().layout;
         let qaddr = layout.program_entry(QubitId::new(2), 0).unwrap();
-        let entries = vec![
-            ProgramEntry::rotation(GateType::Rx, EncodedAngle::from_radians(0.3));
-            16
-        ];
+        let entries =
+            vec![ProgramEntry::rotation(GateType::Rx, EncodedAngle::from_radians(0.3)); 16];
         let done = sys.q_set_program(t0(), 0x8000, qaddr, &entries).unwrap();
         assert!(done > t0());
         let read_back = sys
@@ -404,7 +518,11 @@ mod tests {
     #[test]
     fn q_gen_generates_then_skips() {
         let mut sys = system(8);
-        let items = vec![(QubitId::new(0), GateType::Ry, EncodedAngle::from_radians(1.0).code())];
+        let items = vec![(
+            QubitId::new(0),
+            GateType::Ry,
+            EncodedAngle::from_radians(1.0).code(),
+        )];
         let (cold, _) = sys.q_gen(t0(), &items).unwrap();
         assert_eq!(cold.generated, 1);
         let (warm, _) = sys.q_gen(t0(), &items).unwrap();
@@ -481,5 +599,57 @@ mod tests {
         sys.q_update(t0(), addr, 1).unwrap();
         sys.q_update(t0(), addr, 2).unwrap();
         assert_eq!(sys.dynamic_instructions(), 2);
+    }
+
+    #[test]
+    fn metrics_span_all_three_namespaces() {
+        let mut sys = system(4);
+        let addr = sys.config().layout.regfile_entry(0).unwrap();
+        sys.q_update(t0(), addr, 7).unwrap();
+        let items = vec![(QubitId::new(0), GateType::Rx, 123u32)];
+        sys.q_gen(t0(), &items).unwrap();
+        let mut m = qtenon_sim_engine::MetricsRegistry::new();
+        sys.export_metrics(&mut m);
+        assert!(m.len() >= 20, "only {} metric paths", m.len());
+        for ns in ["mem.", "controller.", "core."] {
+            assert!(
+                m.paths().iter().any(|p| p.starts_with(ns)),
+                "no {ns}* metrics"
+            );
+        }
+        // Spot-check values flow through.
+        use qtenon_sim_engine::MetricValue;
+        assert_eq!(
+            m.get("controller.slt.lookups"),
+            Some(&MetricValue::Counter(1))
+        );
+        assert_eq!(m.get("core.instructions"), Some(&MetricValue::Counter(2)));
+    }
+
+    #[test]
+    fn flows_link_one_rbq_tag_across_lanes() {
+        use crate::trace::TraceLane;
+        let mut sys = system(4);
+        sys.set_tracing(true);
+        let addr = sys.config().layout.regfile_entry(0).unwrap();
+        sys.q_update(t0(), addr, 1).unwrap();
+        let items = vec![(QubitId::new(0), GateType::Rx, 77u32)];
+        let (_, t) = sys.q_gen(t0(), &items).unwrap();
+        let mut c = Circuit::new(4);
+        c.rx(0, 1.0).measure_all();
+        sys.q_run(t, &c, 2).unwrap();
+        let trace = sys.take_trace().unwrap();
+        let lanes = trace.flow_lanes(0);
+        assert!(
+            lanes.len() >= 3,
+            "flow 0 spans only {} lanes: {lanes:?}",
+            lanes.len()
+        );
+        assert!(lanes.contains(&TraceLane::Host));
+        assert!(lanes.contains(&TraceLane::QuantumChip));
+        // The next request opens a fresh flow with a recycled tag.
+        sys.q_update(t0(), addr, 2).unwrap();
+        let trace = sys.take_trace().unwrap();
+        assert!(!trace.flow_lanes(1).is_empty());
     }
 }

@@ -4,8 +4,13 @@
 //!
 //! Enable with [`crate::system::QtenonSystem::set_tracing`]; every ISA
 //! instruction, controller PUT, and quantum run then records a
-//! [`TraceEvent`] with its simulated start/end times.
+//! [`TraceEvent`] with its simulated start/end times. Beyond "X"
+//! complete slices the log carries instant markers, counter samples,
+//! and flow events that link one logical request (named by its RBQ tag)
+//! across lanes — Perfetto draws these as arrows from the host's issue
+//! slice through communication and pulse generation to the chip.
 
+use qtenon_sim_engine::metrics::json_escape;
 use qtenon_sim_engine::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -45,7 +50,36 @@ impl TraceLane {
     }
 }
 
-/// One traced interval.
+/// What kind of trace-viewer event a [`TraceEvent`] renders as.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// A duration slice (`ph:"X"`).
+    Complete,
+    /// A zero-duration marker (`ph:"i"`).
+    Instant,
+    /// A sampled counter value (`ph:"C"`).
+    Counter {
+        /// The sampled value.
+        value: f64,
+    },
+    /// The start of a flow arrow (`ph:"s"`).
+    FlowStart {
+        /// Flow id shared by every event of the flow.
+        flow: u64,
+    },
+    /// An intermediate flow point (`ph:"t"`).
+    FlowStep {
+        /// Flow id shared by every event of the flow.
+        flow: u64,
+    },
+    /// The end of a flow arrow (`ph:"f"`).
+    FlowEnd {
+        /// Flow id shared by every event of the flow.
+        flow: u64,
+    },
+}
+
+/// One traced event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// Event label (e.g. `q_set`, `q_run[500]`).
@@ -54,8 +88,10 @@ pub struct TraceEvent {
     pub lane: TraceLane,
     /// Start time.
     pub start: SimTime,
-    /// Duration.
+    /// Duration (zero for non-slice events).
     pub duration: SimDuration,
+    /// The viewer event kind.
+    pub kind: TraceEventKind,
 }
 
 /// An append-only event log.
@@ -70,7 +106,7 @@ impl Trace {
         Trace::default()
     }
 
-    /// Appends an event.
+    /// Appends a complete ("X") slice.
     pub fn record(
         &mut self,
         name: impl Into<String>,
@@ -83,6 +119,86 @@ impl Trace {
             lane,
             start,
             duration,
+            kind: TraceEventKind::Complete,
+        });
+    }
+
+    /// Appends an instant ("i") marker.
+    pub fn record_instant(&mut self, name: impl Into<String>, lane: TraceLane, at: SimTime) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            lane,
+            start: at,
+            duration: SimDuration::ZERO,
+            kind: TraceEventKind::Instant,
+        });
+    }
+
+    /// Appends a counter ("C") sample.
+    pub fn record_counter(
+        &mut self,
+        name: impl Into<String>,
+        lane: TraceLane,
+        at: SimTime,
+        value: f64,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            lane,
+            start: at,
+            duration: SimDuration::ZERO,
+            kind: TraceEventKind::Counter { value },
+        });
+    }
+
+    /// Appends a flow-start ("s") event opening flow `flow` on `lane`.
+    pub fn record_flow_start(
+        &mut self,
+        name: impl Into<String>,
+        lane: TraceLane,
+        at: SimTime,
+        flow: u64,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            lane,
+            start: at,
+            duration: SimDuration::ZERO,
+            kind: TraceEventKind::FlowStart { flow },
+        });
+    }
+
+    /// Appends a flow-step ("t") event continuing flow `flow` on `lane`.
+    pub fn record_flow_step(
+        &mut self,
+        name: impl Into<String>,
+        lane: TraceLane,
+        at: SimTime,
+        flow: u64,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            lane,
+            start: at,
+            duration: SimDuration::ZERO,
+            kind: TraceEventKind::FlowStep { flow },
+        });
+    }
+
+    /// Appends a flow-end ("f") event closing flow `flow` on `lane`.
+    pub fn record_flow_end(
+        &mut self,
+        name: impl Into<String>,
+        lane: TraceLane,
+        at: SimTime,
+        flow: u64,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            lane,
+            start: at,
+            duration: SimDuration::ZERO,
+            kind: TraceEventKind::FlowEnd { flow },
         });
     }
 
@@ -101,7 +217,8 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Total busy time recorded on one lane.
+    /// Total busy time recorded on one lane (complete slices only; the
+    /// zero-duration marker/flow events contribute nothing).
     pub fn lane_busy(&self, lane: TraceLane) -> SimDuration {
         self.events
             .iter()
@@ -110,21 +227,64 @@ impl Trace {
             .sum()
     }
 
+    /// The distinct lanes that carry events of the flow with id `flow`.
+    pub fn flow_lanes(&self, flow: u64) -> Vec<TraceLane> {
+        let mut lanes = Vec::new();
+        for e in &self.events {
+            let belongs = matches!(
+                e.kind,
+                TraceEventKind::FlowStart { flow: f }
+                    | TraceEventKind::FlowStep { flow: f }
+                    | TraceEventKind::FlowEnd { flow: f }
+                if f == flow
+            );
+            if belongs && !lanes.contains(&e.lane) {
+                lanes.push(e.lane);
+            }
+        }
+        lanes
+    }
+
     /// Serialises to the Chrome trace-event JSON array format
-    /// (microsecond timestamps, "X" complete events).
+    /// (microsecond timestamps; "X" slices plus "i"/"C"/"s"/"t"/"f"
+    /// events for markers, counters, and flows).
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::from("[");
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
-                e.name.replace('"', "'"),
-                e.lane.tid(),
-                e.start.elapsed().as_us(),
-                e.duration.as_us(),
-            ));
+            let name = json_escape(&e.name);
+            let tid = e.lane.tid();
+            let ts = e.start.elapsed().as_us();
+            match e.kind {
+                TraceEventKind::Complete => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
+                     \"ts\":{ts:.3},\"dur\":{:.3}}}",
+                    e.duration.as_us(),
+                )),
+                TraceEventKind::Instant => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\
+                     \"ts\":{ts:.3},\"s\":\"t\"}}"
+                )),
+                TraceEventKind::Counter { value } => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\
+                     \"ts\":{ts:.3},\"args\":{{\"value\":{}}}}}",
+                    if value.is_finite() { value } else { 0.0 },
+                )),
+                TraceEventKind::FlowStart { flow } => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"s\",\"pid\":1,\
+                     \"tid\":{tid},\"ts\":{ts:.3},\"id\":{flow}}}"
+                )),
+                TraceEventKind::FlowStep { flow } => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"t\",\"pid\":1,\
+                     \"tid\":{tid},\"ts\":{ts:.3},\"id\":{flow}}}"
+                )),
+                TraceEventKind::FlowEnd { flow } => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\
+                     \"pid\":1,\"tid\":{tid},\"ts\":{ts:.3},\"id\":{flow}}}"
+                )),
+            }
         }
         out.push(']');
         out
@@ -142,9 +302,24 @@ mod tests {
     #[test]
     fn records_and_sums_lanes() {
         let mut t = Trace::new();
-        t.record("q_set", TraceLane::Communication, at(0), SimDuration::from_ns(30));
-        t.record("q_run", TraceLane::QuantumChip, at(30), SimDuration::from_us(5));
-        t.record("put", TraceLane::Communication, at(100), SimDuration::from_ns(20));
+        t.record(
+            "q_set",
+            TraceLane::Communication,
+            at(0),
+            SimDuration::from_ns(30),
+        );
+        t.record(
+            "q_run",
+            TraceLane::QuantumChip,
+            at(30),
+            SimDuration::from_us(5),
+        );
+        t.record(
+            "put",
+            TraceLane::Communication,
+            at(100),
+            SimDuration::from_ns(20),
+        );
         assert_eq!(t.len(), 3);
         assert_eq!(
             t.lane_busy(TraceLane::Communication),
@@ -156,7 +331,12 @@ mod tests {
     #[test]
     fn chrome_json_is_well_formed() {
         let mut t = Trace::new();
-        t.record("q_gen", TraceLane::PulsePipeline, at(1000), SimDuration::from_us(1));
+        t.record(
+            "q_gen",
+            TraceLane::PulsePipeline,
+            at(1000),
+            SimDuration::from_us(1),
+        );
         let json = t.to_chrome_json();
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\"name\":\"q_gen\""));
@@ -176,6 +356,48 @@ mod tests {
         let mut t = Trace::new();
         t.record("a\"b", TraceLane::Host, at(0), SimDuration::ZERO);
         assert!(!t.to_chrome_json().contains("\"a\"b\""));
+    }
+
+    #[test]
+    fn backslashes_and_control_chars_are_escaped() {
+        let mut t = Trace::new();
+        t.record(
+            "a\\b\nc\td\u{1}e",
+            TraceLane::Host,
+            at(0),
+            SimDuration::ZERO,
+        );
+        let json = t.to_chrome_json();
+        // Every special byte is replaced by a JSON escape sequence; no
+        // raw backslash-without-escape or control byte survives.
+        assert!(json.contains(r"a\\b\nc\td\u0001e"), "json={json}");
+        assert!(!json.bytes().any(|b| b < 0x20));
+    }
+
+    #[test]
+    fn instant_counter_and_flow_events_serialise() {
+        let mut t = Trace::new();
+        t.record_instant("issue", TraceLane::Host, at(0));
+        t.record_counter("outstanding", TraceLane::Communication, at(5), 3.0);
+        t.record_flow_start("rbq:7", TraceLane::Host, at(0), 7);
+        t.record_flow_step("rbq:7", TraceLane::Communication, at(10), 7);
+        t.record_flow_end("rbq:7", TraceLane::QuantumChip, at(20), 7);
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":3}"));
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"t\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        assert!(json.contains("\"bp\":\"e\""));
+        assert!(json.contains("\"id\":7"));
+        // The flow touches three distinct lanes.
+        assert_eq!(t.flow_lanes(7).len(), 3);
+        // Balanced braces: a cheap structural validity check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use qtenon_compiler::{CompiledProgram, ParameterDiff, QtenonCompiler};
 use qtenon_isa::Instruction;
 use qtenon_quantum::BitString;
-use qtenon_sim_engine::{OpClass, OpCounter, SimTime};
+use qtenon_sim_engine::{Histogram, MetricsRegistry, OpClass, OpCounter, SimTime};
 use qtenon_workloads::cost::{CostEvaluator, BLOCK_SHOTS};
 use qtenon_workloads::{evaluate_cost, Optimizer, Workload};
 
@@ -47,6 +47,11 @@ pub struct VqaRunner {
     system: QtenonSystem,
     workload: Workload,
     program: CompiledProgram,
+    evaluations: u64,
+    iterations: u64,
+    eval_latency: Histogram,
+    iter_latency: Histogram,
+    final_cost: f64,
 }
 
 impl std::fmt::Debug for VqaRunner {
@@ -77,6 +82,11 @@ impl VqaRunner {
             system: QtenonSystem::new(config)?,
             workload,
             program,
+            evaluations: 0,
+            iterations: 0,
+            eval_latency: Histogram::new(),
+            iter_latency: Histogram::new(),
+            final_cost: f64::NAN,
         })
     }
 
@@ -88,6 +98,17 @@ impl VqaRunner {
     /// The underlying system (for inspection).
     pub fn system(&self) -> &QtenonSystem {
         &self.system
+    }
+
+    /// Registers the full system metric tree plus runner-level
+    /// `core.vqa.*` statistics from the most recent [`run`](Self::run).
+    pub fn export_metrics(&self, m: &mut MetricsRegistry) {
+        self.system.export_metrics(m);
+        m.counter("core.vqa.evaluations", self.evaluations);
+        m.counter("core.vqa.iterations", self.iterations);
+        m.histogram("core.vqa.eval_latency_ns", &self.eval_latency);
+        m.histogram("core.vqa.iteration_latency_ns", &self.iter_latency);
+        m.gauge("core.vqa.final_cost", self.final_cost);
     }
 
     /// Static instruction count of the program text: setup instructions
@@ -116,6 +137,11 @@ impl VqaRunner {
     ) -> Result<RunReport, SystemError> {
         let config = *self.system.config();
         self.system.cold_reset();
+        self.evaluations = 0;
+        self.iterations = 0;
+        self.eval_latency.reset();
+        self.iter_latency.reset();
+        self.final_cost = f64::NAN;
         let mut now = SimTime::ZERO;
         let mut breakdown = TimeBreakdown::default();
         let mut host_ops_total = OpCounter::new();
@@ -144,7 +170,12 @@ impl VqaRunner {
                 .into_iter()
                 .enumerate()
             {
-                if let Instruction::QSet { classical_addr, qaddr, .. } = instr {
+                if let Instruction::QSet {
+                    classical_addr,
+                    qaddr,
+                    ..
+                } = instr
+                {
                     // Find the chunk this q_set came from (chunks in order
                     // of non-empty qubits).
                     let entries = self
@@ -154,7 +185,9 @@ impl VqaRunner {
                         .filter(|c| !c.is_empty())
                         .nth(chunk_idx)
                         .expect("instruction per non-empty chunk");
-                    now = self.system.q_set_program(now, classical_addr, qaddr, entries)?;
+                    now = self
+                        .system
+                        .q_set_program(now, classical_addr, qaddr, entries)?;
                 }
             }
             for instr in self.program.bind_instructions(&params)? {
@@ -175,6 +208,7 @@ impl VqaRunner {
         // --- Optimisation loop.
         let mut loaded_params = params.clone();
         for _iter in 0..iterations {
+            let iter_start = now;
             let plan = optimizer.iteration_plan(&params);
             let mut evals = Vec::with_capacity(plan.len());
             for eval_params in &plan {
@@ -191,6 +225,9 @@ impl VqaRunner {
                 )?;
                 loaded_params.clone_from(eval_params);
                 evals.push(cost);
+                self.eval_latency
+                    .record(t.saturating_since(now).as_ps() / 1_000);
+                self.evaluations += 1;
                 now = t;
             }
             // Optimizer update on the host.
@@ -202,12 +239,16 @@ impl VqaRunner {
             now += d;
             let mean = evals.iter().sum::<f64>() / evals.len().max(1) as f64;
             cost_history.push(mean);
+            self.iter_latency
+                .record(now.saturating_since(iter_start).as_ps() / 1_000);
+            self.iterations += 1;
         }
 
         let comm = self.system.comm();
         breakdown.communication = comm.total();
         let host_cycles = self.system.host().cycles_for(&host_ops_total);
         let final_cost = cost_history.last().copied().unwrap_or(f64::NAN);
+        self.final_cost = final_cost;
         Ok(RunReport {
             total: now.elapsed(),
             breakdown,
@@ -527,6 +568,29 @@ mod tests {
         assert!(!shots[0].get(64));
         assert!(shots[1].get(0) && shots[1].get(63) && shots[1].get(64));
         assert!(!shots[1].get(65));
+    }
+
+    #[test]
+    fn runner_metrics_cover_run_statistics() {
+        use qtenon_sim_engine::{MetricValue, MetricsRegistry};
+
+        let mut r = runner(8, qtenon_workloads::WorkloadKind::Qaoa);
+        r.run(&mut SpsaOptimizer::new(3), 2, 50).unwrap();
+        let mut m = MetricsRegistry::new();
+        r.export_metrics(&mut m);
+        assert!(m.len() >= 20, "only {} metrics exported", m.len());
+        assert_eq!(m.get("core.vqa.iterations"), Some(&MetricValue::Counter(2)));
+        match m.get("core.vqa.eval_latency_ns") {
+            Some(MetricValue::Histogram(h)) => {
+                assert!(h.count() > 0);
+                assert!(h.p50() <= h.p99());
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        match m.get("core.vqa.final_cost") {
+            Some(MetricValue::Gauge(g)) => assert!(g.is_finite()),
+            other => panic!("expected gauge, got {other:?}"),
+        }
     }
 
     #[test]

@@ -3,9 +3,9 @@
 
 use proptest::prelude::*;
 
+use qtenon_core::config::CoreModel;
 use qtenon_core::config::TransmissionPolicy;
 use qtenon_core::host::HostCoreModel;
-use qtenon_core::config::CoreModel;
 use qtenon_core::report::TimeBreakdown;
 use qtenon_core::schedule::TransmissionPlan;
 use qtenon_sim_engine::{OpClass, OpCounter, SimDuration};

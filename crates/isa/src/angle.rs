@@ -139,7 +139,10 @@ mod tests {
     #[test]
     fn non_finite_encodes_to_zero() {
         assert_eq!(EncodedAngle::from_radians(f64::NAN), EncodedAngle::ZERO);
-        assert_eq!(EncodedAngle::from_radians(f64::INFINITY), EncodedAngle::ZERO);
+        assert_eq!(
+            EncodedAngle::from_radians(f64::INFINITY),
+            EncodedAngle::ZERO
+        );
     }
 
     #[test]

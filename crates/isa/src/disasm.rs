@@ -67,12 +67,7 @@ pub fn disassemble_chunk(
 /// Formats rows as an aligned text listing.
 pub fn format_listing(rows: &[DisasmRow]) -> String {
     let mut out = String::new();
-    let width = rows
-        .iter()
-        .map(|r| r.info.len())
-        .max()
-        .unwrap_or(4)
-        .max(4);
+    let width = rows.iter().map(|r| r.info.len()).max().unwrap_or(4).max(4);
     let _ = writeln!(out, "{:<10}  {:<width$}  {}", "idx", "info", "addr");
     for r in rows {
         let _ = writeln!(out, "{:<#10x}  {:<width$}  {}", r.addr, r.info, r.pulse);

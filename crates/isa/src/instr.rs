@@ -221,8 +221,7 @@ impl Instruction {
                 Some(hex) => (hex, 16),
                 None => (s, 10),
             };
-            u64::from_str_radix(digits, radix)
-                .map_err(|e| err(format!("bad number {s:?}: {e}")))
+            u64::from_str_radix(digits, radix).map_err(|e| err(format!("bad number {s:?}: {e}")))
         };
         let parse_qaddr = |s: &str| -> Result<QAddress, IsaError> {
             let s = s
@@ -419,8 +418,8 @@ mod tests {
         for bad in [
             "q_teleport 1",
             "q_run",
-            "q_update 0x100, 3",      // missing '@'
-            "q_set 0x1, @0x2",        // missing operand
+            "q_update 0x100, 3", // missing '@'
+            "q_set 0x1, @0x2",   // missing operand
             "q_run banana",
             "",
         ] {
@@ -443,10 +442,7 @@ mod tests {
 
     #[test]
     fn funct_matches_variant() {
-        assert_eq!(
-            Instruction::QRun { shots: 1 }.funct(),
-            RoccFunct::QRun
-        );
+        assert_eq!(Instruction::QRun { shots: 1 }.funct(), RoccFunct::QRun);
         assert_eq!(
             Instruction::QGen {
                 qaddr: qa(0),

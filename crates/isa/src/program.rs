@@ -401,7 +401,10 @@ mod tests {
                 .payload(),
             EntryData::RegIndex(5)
         );
-        assert_eq!(ProgramEntry::cz(3).unwrap().payload(), EntryData::Partner(3));
+        assert_eq!(
+            ProgramEntry::cz(3).unwrap().payload(),
+            EntryData::Partner(3)
+        );
         assert_eq!(ProgramEntry::measure().payload(), EntryData::None);
     }
 

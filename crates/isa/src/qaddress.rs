@@ -347,9 +347,10 @@ impl QccLayout {
     pub fn segment_base(&self, segment: Segment) -> u64 {
         let program_span = self.n_qubits as u64 * self.program_entries;
         let regfile_base = REGFILE_BASE_64.max(next_multiple(program_span, 0x1000));
-        let measure_base =
-            (regfile_base + self.regfile_entries).max(regfile_base + (MEASURE_BASE_64 - REGFILE_BASE_64));
-        let pulse_base = PULSE_BASE_64.max(next_multiple(measure_base + self.measure_entries, 0x10000));
+        let measure_base = (regfile_base + self.regfile_entries)
+            .max(regfile_base + (MEASURE_BASE_64 - REGFILE_BASE_64));
+        let pulse_base =
+            PULSE_BASE_64.max(next_multiple(measure_base + self.measure_entries, 0x10000));
         let slt_base = pulse_base + self.n_qubits as u64 * self.pulse_entries;
         match segment {
             Segment::Program => 0,
@@ -387,10 +388,7 @@ impl QccLayout {
     /// Total quantum controller cache size in bytes (Table 2's 5.66 MB for
     /// the 64-qubit default).
     pub fn total_bytes(&self) -> u64 {
-        Segment::ALL
-            .iter()
-            .map(|&s| self.segment_bytes(s))
-            .sum()
+        Segment::ALL.iter().map(|&s| self.segment_bytes(s)).sum()
     }
 
     /// The address of `entry` within `qubit`'s `.program` chunk.
@@ -501,7 +499,10 @@ impl QccLayout {
                     ),
                     Segment::Slt => {
                         let per_qubit = self.slt_ways * self.slt_entries_per_way;
-                        (Some(QubitId::new((off / per_qubit) as u32)), off % per_qubit)
+                        (
+                            Some(QubitId::new((off / per_qubit) as u32)),
+                            off % per_qubit,
+                        )
                     }
                     Segment::Measure | Segment::Regfile => (None, off),
                 };
@@ -578,8 +579,18 @@ mod tests {
     fn decode_round_trips_every_segment() {
         let l = layout64();
         let cases = [
-            (l.program_entry(QubitId::new(5), 17).unwrap(), Segment::Program, Some(5), 17),
-            (l.pulse_entry(QubitId::new(63), 1023).unwrap(), Segment::Pulse, Some(63), 1023),
+            (
+                l.program_entry(QubitId::new(5), 17).unwrap(),
+                Segment::Program,
+                Some(5),
+                17,
+            ),
+            (
+                l.pulse_entry(QubitId::new(63), 1023).unwrap(),
+                Segment::Pulse,
+                Some(63),
+                1023,
+            ),
             (l.regfile_entry(12).unwrap(), Segment::Regfile, None, 12),
             (l.measure_entry(5119).unwrap(), Segment::Measure, None, 5119),
         ];

@@ -124,16 +124,11 @@ impl RoccWord {
     /// # Panics
     ///
     /// Panics if a register number exceeds 31.
-    pub fn new(
-        funct: RoccFunct,
-        rd: u8,
-        rs1: u8,
-        rs2: u8,
-        xd: bool,
-        xs1: bool,
-        xs2: bool,
-    ) -> Self {
-        assert!(rd < 32 && rs1 < 32 && rs2 < 32, "register number out of range");
+    pub fn new(funct: RoccFunct, rd: u8, rs1: u8, rs2: u8, xd: bool, xs1: bool, xs2: bool) -> Self {
+        assert!(
+            rd < 32 && rs1 < 32 && rs2 < 32,
+            "register number out of range"
+        );
         RoccWord {
             funct,
             rd,

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use qtenon_sim_engine::Counter;
+use qtenon_sim_engine::{Counter, MetricsRegistry};
 
 use crate::MemError;
 
@@ -192,6 +192,14 @@ impl Cache {
         } else {
             self.hits() as f64 / total as f64
         }
+    }
+
+    /// Registers this cache's statistics under `prefix` (e.g. `mem.l1`).
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter(&format!("{prefix}.hits"), self.hits());
+        m.counter(&format!("{prefix}.misses"), self.misses());
+        m.counter(&format!("{prefix}.writebacks"), self.writebacks());
+        m.gauge(&format!("{prefix}.hit_rate"), self.hit_rate());
     }
 
     /// Forgets all cached lines and statistics.

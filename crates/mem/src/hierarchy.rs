@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use qtenon_sim_engine::{ClockDomain, SimDuration};
+use qtenon_sim_engine::{ClockDomain, MetricsRegistry, SimDuration};
 
 use crate::cache::{Cache, CacheConfig};
 use crate::MemError;
@@ -94,9 +94,7 @@ impl MemoryHierarchy {
         let line = self.config.l1.line_bytes as u64;
         let first = addr / line;
         let last = (addr + bytes.max(1) - 1) / line;
-        (first..=last)
-            .map(|l| self.access(l * line, write))
-            .sum()
+        (first..=last).map(|l| self.access(l * line, write)).sum()
     }
 
     /// L1 hit rate so far.
@@ -112,6 +110,14 @@ impl MemoryHierarchy {
     /// Number of DRAM accesses so far.
     pub fn dram_accesses(&self) -> u64 {
         self.dram_accesses
+    }
+
+    /// Registers the hierarchy's statistics under `prefix` (e.g. `mem`),
+    /// yielding `mem.l1.*`, `mem.l2.*`, and `mem.dram.accesses`.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        self.l1.export_metrics(m, &format!("{prefix}.l1"));
+        self.l2.export_metrics(m, &format!("{prefix}.l2"));
+        m.counter(&format!("{prefix}.dram.accesses"), self.dram_accesses);
     }
 
     /// Forgets all cached state and statistics.

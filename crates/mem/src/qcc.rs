@@ -6,7 +6,10 @@
 //! private — the paper keeps them under exclusive hardware control to
 //! avoid three-way synchronisation between interdependent segments.
 
+use std::cell::Cell;
+
 use qtenon_isa::{ProgramEntry, QAddress, QccLayout, Segment};
+use qtenon_sim_engine::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 use crate::MemError;
@@ -47,6 +50,10 @@ pub struct QuantumControllerCache {
     pulse: Vec<PulseWord>,
     measure: Vec<u64>,
     regfile: Vec<u32>,
+    /// Successful reads (interior-mutable: reads take `&self`).
+    reads: Cell<u64>,
+    /// Successful writes.
+    writes: u64,
 }
 
 impl QuantumControllerCache {
@@ -54,13 +61,12 @@ impl QuantumControllerCache {
     pub fn new(layout: QccLayout) -> Self {
         QuantumControllerCache {
             layout,
-            program: vec![
-                ProgramEntry::idle();
-                layout.segment_entries(Segment::Program) as usize
-            ],
+            program: vec![ProgramEntry::idle(); layout.segment_entries(Segment::Program) as usize],
             pulse: vec![[0; 10]; layout.segment_entries(Segment::Pulse) as usize],
             measure: vec![0; layout.segment_entries(Segment::Measure) as usize],
             regfile: vec![0; layout.segment_entries(Segment::Regfile) as usize],
+            reads: Cell::new(0),
+            writes: 0,
         }
     }
 
@@ -102,6 +108,7 @@ impl QuantumControllerCache {
     /// Returns [`MemError`] for unmapped or wrong-segment addresses.
     pub fn read_program(&self, port: AccessPort, addr: QAddress) -> Result<ProgramEntry, MemError> {
         let idx = self.locate(port, addr, Segment::Program)?;
+        self.reads.set(self.reads.get() + 1);
         Ok(self.program[idx])
     }
 
@@ -118,6 +125,7 @@ impl QuantumControllerCache {
     ) -> Result<(), MemError> {
         let idx = self.locate(port, addr, Segment::Program)?;
         self.program[idx] = entry;
+        self.writes += 1;
         Ok(())
     }
 
@@ -128,6 +136,7 @@ impl QuantumControllerCache {
     /// Returns [`MemError::PrivateSegment`] for host access.
     pub fn read_pulse(&self, port: AccessPort, addr: QAddress) -> Result<PulseWord, MemError> {
         let idx = self.locate(port, addr, Segment::Pulse)?;
+        self.reads.set(self.reads.get() + 1);
         Ok(self.pulse[idx])
     }
 
@@ -144,6 +153,7 @@ impl QuantumControllerCache {
     ) -> Result<(), MemError> {
         let idx = self.locate(port, addr, Segment::Pulse)?;
         self.pulse[idx] = word;
+        self.writes += 1;
         Ok(())
     }
 
@@ -154,6 +164,7 @@ impl QuantumControllerCache {
     /// Returns [`MemError`] for unmapped or wrong-segment addresses.
     pub fn read_measure(&self, port: AccessPort, addr: QAddress) -> Result<u64, MemError> {
         let idx = self.locate(port, addr, Segment::Measure)?;
+        self.reads.set(self.reads.get() + 1);
         Ok(self.measure[idx])
     }
 
@@ -170,6 +181,7 @@ impl QuantumControllerCache {
     ) -> Result<(), MemError> {
         let idx = self.locate(port, addr, Segment::Measure)?;
         self.measure[idx] = value;
+        self.writes += 1;
         Ok(())
     }
 
@@ -180,6 +192,7 @@ impl QuantumControllerCache {
     /// Returns [`MemError`] for unmapped or wrong-segment addresses.
     pub fn read_regfile(&self, port: AccessPort, addr: QAddress) -> Result<u32, MemError> {
         let idx = self.locate(port, addr, Segment::Regfile)?;
+        self.reads.set(self.reads.get() + 1);
         Ok(self.regfile[idx])
     }
 
@@ -196,6 +209,7 @@ impl QuantumControllerCache {
     ) -> Result<(), MemError> {
         let idx = self.locate(port, addr, Segment::Regfile)?;
         self.regfile[idx] = value;
+        self.writes += 1;
         Ok(())
     }
 
@@ -205,7 +219,24 @@ impl QuantumControllerCache {
     ///
     /// Panics if `index` exceeds the register file.
     pub fn regfile_by_index(&self, index: u32) -> u32 {
+        self.reads.set(self.reads.get() + 1);
         self.regfile[index as usize]
+    }
+
+    /// Number of successful reads so far (all segments and ports).
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Number of successful writes so far (all segments and ports).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Registers QCC access statistics under `prefix` (e.g. `mem.qcc`).
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        m.counter(&format!("{prefix}.reads"), self.reads());
+        m.counter(&format!("{prefix}.writes"), self.writes());
     }
 }
 
@@ -242,7 +273,8 @@ mod tests {
                 segment: Segment::Pulse
             })
         ));
-        qcc.write_pulse(AccessPort::Controller, addr, [7; 10]).unwrap();
+        qcc.write_pulse(AccessPort::Controller, addr, [7; 10])
+            .unwrap();
         assert_eq!(
             qcc.read_pulse(AccessPort::Controller, addr).unwrap(),
             [7; 10]
@@ -255,8 +287,10 @@ mod tests {
         let (layout, mut qcc) = qcc();
         let m = layout.measure_entry(5).unwrap();
         let r = layout.regfile_entry(3).unwrap();
-        qcc.write_measure(AccessPort::Controller, m, 0xdead).unwrap();
-        qcc.write_regfile(AccessPort::HostPublic, r, 0xbeef).unwrap();
+        qcc.write_measure(AccessPort::Controller, m, 0xdead)
+            .unwrap();
+        qcc.write_regfile(AccessPort::HostPublic, r, 0xbeef)
+            .unwrap();
         assert_eq!(qcc.read_measure(AccessPort::HostPublic, m).unwrap(), 0xdead);
         assert_eq!(qcc.read_regfile(AccessPort::HostPublic, r).unwrap(), 0xbeef);
         assert_eq!(qcc.regfile_by_index(3), 0xbeef);
@@ -286,12 +320,32 @@ mod tests {
     }
 
     #[test]
+    fn access_counters_track_successful_ops() {
+        let (layout, mut qcc) = qcc();
+        let r = layout.regfile_entry(0).unwrap();
+        qcc.write_regfile(AccessPort::HostPublic, r, 1).unwrap();
+        qcc.read_regfile(AccessPort::HostPublic, r).unwrap();
+        qcc.regfile_by_index(0);
+        // A rejected access does not count.
+        let pulse = layout.pulse_entry(qtenon_isa::QubitId::new(0), 0).unwrap();
+        assert!(qcc.read_pulse(AccessPort::HostPublic, pulse).is_err());
+        assert_eq!(qcc.writes(), 1);
+        assert_eq!(qcc.reads(), 2);
+        let mut m = MetricsRegistry::new();
+        qcc.export_metrics(&mut m, "mem.qcc");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
     fn storage_sizes_match_layout() {
         let (layout, qcc) = qcc();
         assert_eq!(
             qcc.program.len() as u64,
             layout.segment_entries(Segment::Program)
         );
-        assert_eq!(qcc.pulse.len() as u64, layout.segment_entries(Segment::Pulse));
+        assert_eq!(
+            qcc.pulse.len() as u64,
+            layout.segment_entries(Segment::Pulse)
+        );
     }
 }

@@ -78,9 +78,7 @@ impl Angle {
     pub fn resolve(&self, params: &[f64]) -> Option<f64> {
         match *self {
             Angle::Value(v) => Some(v),
-            Angle::Param { param, scale } => {
-                params.get(param.index() as usize).map(|&p| p * scale)
-            }
+            Angle::Param { param, scale } => params.get(param.index() as usize).map(|&p| p * scale),
         }
     }
 }
@@ -234,7 +232,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Gate::Ry(Angle::param(ParamId::new(2))).to_string(), "RY(θ2)");
+        assert_eq!(
+            Gate::Ry(Angle::param(ParamId::new(2))).to_string(),
+            "RY(θ2)"
+        );
         assert_eq!(Gate::Cz.to_string(), "CZ");
     }
 }

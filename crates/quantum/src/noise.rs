@@ -84,7 +84,11 @@ impl NoiseModel {
         }
         for i in 0..bits.len() {
             let value = bits.get(i);
-            let flip_p = if value { self.readout_p01 } else { self.readout_p10 };
+            let flip_p = if value {
+                self.readout_p01
+            } else {
+                self.readout_p10
+            };
             if flip_p > 0.0 && rng.gen::<f64>() < flip_p {
                 bits.set(i, !value);
             }

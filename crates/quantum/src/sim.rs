@@ -148,10 +148,7 @@ impl MeanFieldState {
     /// Mean-field expectation of a Z product: the product of individual
     /// ⟨Z⟩ values.
     pub fn expectation_z_product(&self, qubits: &[u32]) -> f64 {
-        qubits
-            .iter()
-            .map(|&q| self.qubits[q as usize].z)
-            .product()
+        qubits.iter().map(|&q| self.qubits[q as usize].z).product()
     }
 
     /// Applies a depolarizing shrink to one qubit's Bloch vector (the

@@ -11,6 +11,9 @@
 //! - [`EventQueue`]: a deterministic priority queue of timestamped events
 //!   with stable FIFO ordering among simultaneous events;
 //! - [`stats`]: counters and tallies used by the component models;
+//! - [`metrics`]: the unified telemetry layer — a hierarchical registry
+//!   of counters, gauges, and log-bucketed latency histograms with JSON
+//!   and Prometheus exporters;
 //! - [`opcount`]: the abstract-operation counter that drives the host core
 //!   cost models.
 //!
@@ -28,12 +31,14 @@
 
 pub mod clock;
 pub mod event;
+pub mod metrics;
 pub mod opcount;
 pub mod stats;
 pub mod time;
 
 pub use clock::ClockDomain;
 pub use event::EventQueue;
+pub use metrics::{Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use opcount::{OpClass, OpCounter};
 pub use stats::{Counter, Tally};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,657 @@
+//! The unified telemetry layer: a hierarchical metrics registry with
+//! counters, gauges, and log-bucketed latency histograms, snapshotted
+//! into machine-readable exports (JSON, Prometheus text, human text).
+//!
+//! Every modelled component registers its observables under a stable
+//! dotted path (`controller.slt.hits`, `mem.l1.hit_rate`,
+//! `core.instr.q_run.latency`), so one [`MetricsSnapshot`] captures the
+//! whole system and experiments can diff structured telemetry instead of
+//! parsing stdout.
+//!
+//! # Examples
+//!
+//! ```
+//! use qtenon_sim_engine::metrics::MetricsRegistry;
+//!
+//! let mut m = MetricsRegistry::new();
+//! m.counter("controller.slt.hits", 42);
+//! m.gauge("mem.l1.hit_rate", 0.97);
+//! m.observe("controller.bus.latency", 21);
+//! m.observe("controller.bus.latency", 35);
+//! let snap = m.snapshot();
+//! assert_eq!(snap.len(), 3);
+//! assert!(snap.to_json().contains("controller.slt.hits"));
+//! assert!(snap.to_prometheus().contains("controller_slt_hits 42"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets: bucket 0 holds zero-valued samples and
+/// bucket `k` (1..=64) holds samples whose bit length is `k`, i.e. the
+/// range `[2^(k-1), 2^k - 1]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log-bucketed latency histogram over unsigned integer samples
+/// (conventionally nanoseconds).
+///
+/// Buckets are powers of two, so recording is O(1), memory is constant,
+/// and two histograms merge bucket-for-bucket. Percentiles are estimated
+/// as the upper bound of the bucket containing the requested rank,
+/// clamped to the observed maximum — so `p50 <= p90 <= p99 <= max`
+/// always holds.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_sim_engine::metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [10, 20, 30, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), Some(1000));
+/// assert!(h.p50().unwrap() <= h.p99().unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// The bucket index a sample falls into (its bit length).
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `index` can hold.
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Per-bucket counts (length [`HISTOGRAM_BUCKETS`]).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]`: the upper bound of
+    /// the bucket holding the rank-`q` sample, clamped to the observed
+    /// maximum. Returns `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.count - 1) as f64).floor() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Some(Self::bucket_upper_bound(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.9)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Folds another histogram into this one bucket-for-bucket.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Forgets all samples.
+    pub fn reset(&mut self) {
+        *self = Histogram::new();
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} max={}",
+            self.count,
+            self.p50().unwrap_or(0),
+            self.p90().unwrap_or(0),
+            self.p99().unwrap_or(0),
+            self.max,
+        )
+    }
+}
+
+/// One registered metric's value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A monotonic event count.
+    Counter(u64),
+    /// An instantaneous level (rate, occupancy, cost, ...).
+    Gauge(f64),
+    /// A latency distribution.
+    Histogram(Histogram),
+}
+
+/// A hierarchical registry of named metrics.
+///
+/// Paths are dotted lower-case identifiers (`mem.l1.hits`); the dots are
+/// the hierarchy. Registering a path that already exists overwrites the
+/// previous value, except [`MetricsRegistry::observe`] which accumulates
+/// into an existing histogram.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or overwrites) a counter at `path`.
+    pub fn counter(&mut self, path: &str, value: u64) {
+        self.metrics
+            .insert(path.to_string(), MetricValue::Counter(value));
+    }
+
+    /// Registers (or overwrites) a gauge at `path`. Non-finite values are
+    /// recorded as zero so every export stays machine-parseable.
+    pub fn gauge(&mut self, path: &str, value: f64) {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.metrics.insert(path.to_string(), MetricValue::Gauge(v));
+    }
+
+    /// Records one sample into the histogram at `path`, creating it on
+    /// first use. A non-histogram metric already at `path` is replaced.
+    pub fn observe(&mut self, path: &str, sample: u64) {
+        match self.metrics.get_mut(path) {
+            Some(MetricValue::Histogram(h)) => h.record(sample),
+            _ => {
+                let mut h = Histogram::new();
+                h.record(sample);
+                self.metrics
+                    .insert(path.to_string(), MetricValue::Histogram(h));
+            }
+        }
+    }
+
+    /// Registers (or overwrites) a copy of an existing histogram at
+    /// `path` — the component-export path, where components own their
+    /// histograms and publish them at snapshot time.
+    pub fn histogram(&mut self, path: &str, h: &Histogram) {
+        self.metrics
+            .insert(path.to_string(), MetricValue::Histogram(h.clone()));
+    }
+
+    /// The value at `path`, if registered.
+    pub fn get(&self, path: &str) -> Option<&MetricValue> {
+        self.metrics.get(path)
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// All registered paths in sorted order.
+    pub fn paths(&self) -> Vec<&str> {
+        self.metrics.keys().map(String::as_str).collect()
+    }
+
+    /// Freezes the current state into a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+/// A frozen, serialisable view of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Path → value, sorted by path.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// All paths in sorted order.
+    pub fn paths(&self) -> Vec<&str> {
+        self.metrics.keys().map(String::as_str).collect()
+    }
+
+    /// Serialises the snapshot as a JSON object
+    /// `{"metrics": {"<path>": {...}, ...}}`.
+    ///
+    /// Counters carry `{"type":"counter","value":N}`, gauges
+    /// `{"type":"gauge","value":X}`, histograms their full bucket table
+    /// plus derived percentiles.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":{");
+        for (i, (path, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json_escape(path));
+            out.push_str("\":");
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{{\"type\":\"counter\",\"value\":{v}}}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"gauge\",\"value\":{}}}",
+                        json_f64(*v)
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum(),
+                        h.min().unwrap_or(0),
+                        h.max().unwrap_or(0),
+                        h.p50().unwrap_or(0),
+                        h.p90().unwrap_or(0),
+                        h.p99().unwrap_or(0),
+                    ));
+                    let mut first = true;
+                    for (idx, &c) in h.buckets().iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        out.push_str(&format!("[{idx},{c}]"));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Serialises in the Prometheus text exposition format: one
+    /// `name value` (or `name{labels} value`) line per sample. Dotted
+    /// paths become underscore-separated metric names; histogram
+    /// percentiles are exported as `quantile`-labelled samples alongside
+    /// `_count` and `_sum`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (path, value) in &self.metrics {
+            let name = prometheus_name(path);
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{name} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{name} {}\n", json_f64(*v)));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                    for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+                        out.push_str(&format!(
+                            "{name}{{quantile=\"{label}\"}} {}\n",
+                            h.quantile(q).unwrap_or(0)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_max {}\n", h.max().unwrap_or(0)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a human-readable end-of-run report, one metric per line.
+    pub fn to_text(&self) -> String {
+        let width = self.metrics.keys().map(String::len).max().unwrap_or(0);
+        let mut out = String::new();
+        for (path, value) in &self.metrics {
+            let rendered = match value {
+                MetricValue::Counter(v) => v.to_string(),
+                MetricValue::Gauge(v) => format!("{v:.4}"),
+                MetricValue::Histogram(h) => h.to_string(),
+            };
+            out.push_str(&format!("{path:<width$}  {rendered}\n"));
+        }
+        out
+    }
+}
+
+/// Escapes a string for inclusion inside a JSON string literal:
+/// backslashes, double quotes, and all control characters below 0x20.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON-safe token (`0` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Maps a dotted metric path onto a Prometheus metric name: dots become
+/// underscores and any other character outside `[a-zA-Z0-9_:]` is
+/// replaced by `_`. A leading digit gains a `_` prefix.
+fn prometheus_name(path: &str) -> String {
+    let mut name = String::with_capacity(path.len());
+    for c in path.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            name.push(c);
+        } else {
+            name.push('_');
+        }
+    }
+    if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        name.insert(0, '_');
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_estimates() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        let p50 = h.p50().unwrap();
+        let p90 = h.p90().unwrap();
+        let p99 = h.p99().unwrap();
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= 100);
+        // The median of 1..=100 lives in bucket [32, 63].
+        assert!(p50 >= 50 && p50 <= 63, "p50={p50}");
+    }
+
+    #[test]
+    fn histogram_zero_and_extremes() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[64], 1);
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+    }
+
+    #[test]
+    fn histogram_merge_matches_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut union = Histogram::new();
+        for v in [3u64, 17, 1000, 5] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [0u64, 250, 99999] {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+    }
+
+    #[test]
+    fn histogram_merge_into_empty() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a, b);
+        // Merging an empty histogram changes nothing.
+        a.merge(&Histogram::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn registry_registers_and_snapshots() {
+        let mut m = MetricsRegistry::new();
+        m.counter("a.count", 3);
+        m.gauge("a.rate", 0.5);
+        m.observe("a.lat", 10);
+        m.observe("a.lat", 20);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get("a.count"), Some(&MetricValue::Counter(3)));
+        let snap = m.snapshot();
+        assert_eq!(snap.paths(), vec!["a.count", "a.lat", "a.rate"]);
+        match snap.metrics.get("a.lat") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count(), 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_gauges_are_zeroed() {
+        let mut m = MetricsRegistry::new();
+        m.gauge("bad", f64::NAN);
+        m.gauge("inf", f64::INFINITY);
+        assert_eq!(m.get("bad"), Some(&MetricValue::Gauge(0.0)));
+        assert_eq!(m.get("inf"), Some(&MetricValue::Gauge(0.0)));
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let mut m = MetricsRegistry::new();
+        m.counter("x.hits", 7);
+        m.gauge("x.rate", 0.25);
+        m.observe("x.lat", 12);
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with("{\"metrics\":{"));
+        assert!(json.ends_with("}}"));
+        assert!(json.contains("\"x.hits\":{\"type\":\"counter\",\"value\":7}"));
+        assert!(json.contains("\"type\":\"gauge\",\"value\":0.25"));
+        assert!(json.contains("\"type\":\"histogram\",\"count\":1"));
+        // Balanced braces and brackets.
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn prometheus_lines_parse_as_name_value() {
+        let mut m = MetricsRegistry::new();
+        m.counter("mem.l1.hits", 10);
+        m.gauge("mem.l1.hit_rate", 0.5);
+        m.observe("bus.latency", 21);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("mem_l1_hits 10\n"));
+        assert!(text.contains("bus_latency_count 1\n"));
+        assert!(text.contains("bus_latency{quantile=\"0.5\"} 21\n"));
+        for line in text.lines() {
+            let (name_part, value_part) = line.rsplit_once(' ').expect("name value");
+            assert!(!name_part.is_empty());
+            assert!(value_part.parse::<f64>().is_ok(), "bad value in {line:?}");
+            let bare = name_part.split('{').next().unwrap();
+            assert!(
+                bare.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad name in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn text_report_lists_every_metric() {
+        let mut m = MetricsRegistry::new();
+        m.counter("a", 1);
+        m.gauge("b.c", 2.0);
+        m.observe("d", 3);
+        let text = m.snapshot().to_text();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("a"));
+        assert!(text.contains("b.c"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn prometheus_name_sanitises() {
+        assert_eq!(prometheus_name("mem.l1.hits"), "mem_l1_hits");
+        assert_eq!(prometheus_name("a-b c"), "a_b_c");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+    }
+}

@@ -83,7 +83,15 @@ impl Tally {
     }
 
     /// Records one sample.
+    ///
+    /// NaN samples are ignored: a single NaN would otherwise poison
+    /// `min`/`max`/`mean` for the rest of the run, and dropping the
+    /// sample keeps every recorded statistic meaningful (the alternative
+    /// — saturating to some sentinel — would silently skew extrema).
     pub fn observe(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
         if self.n == 0 {
             self.min = v;
             self.max = v;
@@ -176,6 +184,20 @@ mod tests {
         assert_eq!(t.min(), Some(7.5));
         assert_eq!(t.max(), Some(7.5));
         assert_eq!(t.mean(), Some(7.5));
+    }
+
+    #[test]
+    fn nan_samples_are_ignored() {
+        let mut t = Tally::new();
+        t.observe(f64::NAN);
+        assert!(t.is_empty());
+        t.observe(2.0);
+        t.observe(f64::NAN);
+        t.observe(4.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.min(), Some(2.0));
+        assert_eq!(t.max(), Some(4.0));
+        assert_eq!(t.mean(), Some(3.0));
     }
 
     #[test]

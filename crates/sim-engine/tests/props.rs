@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use qtenon_sim_engine::{ClockDomain, EventQueue, OpClass, OpCounter, SimDuration, SimTime, Tally};
+use qtenon_sim_engine::{
+    ClockDomain, EventQueue, Histogram, OpClass, OpCounter, SimDuration, SimTime, Tally,
+};
 
 proptest! {
     #[test]
@@ -74,5 +76,52 @@ proptest! {
         prop_assert!(t.min().unwrap() <= mean + 1e-9);
         prop_assert!(mean <= t.max().unwrap() + 1e-9);
         prop_assert_eq!(t.len() as usize, samples.len());
+    }
+
+    #[test]
+    fn histogram_count_equals_bucket_sum(samples in prop::collection::vec(0u64..u64::MAX, 0..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count() as usize, samples.len());
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone(samples in prop::collection::vec(0u64..1_000_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let p50 = h.p50().unwrap();
+        let p90 = h.p90().unwrap();
+        let p99 = h.p99().unwrap();
+        let max = h.max().unwrap();
+        prop_assert!(p50 <= p90, "p50={p50} p90={p90}");
+        prop_assert!(p90 <= p99, "p90={p90} p99={p99}");
+        prop_assert!(p99 <= max, "p99={p99} max={max}");
+        prop_assert!(h.min().unwrap() <= p50);
+    }
+
+    #[test]
+    fn histogram_merge_equals_union(
+        a in prop::collection::vec(0u64..u64::MAX, 0..100),
+        b in prop::collection::vec(0u64..u64::MAX, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut union = Histogram::new();
+        for &s in &a {
+            ha.record(s);
+            union.record(s);
+        }
+        for &s in &b {
+            hb.record(s);
+            union.record(s);
+        }
+        ha.merge(&hb);
+        // Merging equals recording the union, bucket for bucket.
+        prop_assert_eq!(ha, union);
     }
 }

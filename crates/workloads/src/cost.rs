@@ -70,14 +70,15 @@ impl CostEvaluator {
         }
         let words_per_shot = (self.n_qubits as u64).div_ceil(64);
         ops.record(OpClass::IntAlu, 6 * self.n_qubits as u64);
-        ops.record(OpClass::Mem, (k as u64) * words_per_shot + self.n_qubits as u64);
+        ops.record(
+            OpClass::Mem,
+            (k as u64) * words_per_shot + self.n_qubits as u64,
+        );
 
         let mut acc = 0.0;
         for (coeff, qubits) in self.coeffs.iter().zip(&self.term_qubits) {
             // Parity plane of the term: XOR of its qubits' planes.
-            let parity = qubits
-                .iter()
-                .fold(0u64, |p, &q| p ^ planes[q as usize]);
+            let parity = qubits.iter().fold(0u64, |p, &q| p ^ planes[q as usize]);
             // Shots with odd parity contribute −coeff, the rest +coeff.
             let odd = (parity & low_mask(k)).count_ones() as f64;
             acc += coeff * (k as f64 - 2.0 * odd);

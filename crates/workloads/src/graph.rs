@@ -53,7 +53,10 @@ impl Graph {
     ///
     /// Panics if `n` is odd or `n < 4`.
     pub fn circulant_3_regular(n: u32) -> Self {
-        assert!(n >= 4 && n.is_multiple_of(2), "3-regular circulant needs even n ≥ 4");
+        assert!(
+            n >= 4 && n.is_multiple_of(2),
+            "3-regular circulant needs even n ≥ 4"
+        );
         let mut edges: Vec<(u32, u32, f64)> = (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
         for i in 0..n / 2 {
             edges.push((i, i + n / 2, 1.0));

@@ -41,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print_system("Qtenon (Boom-L)", &qtenon_report);
 
     let e2e = baseline_report.total.as_ns() / qtenon_report.total.as_ns();
-    let classical = baseline_report.classical_time().as_ns()
-        / qtenon_report.classical_time().as_ns();
+    let classical =
+        baseline_report.classical_time().as_ns() / qtenon_report.classical_time().as_ns();
     println!("\nend-to-end speedup: {e2e:.1}x");
     println!("classical-time speedup: {classical:.1}x");
 

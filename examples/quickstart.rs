@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  pulse generation    {:>6.2}%", p * 100.0);
     println!("  host computation    {:>6.2}%", h * 100.0);
 
-    println!("\ninstructions: {} dynamic / {} static", report.dynamic_instructions, report.static_instructions);
+    println!(
+        "\ninstructions: {} dynamic / {} static",
+        report.dynamic_instructions, report.static_instructions
+    );
     println!(
         "pulse cache: {} lookups, {:.1}% skipped ({} pulses actually computed)",
         report.slt.lookups,

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "GD (parameter shift)",
             Box::new(GradientDescentOptimizer::new(0.08)) as Box<dyn Optimizer>,
         ),
-        ("SPSA", Box::new(SpsaOptimizer::new(21)) as Box<dyn Optimizer>),
+        (
+            "SPSA",
+            Box::new(SpsaOptimizer::new(21)) as Box<dyn Optimizer>,
+        ),
     ] {
         let config = QtenonConfig::table4(n, CoreModel::Rocket)?;
         let mut runner = VqaRunner::new(config, workload.clone())?;

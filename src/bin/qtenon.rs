@@ -4,9 +4,15 @@
 //!
 //! ```text
 //! qtenon run <file.qasm> [--shots N] [--seed S] [--noise]   # execute on the system
+//!             [--metrics out.json] [--trace out.json]       # telemetry export
 //! qtenon disasm <file.qasm>                                 # compiled chunk listing
 //! qtenon trace <file.qasm> [--shots N]                      # Chrome trace JSON to stdout
 //! ```
+//!
+//! `--metrics PATH` writes the full metric tree as JSON to `PATH`, a
+//! Prometheus text rendering to `PATH.prom`, and prints a human-readable
+//! report to stdout. `--trace PATH` records the flow-annotated Chrome
+//! trace to `PATH` (open with Perfetto / `chrome://tracing`).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -17,7 +23,7 @@ use qtenon::core::system::QtenonSystem;
 use qtenon::isa::{disasm, QubitId};
 use qtenon::quantum::noise::NoiseModel;
 use qtenon::quantum::{qasm, transpile, Circuit};
-use qtenon::sim_engine::SimTime;
+use qtenon::sim_engine::{MetricsRegistry, SimTime};
 
 struct Args {
     command: String,
@@ -25,6 +31,8 @@ struct Args {
     shots: u64,
     seed: u64,
     noise: bool,
+    metrics: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +42,8 @@ fn parse_args() -> Result<Args, String> {
     let mut shots = 1000u64;
     let mut seed = 42u64;
     let mut noise = false;
+    let mut metrics = None;
+    let mut trace_out = None;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--shots" => {
@@ -51,6 +61,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--noise" => noise = true,
+            "--metrics" => {
+                metrics = Some(argv.next().ok_or("--metrics needs a path")?);
+            }
+            "--trace" => {
+                trace_out = Some(argv.next().ok_or("--trace needs a path")?);
+            }
             other if file.is_none() && !other.starts_with("--") => {
                 file = Some(other.to_string());
             }
@@ -63,11 +79,15 @@ fn parse_args() -> Result<Args, String> {
         shots,
         seed,
         noise,
+        metrics,
+        trace_out,
     })
 }
 
 fn usage() -> String {
-    "usage: qtenon <run|disasm|trace> <file.qasm> [--shots N] [--seed S] [--noise]".into()
+    "usage: qtenon <run|disasm|trace> <file.qasm> [--shots N] [--seed S] [--noise] \
+     [--metrics out.json] [--trace out.json]"
+        .into()
 }
 
 fn load_circuit(path: &str) -> Result<Circuit, String> {
@@ -118,7 +138,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "run" | "trace" => {
-            let tracing = args.command == "trace";
+            let tracing = args.command == "trace" || args.trace_out.is_some();
             let mut system = QtenonSystem::new(config).map_err(|e| e.to_string())?;
             if args.noise {
                 // The CLI uses the system's chip; attach noise by running
@@ -169,10 +189,30 @@ fn run() -> Result<(), String> {
             };
             let (complete, shots, _) = outcome;
 
+            if let Some(path) = &args.metrics {
+                let mut registry = MetricsRegistry::new();
+                system.export_metrics(&mut registry);
+                let snapshot = registry.snapshot();
+                std::fs::write(path, snapshot.to_json())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                let prom_path = format!("{path}.prom");
+                std::fs::write(&prom_path, snapshot.to_prometheus())
+                    .map_err(|e| format!("cannot write {prom_path}: {e}"))?;
+                print!("{}", snapshot.to_text());
+                println!("metrics written to {path} (JSON) and {prom_path} (Prometheus)");
+            }
+
             if tracing {
                 let trace = system.take_trace().expect("tracing enabled");
-                println!("{}", trace.to_chrome_json());
-                return Ok(());
+                let json = trace.to_chrome_json();
+                if let Some(path) = &args.trace_out {
+                    std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("trace written to {path}");
+                }
+                if args.command == "trace" {
+                    println!("{json}");
+                    return Ok(());
+                }
             }
 
             // Histogram of outcomes (top 16).

@@ -4,7 +4,9 @@ use qtenon::baseline::{BaselineConfig, BaselineRunner};
 use qtenon::core::config::{CoreModel, QtenonConfig, SyncMode, TransmissionPolicy};
 use qtenon::core::vqa::VqaRunner;
 use qtenon::sim_engine::SimDuration;
-use qtenon::workloads::{GradientDescentOptimizer, Optimizer, SpsaOptimizer, Workload, WorkloadKind};
+use qtenon::workloads::{
+    GradientDescentOptimizer, Optimizer, SpsaOptimizer, Workload, WorkloadKind,
+};
 
 const ITERS: usize = 2;
 const SHOTS: u64 = 100;
@@ -65,7 +67,10 @@ fn quantum_dominates_qtenon_but_not_baseline() {
     let q = qtenon(WorkloadKind::Vqe, 32, CoreModel::BoomLarge);
     let b = baseline(WorkloadKind::Vqe, 32);
     assert!(q.exposed_shares()[0] > 0.5, "qtenon quantum share too low");
-    assert!(b.exposed_shares()[0] < 0.35, "baseline quantum share too high");
+    assert!(
+        b.exposed_shares()[0] < 0.35,
+        "baseline quantum share too high"
+    );
 }
 
 #[test]
@@ -100,7 +105,10 @@ fn software_features_stack_monotonically() {
     let unscheduled = run(SyncMode::FineGrained, TransmissionPolicy::Immediate);
     let full = run(SyncMode::FineGrained, TransmissionPolicy::Batched);
     // The full software stack wins outright…
-    assert!(fence > full, "fine-grained + batched should beat FENCE: {fence} vs {full}");
+    assert!(
+        fence > full,
+        "fine-grained + batched should beat FENCE: {fence} vs {full}"
+    );
     // …and fine-grained sync *without* Algorithm 1 is not enough: the
     // per-shot wakeups make overlap unprofitable (the paper's motivation
     // for batched transmission).

@@ -76,7 +76,10 @@ fn ghz_state_measured_through_the_full_path() {
             all_zero += 1;
         }
     }
-    assert!(all_zero > 0 && all_one > 0, "both GHZ branches should appear");
+    assert!(
+        all_zero > 0 && all_one > 0,
+        "both GHZ branches should appear"
+    );
 }
 
 #[test]
@@ -100,7 +103,12 @@ fn q_update_changes_subsequent_runs() {
         {
             let q = config.layout.decode(qaddr).unwrap().qubit.unwrap();
             now = sys
-                .q_set_program(now, classical_addr, qaddr, &program.chunks()[q.index() as usize])
+                .q_set_program(
+                    now,
+                    classical_addr,
+                    qaddr,
+                    &program.chunks()[q.index() as usize],
+                )
                 .unwrap();
         }
     }
@@ -188,12 +196,7 @@ fn system_run_matches_direct_statevector() {
     c.ry(0, 1.1).cz(0, 1).ry(1, 0.6).measure_all();
     let shots = 4000;
     let outcome = sys.q_run(SimTime::ZERO, &c, shots).unwrap();
-    let measured_p1: f64 = outcome
-        .shots
-        .iter()
-        .filter(|s| s.get(1))
-        .count() as f64
-        / shots as f64;
+    let measured_p1: f64 = outcome.shots.iter().filter(|s| s.get(1)).count() as f64 / shots as f64;
 
     let mut sv = StateVector::new(n).unwrap();
     sv.apply_circuit(&c).unwrap();
@@ -223,7 +226,12 @@ fn tracing_records_the_whole_instruction_flow() {
         {
             let q = config.layout.decode(qaddr).unwrap().qubit.unwrap();
             now = sys
-                .q_set_program(now, classical_addr, qaddr, &program.chunks()[q.index() as usize])
+                .q_set_program(
+                    now,
+                    classical_addr,
+                    qaddr,
+                    &program.chunks()[q.index() as usize],
+                )
                 .unwrap();
         }
     }
@@ -241,7 +249,9 @@ fn tracing_records_the_whole_instruction_flow() {
     assert!(json.contains("q_gen"));
     // Events are within the simulated timeline.
     for e in trace.events() {
-        assert!(e.start + e.duration <= outcome.complete + qtenon::sim_engine::SimDuration::from_us(10));
+        assert!(
+            e.start + e.duration <= outcome.complete + qtenon::sim_engine::SimDuration::from_us(10)
+        );
     }
 }
 

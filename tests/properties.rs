@@ -31,7 +31,12 @@ fn arb_circuit(n: u32, max_ops: usize) -> impl Strategy<Value = Circuit> {
             } else {
                 (a, None)
             };
-            c.push(Operation { gate, qubit, qubit2 }).unwrap();
+            c.push(Operation {
+                gate,
+                qubit,
+                qubit2,
+            })
+            .unwrap();
         }
         c
     })
