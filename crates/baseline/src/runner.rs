@@ -189,6 +189,7 @@ impl BaselineRunner {
             cost_history,
             final_cost,
             pulse_reduction: 0.0,
+            resilience: Default::default(),
         })
     }
 }

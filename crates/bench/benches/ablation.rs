@@ -50,7 +50,7 @@ fn pgu_count_sweep(c: &mut Criterion) {
                 ..PipelineConfig::default()
             };
             b.iter(|| {
-                let mut pipe = PulsePipeline::new(config, layout);
+                let mut pipe = PulsePipeline::new(config, layout).unwrap();
                 let (report, _) = pipe.process(SimTime::ZERO, &items);
                 black_box(report.total_time)
             })
@@ -69,7 +69,7 @@ fn slt_reuse_sweep(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.bench_function("with_slt", |b| {
         b.iter(|| {
-            let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout);
+            let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout).unwrap();
             pipe.process(SimTime::ZERO, &items);
             let (warm, _) = pipe.process(SimTime::ZERO, &items);
             black_box(warm.total_time)
@@ -77,7 +77,7 @@ fn slt_reuse_sweep(c: &mut Criterion) {
     });
     group.bench_function("without_slt", |b| {
         b.iter(|| {
-            let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout);
+            let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout).unwrap();
             pipe.process(SimTime::ZERO, &items);
             pipe.reset(); // discard cached pulses: every pass is cold
             let (cold, _) = pipe.process(SimTime::ZERO, &items);

@@ -13,7 +13,7 @@
 //! and dumps its full metric tree to `PATH` (JSON) and `PATH.prom`
 //! (Prometheus text format).
 //! Valid ids: `fig1 table1 table2 table4 fig11 fig12 fig13 fig14 table5
-//! fig15 fig16a fig16b fig17 ablation`.
+//! fig15 fig16a fig16b fig17 ablation resilience`.
 
 use qtenon_bench::experiments::{self, ExperimentScale, OptimizerKind};
 
@@ -140,6 +140,12 @@ fn main() {
         section(
             "Ablation (beyond the paper) — PGU pool width × SLT reuse",
             experiments::ablation(&scale).to_string(),
+        );
+    }
+    if want("resilience") {
+        section(
+            "Resilience (beyond the paper) — 64-qubit VQE under fault injection",
+            experiments::resilience(&scale).to_string(),
         );
     }
 

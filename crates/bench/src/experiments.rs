@@ -614,6 +614,59 @@ pub fn telemetry_snapshot(scale: &ExperimentScale) -> MetricsSnapshot {
     registry.snapshot()
 }
 
+/// Resilience sweep (beyond the paper): the 64-qubit VQE under rising
+/// uniform fault rates. Every run completes — graceful degradation — and
+/// the columns show how much recovery work and wall time each rate costs.
+///
+/// # Panics
+///
+/// Panics if construction or execution fails (the configuration is
+/// known-valid and the retry budget covers the swept rates).
+pub fn resilience(scale: &ExperimentScale) -> TextTable {
+    use qtenon_sim_engine::FaultPlan;
+
+    let mut t = TextTable::new(vec![
+        "fault rate".into(),
+        "total".into(),
+        "vs fault-free".into(),
+        "faults injected".into(),
+        "recoveries".into(),
+        "bus retries".into(),
+        "slt invalidations".into(),
+        "rbq reclaims".into(),
+        "ecc corrections".into(),
+    ]);
+    let mut base: Option<SimDuration> = None;
+    for rate in [0.0, 0.001, 0.01, 0.05] {
+        let plan = FaultPlan::all(rate).with_seed(scale.seed);
+        let config = QtenonConfig::table4(64, CoreModel::Rocket)
+            .expect("valid config")
+            .with_seed(scale.seed)
+            .with_faults(plan);
+        let workload =
+            Workload::benchmark(WorkloadKind::Vqe, 64, scale.seed).expect("valid workload");
+        let mut runner = VqaRunner::new(config, workload).expect("runner builds");
+        let mut optimizer = OptimizerKind::Spsa.build(scale.seed);
+        let r = runner
+            .run(optimizer.as_mut(), scale.iterations, scale.shots)
+            .expect("run survives faults");
+        let b = *base.get_or_insert(r.total);
+        let res = r.resilience;
+        t.row(vec![
+            format!("{rate}"),
+            fmt_dur(r.total),
+            fmt_x(ratio(r.total, b)),
+            res.faults_injected.to_string(),
+            res.total_retries().to_string(),
+            res.bus_retries.to_string(),
+            res.slt_invalidations.to_string(),
+            res.rbq_reclaims.to_string(),
+            res.ecc_corrections.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Ablation beyond the paper: simulated pulse-generation time versus the
 /// PGU pool width, with and without the SLT, for the 64-qubit QAOA-5
 /// program (cold pass = first iteration, warm pass = steady state).
@@ -652,10 +705,10 @@ pub fn ablation(scale: &ExperimentScale) -> TextTable {
             },
             ..PipelineConfig::default()
         };
-        let mut pipe = PulsePipeline::new(config, layout);
+        let mut pipe = PulsePipeline::new(config, layout).expect("pipeline builds");
         let (cold, _) = pipe.process(SimTime::ZERO, &items);
         let (warm, _) = pipe.process(SimTime::ZERO, &items);
-        let mut no_slt = PulsePipeline::new(config, layout);
+        let mut no_slt = PulsePipeline::new(config, layout).expect("pipeline builds");
         no_slt.process(SimTime::ZERO, &items);
         no_slt.reset();
         let (cold_again, _) = no_slt.process(SimTime::ZERO, &items);
@@ -730,6 +783,17 @@ mod tests {
     fn fig17_scales_monotonically() {
         let t = fig17(&tiny());
         assert_eq!(t.len(), 4); // 2 workloads × 2 sizes
+    }
+
+    #[test]
+    fn resilience_sweep_completes_and_activity_rises_with_rate() {
+        let t = resilience(&tiny());
+        assert_eq!(t.len(), 4);
+        let injected: Vec<u64> = t.rows().iter().map(|r| r[3].parse().unwrap()).collect();
+        // Zero rate injects nothing; the top rate injects the most.
+        assert_eq!(injected[0], 0);
+        assert!(injected.last().unwrap() > &0);
+        assert!(injected.last().unwrap() >= &injected[1]);
     }
 
     #[test]

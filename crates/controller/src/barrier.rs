@@ -55,7 +55,9 @@ impl MemoryBarrier {
             .map(|(&s, _)| s)
             .collect();
         for s in overlapping {
-            let (e, t) = self.ranges.remove(&s).expect("key just found");
+            let Some((e, t)) = self.ranges.remove(&s) else {
+                continue;
+            };
             start = start.min(s);
             end = end.max(e);
             when = when.max(t);

@@ -7,9 +7,12 @@
 
 use std::collections::VecDeque;
 
-use qtenon_sim_engine::{ClockDomain, Histogram, MetricsRegistry, SimDuration, SimTime};
+use qtenon_sim_engine::{
+    ClockDomain, FaultInjector, FaultSite, Histogram, MetricsRegistry, SimDuration, SimTime,
+};
 use serde::{Deserialize, Serialize};
 
+use crate::error::ControllerError;
 use crate::rbq::TAG_COUNT;
 
 /// Bus geometry and latency parameters.
@@ -69,6 +72,10 @@ pub struct TileLinkBus {
     transfers: u64,
     /// Grant-to-completion latency of each transfer, in nanoseconds.
     latency: Histogram,
+    /// Retransmissions performed after injected drops/corruptions.
+    retries: u64,
+    /// Transactions abandoned after exhausting the retry budget.
+    retries_exhausted: u64,
 }
 
 impl TileLinkBus {
@@ -81,6 +88,8 @@ impl TileLinkBus {
             bytes_moved: 0,
             transfers: 0,
             latency: Histogram::new(),
+            retries: 0,
+            retries_exhausted: 0,
         }
     }
 
@@ -109,8 +118,9 @@ impl TileLinkBus {
         // Tag limit: if 32 transactions are in flight, wait for the oldest.
         let mut earliest = now;
         if self.outstanding.len() >= self.config.max_outstanding {
-            let freed = self.outstanding.pop_front().expect("non-empty");
-            earliest = earliest.max(freed);
+            if let Some(freed) = self.outstanding.pop_front() {
+                earliest = earliest.max(freed);
+            }
         }
         let start = earliest.max(self.link_free_at);
         let data_time = self.config.clock.period() * self.beats_for(bytes);
@@ -123,6 +133,55 @@ impl TileLinkBus {
         self.transfers += 1;
         self.latency.record((complete - start).as_ps() / 1_000);
         TransferTiming { start, complete }
+    }
+
+    /// Schedules a transfer under fault injection: drops and corruptions
+    /// drawn from `faults` each force a retransmission after an
+    /// exponential backoff, and the returned timing covers the whole
+    /// retry chain (first grant to last successful completion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::BusRetriesExhausted`] when the drawn
+    /// failure count meets the plan's `max_attempts` budget.
+    pub fn schedule_transfer_resilient(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        faults: &mut FaultInjector,
+    ) -> Result<TransferTiming, ControllerError> {
+        let drops = faults.geometric_failures(FaultSite::BusDrop);
+        let corruptions = faults.geometric_failures(FaultSite::BusCorrupt);
+        let failures = drops + corruptions;
+        let plan = *faults.plan();
+        let budget = plan.max_attempts.max(1);
+        let first = self.schedule_transfer(now, bytes);
+        if failures == 0 {
+            return Ok(first);
+        }
+        if failures >= budget {
+            // The link kept eating this transaction; every allowed attempt
+            // (including the one just scheduled) failed.
+            for attempt in 2..=budget {
+                self.retries += 1;
+                let retry_at = first.complete + plan.backoff(attempt - 1);
+                self.schedule_transfer(retry_at, bytes);
+            }
+            self.retries_exhausted += 1;
+            return Err(ControllerError::BusRetriesExhausted { attempts: budget });
+        }
+        // Each failed attempt occupies the link for its beats, then the
+        // requester backs off and retransmits.
+        let mut timing = first;
+        for attempt in 1..=failures {
+            self.retries += 1;
+            let retry_at = timing.complete + plan.backoff(attempt);
+            timing = self.schedule_transfer(retry_at, bytes);
+        }
+        Ok(TransferTiming {
+            start: first.start,
+            complete: timing.complete,
+        })
     }
 
     /// Total bytes moved.
@@ -140,6 +199,16 @@ impl TileLinkBus {
         &self.latency
     }
 
+    /// Retransmissions performed after injected drops/corruptions.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Transactions abandoned after exhausting the retry budget.
+    pub fn retries_exhausted(&self) -> u64 {
+        self.retries_exhausted
+    }
+
     /// Registers bus statistics under `prefix` (e.g. `controller.bus`).
     pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
         m.counter(&format!("{prefix}.bytes_moved"), self.bytes_moved);
@@ -154,6 +223,8 @@ impl TileLinkBus {
         self.bytes_moved = 0;
         self.transfers = 0;
         self.latency.reset();
+        self.retries = 0;
+        self.retries_exhausted = 0;
     }
 }
 
@@ -230,6 +301,51 @@ mod tests {
         assert_eq!(last.complete - SimTime::ZERO, ns(100 + 20));
         assert_eq!(bus.bytes_moved(), 3200);
         assert_eq!(bus.transfers(), 100);
+    }
+
+    #[test]
+    fn resilient_transfer_without_faults_matches_plain_path() {
+        use qtenon_sim_engine::{FaultInjector, FaultPlan};
+        let mut plain = TileLinkBus::new(BusConfig::default());
+        let mut faulty = TileLinkBus::new(BusConfig::default());
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        for bytes in [8, 64, 288] {
+            let a = plain.schedule_transfer(SimTime::ZERO, bytes);
+            let b = faulty
+                .schedule_transfer_resilient(SimTime::ZERO, bytes, &mut inj)
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(faulty.retries(), 0);
+    }
+
+    #[test]
+    fn injected_drops_force_retransmission_and_lengthen_transfers() {
+        use qtenon_sim_engine::{FaultInjector, FaultPlan, FaultSite};
+        let plan = FaultPlan::default()
+            .with_rate(FaultSite::BusDrop, 0.4)
+            .with_seed(11);
+        let mut bus = TileLinkBus::new(BusConfig::default());
+        let mut inj = FaultInjector::new(plan);
+        let mut clean = TileLinkBus::new(BusConfig::default());
+        let mut saw_retry = false;
+        for _ in 0..50 {
+            let base = clean.schedule_transfer(SimTime::ZERO, 32);
+            match bus.schedule_transfer_resilient(SimTime::ZERO, 32, &mut inj) {
+                Ok(t) => {
+                    assert!(t.complete >= base.complete);
+                    if t.complete > base.complete + SimDuration::from_ns(40) {
+                        saw_retry = true;
+                    }
+                }
+                Err(ControllerError::BusRetriesExhausted { attempts }) => {
+                    assert_eq!(attempts, plan.max_attempts);
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(saw_retry, "0.4 drop rate over 50 transfers never retried");
+        assert!(bus.retries() > 0);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 pub mod adi;
 pub mod barrier;
 pub mod bus;
+pub mod error;
 pub mod pgu;
 pub mod pipeline;
 pub mod rbq;
@@ -34,6 +35,7 @@ pub mod wbq;
 pub use adi::AdiModel;
 pub use barrier::MemoryBarrier;
 pub use bus::{BusConfig, TileLinkBus};
+pub use error::ControllerError;
 pub use pgu::PguPool;
 pub use pipeline::{PipelineConfig, PipelineReport, PulsePipeline};
 pub use rbq::ReorderBufferQueue;

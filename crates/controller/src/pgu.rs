@@ -5,8 +5,12 @@
 //! computation times). A priority encoder dispatches each request to the
 //! lowest-numbered free unit; when all are busy, stages 1–2 stall.
 
-use qtenon_sim_engine::{ClockDomain, Histogram, MetricsRegistry, SimDuration, SimTime};
+use qtenon_sim_engine::{
+    ClockDomain, FaultInjector, FaultSite, Histogram, MetricsRegistry, SimDuration, SimTime,
+};
 use serde::{Deserialize, Serialize};
+
+use crate::error::ControllerError;
 
 /// Configuration of the PGU pool.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,7 +52,7 @@ pub struct Dispatch {
 /// use qtenon_controller::pgu::{PguConfig, PguPool};
 /// use qtenon_sim_engine::SimTime;
 ///
-/// let mut pool = PguPool::new(PguConfig::default());
+/// let mut pool = PguPool::new(PguConfig::default()).unwrap();
 /// let d = pool.dispatch(SimTime::ZERO);
 /// assert_eq!(d.unit, 0);
 /// assert_eq!((d.done - d.start).as_us(), 1.0); // 1000 cycles @ 1 GHz
@@ -61,22 +65,30 @@ pub struct PguPool {
     /// Request-to-start wait of each dispatch, in nanoseconds (zero when
     /// a unit was free immediately).
     wait: Histogram,
+    /// Injected stalls observed (extra busy cycles).
+    stalls: u64,
+    /// Re-dispatches after injected bad-pulse failures.
+    redispatches: u64,
 }
 
 impl PguPool {
     /// Creates an all-idle pool.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config.units` is zero.
-    pub fn new(config: PguConfig) -> Self {
-        assert!(config.units > 0, "PGU pool needs at least one unit");
-        PguPool {
+    /// Returns [`ControllerError::NoPguUnits`] if `config.units` is zero.
+    pub fn new(config: PguConfig) -> Result<Self, ControllerError> {
+        if config.units == 0 {
+            return Err(ControllerError::NoPguUnits);
+        }
+        Ok(PguPool {
             config,
             busy_until: vec![SimTime::ZERO; config.units],
             dispatched: 0,
             wait: Histogram::new(),
-        }
+            stalls: 0,
+            redispatches: 0,
+        })
     }
 
     /// The configuration.
@@ -96,30 +108,66 @@ impl PguPool {
 
     /// The earliest time any unit frees up.
     pub fn earliest_free(&self) -> SimTime {
+        // The pool is constructed with at least one unit.
         self.busy_until
             .iter()
             .copied()
             .min()
-            .expect("pool is non-empty")
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Dispatches one pulse computation requested at `now`: the job starts
     /// immediately if a unit is free, otherwise as soon as the earliest
     /// unit frees (the stall the pipeline observes).
     pub fn dispatch(&mut self, now: SimTime) -> Dispatch {
-        let start = match self.free_unit_at(now) {
-            Some(_) => now,
-            None => self.earliest_free(),
+        let (unit, start) = match self.free_unit_at(now) {
+            Some(unit) => (unit, now),
+            None => {
+                let start = self.earliest_free();
+                (self.free_unit_at(start).unwrap_or(0), start)
+            }
         };
-        let unit = self
-            .free_unit_at(start)
-            .expect("a unit is free at its own release time");
         let done = start + self.pulse_latency();
         self.busy_until[unit] = done;
         self.dispatched += 1;
         self.wait
             .record(start.saturating_since(now).as_ps() / 1_000);
         Dispatch { unit, start, done }
+    }
+
+    /// Dispatches under fault injection: a stall fault holds the unit for
+    /// the plan's extra cycles, and each bad-pulse failure forces a
+    /// re-dispatch after an exponential backoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::PguRetriesExhausted`] when the drawn
+    /// failure count meets the plan's `max_attempts` budget.
+    pub fn dispatch_resilient(
+        &mut self,
+        now: SimTime,
+        faults: &mut FaultInjector,
+    ) -> Result<Dispatch, ControllerError> {
+        let stalled = faults.bernoulli(FaultSite::PguStall);
+        let failures = faults.geometric_failures(FaultSite::PguFail);
+        let plan = *faults.plan();
+        let budget = plan.max_attempts.max(1);
+        if failures >= budget {
+            return Err(ControllerError::PguRetriesExhausted { attempts: budget });
+        }
+        let mut d = self.dispatch(now);
+        if stalled {
+            let penalty = self.config.clock.cycles(plan.pgu_stall_cycles);
+            d.done = d.done + penalty;
+            self.busy_until[d.unit] = self.busy_until[d.unit].max(d.done);
+            self.stalls += 1;
+        }
+        for attempt in 1..=failures {
+            self.redispatches += 1;
+            let retry_at = d.done + plan.backoff(attempt);
+            d = self.dispatch(retry_at);
+        }
+        Ok(d)
     }
 
     /// Total pulses dispatched.
@@ -130,6 +178,16 @@ impl PguPool {
     /// Per-dispatch wait distribution in nanoseconds.
     pub fn wait(&self) -> &Histogram {
         &self.wait
+    }
+
+    /// Injected stalls observed so far.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Re-dispatches forced by injected bad-pulse failures.
+    pub fn redispatches(&self) -> u64 {
+        self.redispatches
     }
 
     /// Registers pool statistics under `prefix` (e.g. `controller.pgu`).
@@ -144,6 +202,8 @@ impl PguPool {
         self.busy_until.fill(SimTime::ZERO);
         self.dispatched = 0;
         self.wait.reset();
+        self.stalls = 0;
+        self.redispatches = 0;
     }
 }
 
@@ -157,7 +217,7 @@ mod tests {
 
     #[test]
     fn priority_encoder_picks_lowest_free() {
-        let mut pool = PguPool::new(PguConfig::default());
+        let mut pool = PguPool::new(PguConfig::default()).unwrap();
         assert_eq!(pool.dispatch(SimTime::ZERO).unit, 0);
         assert_eq!(pool.dispatch(SimTime::ZERO).unit, 1);
         assert_eq!(pool.dispatch(SimTime::ZERO).unit, 2);
@@ -165,7 +225,7 @@ mod tests {
 
     #[test]
     fn eight_jobs_run_in_parallel_ninth_stalls() {
-        let mut pool = PguPool::new(PguConfig::default());
+        let mut pool = PguPool::new(PguConfig::default()).unwrap();
         for i in 0..8 {
             let d = pool.dispatch(SimTime::ZERO);
             assert_eq!(d.unit, i);
@@ -179,7 +239,7 @@ mod tests {
 
     #[test]
     fn unit_frees_after_latency() {
-        let mut pool = PguPool::new(PguConfig::default());
+        let mut pool = PguPool::new(PguConfig::default()).unwrap();
         pool.dispatch(SimTime::ZERO);
         assert_eq!(pool.free_unit_at(SimTime::ZERO), Some(1));
         assert_eq!(pool.free_unit_at(at(1000)), Some(0));
@@ -187,7 +247,7 @@ mod tests {
 
     #[test]
     fn throughput_matches_units_times_latency() {
-        let mut pool = PguPool::new(PguConfig::default());
+        let mut pool = PguPool::new(PguConfig::default()).unwrap();
         let mut last_done = SimTime::ZERO;
         for _ in 0..80 {
             last_done = pool.dispatch(SimTime::ZERO).done;
@@ -203,7 +263,8 @@ mod tests {
             units: 1,
             latency_cycles: 10,
             clock: ClockDomain::from_ghz(1.0),
-        });
+        })
+        .unwrap();
         let d = pool.dispatch(SimTime::ZERO);
         assert_eq!(d.done, at(10));
         pool.reset();
@@ -211,11 +272,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one unit")]
-    fn zero_units_panics() {
-        let _ = PguPool::new(PguConfig {
+    fn zero_units_is_a_typed_error() {
+        let err = PguPool::new(PguConfig {
             units: 0,
             ..PguConfig::default()
-        });
+        })
+        .unwrap_err();
+        assert_eq!(err, ControllerError::NoPguUnits);
+    }
+
+    #[test]
+    fn injected_stall_extends_completion() {
+        use qtenon_sim_engine::{FaultInjector, FaultPlan, FaultSite};
+        let plan = FaultPlan::default()
+            .with_rate(FaultSite::PguStall, 0.999_999)
+            .with_seed(5);
+        let mut inj = FaultInjector::new(plan);
+        let mut pool = PguPool::new(PguConfig::default()).unwrap();
+        let d = pool.dispatch_resilient(SimTime::ZERO, &mut inj).unwrap();
+        // 1000 nominal cycles + 500 stall cycles at 1 GHz.
+        assert_eq!(d.done, at(1500));
+        assert_eq!(pool.stalls(), 1);
+    }
+
+    #[test]
+    fn injected_failures_force_redispatch_or_typed_error() {
+        use qtenon_sim_engine::{FaultInjector, FaultPlan, FaultSite};
+        let plan = FaultPlan::default()
+            .with_rate(FaultSite::PguFail, 0.5)
+            .with_seed(21);
+        let mut inj = FaultInjector::new(plan);
+        let mut pool = PguPool::new(PguConfig::default()).unwrap();
+        let mut saw_redispatch = false;
+        for _ in 0..100 {
+            match pool.dispatch_resilient(SimTime::ZERO, &mut inj) {
+                Ok(_) => {}
+                Err(ControllerError::PguRetriesExhausted { attempts }) => {
+                    assert_eq!(attempts, plan.max_attempts);
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+            if pool.redispatches() > 0 {
+                saw_redispatch = true;
+            }
+        }
+        assert!(saw_redispatch, "0.5 failure rate never forced a redispatch");
     }
 }

@@ -9,9 +9,12 @@
 //! ready-valid interface.
 
 use qtenon_isa::{GateType, QAddress, QccLayout, QubitId};
-use qtenon_sim_engine::{ClockDomain, Histogram, MetricsRegistry, SimDuration, SimTime};
+use qtenon_sim_engine::{
+    ClockDomain, FaultInjector, Histogram, MetricsRegistry, SimDuration, SimTime,
+};
 use serde::{Deserialize, Serialize};
 
+use crate::error::ControllerError;
 use crate::pgu::{PguConfig, PguPool};
 use crate::slt::{PulseResolution, SltController, SltStats};
 
@@ -90,7 +93,7 @@ impl PipelineReport {
 /// use qtenon_sim_engine::SimTime;
 ///
 /// let layout = QccLayout::for_qubits(4)?;
-/// let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout);
+/// let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout).unwrap();
 /// let item = WorkItem {
 ///     qubit: QubitId::new(0),
 ///     gate: GateType::Rx,
@@ -117,16 +120,21 @@ pub struct PulsePipeline {
 
 impl PulsePipeline {
     /// Creates an idle pipeline for a cache layout.
-    pub fn new(config: PipelineConfig, layout: QccLayout) -> Self {
-        PulsePipeline {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::NoPguUnits`] if the PGU pool is
+    /// configured with zero units.
+    pub fn new(config: PipelineConfig, layout: QccLayout) -> Result<Self, ControllerError> {
+        Ok(PulsePipeline {
             config,
             slt: SltController::new(layout),
-            pgus: PguPool::new(config.pgu),
+            pgus: PguPool::new(config.pgu)?,
             total_entries: 0,
             total_generated: 0,
             total_stall: SimDuration::ZERO,
             run_latency: Histogram::new(),
-        }
+        })
     }
 
     /// The configuration.
@@ -146,6 +154,36 @@ impl PulsePipeline {
         start: SimTime,
         items: &[WorkItem],
     ) -> (PipelineReport, Vec<ResolvedPulse>) {
+        match self.process_with_faults(start, items, None) {
+            Ok(out) => out,
+            // Without an injector no retry budget exists to exhaust.
+            Err(_) => unreachable!("fault-free processing cannot fail"),
+        }
+    }
+
+    /// Processes `items` under fault injection: SLT lookups run their
+    /// parity check and PGU dispatches draw stall/failure faults, with
+    /// retries and degradation costed into the report's timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::PguRetriesExhausted`] when a dispatch
+    /// burns through the plan's retry budget.
+    pub fn process_resilient(
+        &mut self,
+        start: SimTime,
+        items: &[WorkItem],
+        faults: &mut FaultInjector,
+    ) -> Result<(PipelineReport, Vec<ResolvedPulse>), ControllerError> {
+        self.process_with_faults(start, items, Some(faults))
+    }
+
+    fn process_with_faults(
+        &mut self,
+        start: SimTime,
+        items: &[WorkItem],
+        mut faults: Option<&mut FaultInjector>,
+    ) -> Result<(PipelineReport, Vec<ResolvedPulse>), ControllerError> {
         let cycle = self.config.clock.period();
         let slt_before = self.slt.stats();
         let mut resolved = Vec::with_capacity(items.len());
@@ -171,7 +209,12 @@ impl PulsePipeline {
             // one entry per cycle; `front` models the initiation interval.
             front += cycle;
             let decode_done = front + cycle;
-            let resolution = self.slt.resolve(item.qubit, item.gate, item.data27);
+            let resolution = match faults.as_deref_mut() {
+                Some(f) => self
+                    .slt
+                    .resolve_resilient(item.qubit, item.gate, item.data27, f),
+                None => self.slt.resolve(item.qubit, item.gate, item.data27),
+            };
             let (complete, was_generated) = match resolution {
                 PulseResolution::SltHit(qaddr) | PulseResolution::QSpaceHit(qaddr) => {
                     // No PGU work: the QAddress link writes back next cycle.
@@ -184,7 +227,10 @@ impl PulsePipeline {
                 }
                 PulseResolution::Allocated(qaddr) => {
                     // Stage 3: dispatch, stalling the front if all busy.
-                    let dispatch = self.pgus.dispatch(decode_done);
+                    let dispatch = match faults.as_deref_mut() {
+                        Some(f) => self.pgus.dispatch_resilient(decode_done, f)?,
+                        None => self.pgus.dispatch(decode_done),
+                    };
                     if dispatch.start > decode_done {
                         let stall = dispatch.start - decode_done;
                         stall_time += stall;
@@ -217,13 +263,25 @@ impl PulsePipeline {
                 qspace_hits: slt_after.qspace_hits - slt_before.qspace_hits,
                 allocations: slt_after.allocations - slt_before.allocations,
                 evictions: slt_after.evictions - slt_before.evictions,
+                parity_invalidations: slt_after.parity_invalidations
+                    - slt_before.parity_invalidations,
             },
         };
         self.total_entries += report.entries;
         self.total_generated += report.generated;
         self.total_stall += report.stall_time;
         self.run_latency.record(report.total_time.as_ps() / 1_000);
-        (report, resolved)
+        Ok((report, resolved))
+    }
+
+    /// Injected PGU stalls observed so far.
+    pub fn pgu_stalls(&self) -> u64 {
+        self.pgus.stalls()
+    }
+
+    /// PGU re-dispatches forced by injected bad-pulse failures.
+    pub fn pgu_redispatches(&self) -> u64 {
+        self.pgus.redispatches()
     }
 
     /// Registers pipeline, SLT, and PGU statistics under `prefix`
@@ -265,7 +323,7 @@ mod tests {
     use qtenon_isa::EncodedAngle;
 
     fn pipeline() -> PulsePipeline {
-        PulsePipeline::new(PipelineConfig::default(), QccLayout::for_qubits(8).unwrap())
+        PulsePipeline::new(PipelineConfig::default(), QccLayout::for_qubits(8).unwrap()).unwrap()
     }
 
     fn rx(q: u32, theta: f64) -> WorkItem {
@@ -364,6 +422,45 @@ mod tests {
         p.reset();
         let (report, _) = p.process(SimTime::ZERO, &[rx(0, 1.0)]);
         assert_eq!(report.generated, 1);
+    }
+
+    #[test]
+    fn resilient_process_with_zero_rates_matches_plain() {
+        use qtenon_sim_engine::{FaultInjector, FaultPlan};
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        let mut a = pipeline();
+        let mut b = pipeline();
+        let items: Vec<WorkItem> = (0..12).map(|i| rx(i % 4, (i % 3) as f64 * 0.4)).collect();
+        let (ra, pa) = a.process(SimTime::ZERO, &items);
+        let (rb, pb) = b
+            .process_resilient(SimTime::ZERO, &items, &mut inj)
+            .unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn parity_faults_force_regeneration_with_longer_runtime() {
+        use qtenon_sim_engine::{FaultInjector, FaultPlan, FaultSite};
+        let plan = FaultPlan::default()
+            .with_rate(FaultSite::SltBitFlip, 0.8)
+            .with_seed(17);
+        let mut inj = FaultInjector::new(plan);
+        let mut p = pipeline();
+        let items = vec![rx(0, 1.0); 20];
+        p.process(SimTime::ZERO, &items); // warm
+        let mut clean = pipeline();
+        clean.process(SimTime::ZERO, &items); // warm
+        let (faulty, _) = p
+            .process_resilient(SimTime::ZERO, &items, &mut inj)
+            .unwrap();
+        let (warm, _) = clean.process(SimTime::ZERO, &items);
+        assert!(faulty.slt.parity_invalidations > 0);
+        assert!(faulty.generated + faulty.slt.qspace_hits > 0);
+        assert!(
+            faulty.total_time > warm.total_time,
+            "degraded run must pay for recomputation"
+        );
     }
 
     #[test]

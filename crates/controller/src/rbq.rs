@@ -4,10 +4,19 @@
 //! unique 5-bit tag; the RBQ holds 32 entries (one per tag) and realigns
 //! responses: a FIFO of issued tags decides which response queue to pop
 //! next, so consumers always observe issue order.
+//!
+//! Tags can get *stuck* — a response lost to a fault never arrives, and
+//! the tag would leak forever. A watchdog ([`ReorderBufferQueue::
+//! reclaim_stuck`]) sweeps tags whose responses are overdue back into the
+//! free pool; a late completion for a reclaimed tag then surfaces as a
+//! typed [`ControllerError`] instead of silently corrupting a recycled
+//! tag's slot.
 
 use std::collections::VecDeque;
 
-use qtenon_sim_engine::MetricsRegistry;
+use qtenon_sim_engine::{MetricsRegistry, SimDuration, SimTime};
+
+use crate::error::ControllerError;
 
 /// Number of unique tags (5-bit tag space).
 pub const TAG_COUNT: usize = 32;
@@ -36,8 +45,8 @@ impl Tag {
 /// let mut rbq = ReorderBufferQueue::<&str>::new();
 /// let t1 = rbq.issue().unwrap();
 /// let t2 = rbq.issue().unwrap();
-/// rbq.complete(t2, "second"); // arrives first…
-/// rbq.complete(t1, "first");
+/// rbq.complete(t2, "second").unwrap(); // arrives first…
+/// rbq.complete(t1, "first").unwrap();
 /// assert_eq!(rbq.pop_in_order(), Some("first")); // …but pops in issue order
 /// assert_eq!(rbq.pop_in_order(), Some("second"));
 /// ```
@@ -47,6 +56,8 @@ pub struct ReorderBufferQueue<T> {
     slots: Vec<Option<T>>,
     /// Whether each tag is currently allocated.
     allocated: [bool; TAG_COUNT],
+    /// When each allocated tag was issued (for the watchdog).
+    issued_at: [Option<SimTime>; TAG_COUNT],
     /// Tags in issue order, waiting to be popped.
     order: VecDeque<Tag>,
     /// Free tags.
@@ -55,6 +66,8 @@ pub struct ReorderBufferQueue<T> {
     issued: u64,
     /// High-water mark of outstanding transactions.
     peak_outstanding: usize,
+    /// Tags reclaimed by the watchdog.
+    reclaimed: u64,
 }
 
 impl<T> ReorderBufferQueue<T> {
@@ -63,18 +76,27 @@ impl<T> ReorderBufferQueue<T> {
         ReorderBufferQueue {
             slots: (0..TAG_COUNT).map(|_| None).collect(),
             allocated: [false; TAG_COUNT],
+            issued_at: [None; TAG_COUNT],
             order: VecDeque::new(),
             free: (0..TAG_COUNT as u8).map(Tag).collect(),
             issued: 0,
             peak_outstanding: 0,
+            reclaimed: 0,
         }
     }
 
     /// Allocates a tag for a new request, or `None` if all 32 tags are
     /// outstanding (the bus must stall until one frees).
     pub fn issue(&mut self) -> Option<Tag> {
+        self.issue_at(SimTime::ZERO)
+    }
+
+    /// Like [`ReorderBufferQueue::issue`], recording the issue time so
+    /// the watchdog can spot overdue responses.
+    pub fn issue_at(&mut self, now: SimTime) -> Option<Tag> {
         let tag = self.free.pop_front()?;
         self.allocated[tag.0 as usize] = true;
+        self.issued_at[tag.0 as usize] = Some(now);
         self.order.push_back(tag);
         self.issued += 1;
         self.peak_outstanding = self.peak_outstanding.max(self.order.len());
@@ -83,18 +105,22 @@ impl<T> ReorderBufferQueue<T> {
 
     /// Delivers the response for `tag` (out-of-order arrival).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `tag` is not outstanding or already completed.
-    pub fn complete(&mut self, tag: Tag, payload: T) {
-        assert!(
-            self.allocated[tag.0 as usize],
-            "completing unissued tag {}",
-            tag.0
-        );
+    /// Returns [`ControllerError::UnissuedTag`] when `tag` is not
+    /// outstanding (typically a late completion for a watchdog-reclaimed
+    /// tag) and [`ControllerError::DoubleCompletion`] when the tag already
+    /// has its response.
+    pub fn complete(&mut self, tag: Tag, payload: T) -> Result<(), ControllerError> {
+        if !self.allocated[tag.0 as usize] {
+            return Err(ControllerError::UnissuedTag { tag: tag.0 });
+        }
         let slot = &mut self.slots[tag.0 as usize];
-        assert!(slot.is_none(), "tag {} completed twice", tag.0);
+        if slot.is_some() {
+            return Err(ControllerError::DoubleCompletion { tag: tag.0 });
+        }
         *slot = Some(payload);
+        Ok(())
     }
 
     /// Pops the next response *in issue order*, if it has arrived.
@@ -103,8 +129,34 @@ impl<T> ReorderBufferQueue<T> {
         let payload = self.slots[tag.0 as usize].take()?;
         self.order.pop_front();
         self.allocated[tag.0 as usize] = false;
+        self.issued_at[tag.0 as usize] = None;
         self.free.push_back(tag);
         Some(payload)
+    }
+
+    /// Watchdog sweep: frees every tag that was issued at least `timeout`
+    /// before `now` and never received its response, returning how many
+    /// were reclaimed. Reclaimed tags leave the issue-order FIFO, so a
+    /// stuck head no longer blocks completed younger responses forever.
+    pub fn reclaim_stuck(&mut self, now: SimTime, timeout: SimDuration) -> usize {
+        let mut reclaimed = 0;
+        let mut kept = VecDeque::with_capacity(self.order.len());
+        while let Some(tag) = self.order.pop_front() {
+            let i = tag.0 as usize;
+            let overdue = self.slots[i].is_none()
+                && self.issued_at[i].is_some_and(|t| now.saturating_since(t) >= timeout);
+            if overdue {
+                self.allocated[i] = false;
+                self.issued_at[i] = None;
+                self.free.push_back(tag);
+                reclaimed += 1;
+            } else {
+                kept.push_back(tag);
+            }
+        }
+        self.order = kept;
+        self.reclaimed += reclaimed as u64;
+        reclaimed
     }
 
     /// Number of outstanding (issued, unpopped) transactions.
@@ -125,6 +177,11 @@ impl<T> ReorderBufferQueue<T> {
     /// High-water mark of outstanding transactions.
     pub fn peak_outstanding(&self) -> usize {
         self.peak_outstanding
+    }
+
+    /// Total tags reclaimed by the watchdog.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed
     }
 
     /// Registers RBQ statistics under `prefix` (e.g. `controller.rbq`).
@@ -152,7 +209,7 @@ mod tests {
         let mut rbq = ReorderBufferQueue::new();
         let tags: Vec<_> = (0..8).map(|_| rbq.issue().unwrap()).collect();
         for (i, &tag) in tags.iter().enumerate().rev() {
-            rbq.complete(tag, i);
+            rbq.complete(tag, i).unwrap();
         }
         for i in 0..8 {
             assert_eq!(rbq.pop_in_order(), Some(i));
@@ -165,10 +222,10 @@ mod tests {
         let mut rbq = ReorderBufferQueue::new();
         let t1 = rbq.issue().unwrap();
         let t2 = rbq.issue().unwrap();
-        rbq.complete(t2, "b");
+        rbq.complete(t2, "b").unwrap();
         // t1 hasn't arrived: nothing pops even though t2 is ready.
         assert_eq!(rbq.pop_in_order(), None);
-        rbq.complete(t1, "a");
+        rbq.complete(t1, "a").unwrap();
         assert_eq!(rbq.pop_in_order(), Some("a"));
         assert_eq!(rbq.pop_in_order(), Some("b"));
     }
@@ -179,7 +236,7 @@ mod tests {
         let tags: Vec<_> = (0..TAG_COUNT).map(|_| rbq.issue().unwrap()).collect();
         assert!(rbq.issue().is_none());
         assert!(!rbq.has_free_tag());
-        rbq.complete(tags[0], 0u32);
+        rbq.complete(tags[0], 0u32).unwrap();
         assert!(rbq.pop_in_order().is_some());
         // A tag freed by popping becomes issuable again.
         assert!(rbq.issue().is_some());
@@ -191,19 +248,56 @@ mod tests {
         assert_eq!(rbq.outstanding(), 0);
         let t = rbq.issue().unwrap();
         assert_eq!(rbq.outstanding(), 1);
-        rbq.complete(t, ());
+        rbq.complete(t, ()).unwrap();
         assert_eq!(rbq.outstanding(), 1); // completed but not popped
         rbq.pop_in_order();
         assert_eq!(rbq.outstanding(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "completed twice")]
-    fn double_completion_panics() {
+    fn double_completion_is_a_typed_error() {
         let mut rbq = ReorderBufferQueue::new();
         let t = rbq.issue().unwrap();
-        rbq.complete(t, 1);
-        rbq.complete(t, 2);
+        rbq.complete(t, 1).unwrap();
+        assert_eq!(
+            rbq.complete(t, 2),
+            Err(ControllerError::DoubleCompletion { tag: t.value() })
+        );
+    }
+
+    #[test]
+    fn watchdog_reclaims_overdue_tags_only() {
+        let t0 = SimTime::ZERO;
+        let mut rbq = ReorderBufferQueue::new();
+        let old = rbq.issue_at(t0).unwrap();
+        let young = rbq.issue_at(t0 + SimDuration::from_us(9)).unwrap();
+        let n = rbq.reclaim_stuck(t0 + SimDuration::from_us(10), SimDuration::from_us(10));
+        assert_eq!(n, 1);
+        assert_eq!(rbq.reclaimed(), 1);
+        assert_eq!(rbq.outstanding(), 1);
+        // The reclaimed tag is free again; a late completion errors.
+        assert_eq!(
+            rbq.complete(old, 1u32),
+            Err(ControllerError::UnissuedTag { tag: old.value() })
+        );
+        // The young tag still works normally.
+        rbq.complete(young, 2).unwrap();
+        assert_eq!(rbq.pop_in_order(), Some(2));
+    }
+
+    #[test]
+    fn watchdog_unblocks_completed_younger_responses() {
+        let t0 = SimTime::ZERO;
+        let mut rbq = ReorderBufferQueue::new();
+        let _stuck = rbq.issue_at(t0).unwrap();
+        let ok = rbq.issue_at(t0).unwrap();
+        rbq.complete(ok, "data").unwrap();
+        // Head-of-line: the stuck elder blocks the completed younger.
+        assert_eq!(rbq.pop_in_order(), None);
+        rbq.reclaim_stuck(t0 + SimDuration::from_us(20), SimDuration::from_us(10));
+        // reclaim frees BOTH if the young one is also overdue — but the
+        // young one has its payload, so it is not overdue and now pops.
+        assert_eq!(rbq.pop_in_order(), Some("data"));
     }
 
     #[test]
@@ -220,7 +314,7 @@ mod tests {
             order.swap(i, j);
         }
         for &i in &order {
-            rbq.complete(tags[i], i);
+            rbq.complete(tags[i], i).unwrap();
         }
         for i in 0..TAG_COUNT {
             assert_eq!(rbq.pop_in_order(), Some(i));

@@ -11,7 +11,7 @@
 //! arises (the `quantum::noise` readout channel is the aggregate view of
 //! this unit's mistakes).
 
-use qtenon_sim_engine::{ClockDomain, SimDuration};
+use qtenon_sim_engine::{ClockDomain, FaultPlan, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// An integrated IQ point.
@@ -90,6 +90,18 @@ impl ReadoutProcessor {
     /// `Q(SNR/2)` where `Q` is the Gaussian tail function.
     pub fn expected_error_rate(&self) -> f64 {
         q_function(self.separation_snr() / 2.0)
+    }
+
+    /// Total modelled cost of `timeouts` consecutive readout timeouts
+    /// under `plan`: each re-arm repeats the integration/classification
+    /// latency, pays the plan's fixed re-arm penalty, and backs off
+    /// exponentially before the next attempt.
+    pub fn retry_penalty(&self, timeouts: u32, plan: &FaultPlan) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for attempt in 1..=timeouts {
+            total = total + self.latency() + plan.readout_penalty() + plan.backoff(attempt);
+        }
+        total
     }
 }
 
@@ -171,6 +183,16 @@ mod tests {
         // Orthogonal (quadrature) offsets do not change the decision.
         assert!(r.classify(IqPoint { i: 0.6, q: 5.0 }));
         assert!(!r.classify(IqPoint { i: -0.6, q: -5.0 }));
+    }
+
+    #[test]
+    fn retry_penalty_grows_with_timeouts() {
+        let r = ReadoutProcessor::default();
+        let plan = FaultPlan::default();
+        assert_eq!(r.retry_penalty(0, &plan), SimDuration::ZERO);
+        // One re-arm: 300 ns latency + 300 ns penalty + 50 ns backoff.
+        assert_eq!(r.retry_penalty(1, &plan), SimDuration::from_ns(650));
+        assert!(r.retry_penalty(3, &plan) > r.retry_penalty(1, &plan) * 2);
     }
 
     #[test]

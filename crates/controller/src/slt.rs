@@ -17,7 +17,7 @@
 
 use qtenon_isa::{GateType, QAddress, QccLayout, QubitId};
 use qtenon_mem::QSpace;
-use qtenon_sim_engine::MetricsRegistry;
+use qtenon_sim_engine::{FaultInjector, FaultSite, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 
 /// Saturation limit of the 5-bit use counter.
@@ -108,6 +108,9 @@ pub struct SltStats {
     pub allocations: u64,
     /// Valid entries evicted (written back to QSpace).
     pub evictions: u64,
+    /// Entries invalidated by a detected parity error (injected fault);
+    /// the lookup then degrades to the QSpace/recompute path.
+    pub parity_invalidations: u64,
 }
 
 impl SltStats {
@@ -241,6 +244,32 @@ impl SltController {
         resolution
     }
 
+    /// Like [`SltController::resolve`], with a per-lookup parity check
+    /// drawn from `faults`. A detected bit flip on the matching entry
+    /// invalidates that way, so the lookup degrades to the QSpace lookup
+    /// or a full PGU recomputation — trading the skip speedup for
+    /// correctness instead of serving a corrupted pulse address.
+    pub fn resolve_resilient(
+        &mut self,
+        qubit: QubitId,
+        gate: GateType,
+        data27: u32,
+        faults: &mut FaultInjector,
+    ) -> PulseResolution {
+        // One draw per lookup (not per hit) keeps the site's RNG stream
+        // aligned across fault rates.
+        if faults.bernoulli(FaultSite::SltBitFlip) {
+            let key = SltKey::for_gate(gate, data27);
+            let q = qubit.index() as usize;
+            let set = &mut self.tables[q][key.index as usize];
+            if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == key.tag) {
+                way.valid = false;
+                self.stats.parity_invalidations += 1;
+            }
+        }
+        self.resolve(qubit, gate, data27)
+    }
+
     /// Registers SLT and QSpace statistics under `prefix`
     /// (e.g. `controller.slt`).
     pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
@@ -250,6 +279,14 @@ impl SltController {
         m.counter(&format!("{prefix}.qspace_hits"), s.qspace_hits);
         m.counter(&format!("{prefix}.allocations"), s.allocations);
         m.counter(&format!("{prefix}.evictions"), s.evictions);
+        // Only present under fault injection, so fault-free metric
+        // snapshots stay identical to the fault-unaware model's.
+        if s.parity_invalidations > 0 {
+            m.counter(
+                &format!("{prefix}.parity_invalidations"),
+                s.parity_invalidations,
+            );
+        }
         m.gauge(&format!("{prefix}.skip_rate"), s.skip_rate());
         m.counter(&format!("{prefix}.qspace.reads"), self.qspace.reads());
         m.counter(&format!("{prefix}.qspace.writes"), self.qspace.writes());
@@ -413,6 +450,42 @@ mod tests {
         assert!(slt
             .resolve(QubitId::new(0), GateType::Rx, code(1.0))
             .needs_generation());
+    }
+
+    #[test]
+    fn parity_poison_degrades_to_recompute_without_wrong_data() {
+        use qtenon_sim_engine::{FaultInjector, FaultPlan, FaultSite};
+        let plan = FaultPlan::default()
+            .with_rate(FaultSite::SltBitFlip, 0.999_999)
+            .with_seed(13);
+        let mut inj = FaultInjector::new(plan);
+        let mut slt = controller(1);
+        let q = QubitId::new(0);
+        // Warm the entry through the fault-free path.
+        let first = slt.resolve(q, GateType::Rx, code(1.0));
+        assert!(first.needs_generation());
+        // Near-certain parity error on the re-lookup: the hit is refused
+        // and the pulse is recomputed rather than served corrupted.
+        let degraded = slt.resolve_resilient(q, GateType::Rx, code(1.0), &mut inj);
+        assert!(!matches!(degraded, PulseResolution::SltHit(_)));
+        assert_eq!(slt.stats().parity_invalidations, 1);
+        // The warm path is restored afterwards (fault-free lookup hits).
+        let healed = slt.resolve(q, GateType::Rx, code(1.0));
+        assert!(matches!(healed, PulseResolution::SltHit(_)));
+    }
+
+    #[test]
+    fn zero_rate_resilient_resolve_matches_plain() {
+        use qtenon_sim_engine::{FaultInjector, FaultPlan};
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        let mut a = controller(1);
+        let mut b = controller(1);
+        for i in 0..50u32 {
+            let ra = a.resolve(QubitId::new(0), GateType::Ry, (i % 7 + 1) << 7);
+            let rb = b.resolve_resilient(QubitId::new(0), GateType::Ry, (i % 7 + 1) << 7, &mut inj);
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use qtenon_sim_engine::MetricsRegistry;
 
+use crate::error::ControllerError;
+
 /// Number of 32-bit lanes in a 256-bit bus beat.
 pub const LANES: usize = 8;
 
@@ -30,8 +32,8 @@ pub struct LaneWrite {
 ///
 /// let mut wbq = WriteBufferQueue::new();
 /// // A 3-word write starting at lane 6 wraps into the next beat.
-/// wbq.enqueue(6, &[0xa, 0xb, 0xc]);
-/// let drained = wbq.drain();
+/// wbq.enqueue(6, &[0xa, 0xb, 0xc]).unwrap();
+/// let drained = wbq.drain().unwrap();
 /// assert_eq!(drained.len(), 3);
 /// assert_eq!(drained[0].lane, 6);
 /// assert_eq!(drained[2].lane, 0); // wrapped
@@ -55,31 +57,55 @@ impl WriteBufferQueue {
     /// Words beyond lane 7 wrap to lane 0 of the following beat, exactly
     /// like consecutive addresses on the 256-bit bus.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `start_lane` is not a valid lane index.
-    pub fn enqueue(&mut self, start_lane: usize, words: &[u32]) {
-        assert!(start_lane < LANES, "lane {start_lane} out of range");
+    /// Returns [`ControllerError::LaneOutOfRange`] if `start_lane` is not
+    /// a valid lane index; nothing is buffered in that case.
+    pub fn enqueue(&mut self, start_lane: usize, words: &[u32]) -> Result<(), ControllerError> {
+        if start_lane >= LANES {
+            return Err(ControllerError::LaneOutOfRange {
+                lane: start_lane,
+                lanes: LANES,
+            });
+        }
         for (i, &w) in words.iter().enumerate() {
             let lane = (start_lane + i) % LANES;
             self.queues[lane].push_back(w);
             self.sindex.push_back(lane);
             self.enqueued += 1;
         }
+        Ok(())
     }
 
-    /// Pops the next buffered write in arrival order.
-    pub fn pop(&mut self) -> Option<LaneWrite> {
-        let lane = self.sindex.pop_front()?;
+    /// Pops the next buffered write in arrival order (`Ok(None)` when the
+    /// buffer is empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::EmptyLane`] if the lane-order index
+    /// names a lane with no buffered data — a structural inconsistency
+    /// (e.g. a corrupted SIndex) rather than a normal empty buffer.
+    pub fn pop(&mut self) -> Result<Option<LaneWrite>, ControllerError> {
+        let Some(lane) = self.sindex.pop_front() else {
+            return Ok(None);
+        };
         let data = self.queues[lane]
             .pop_front()
-            .expect("sindex names a lane with data");
-        Some(LaneWrite { lane, data })
+            .ok_or(ControllerError::EmptyLane { lane })?;
+        Ok(Some(LaneWrite { lane, data }))
     }
 
     /// Drains everything buffered, in arrival order.
-    pub fn drain(&mut self) -> Vec<LaneWrite> {
-        std::iter::from_fn(|| self.pop()).collect()
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first structural error from [`WriteBufferQueue::pop`].
+    pub fn drain(&mut self) -> Result<Vec<LaneWrite>, ControllerError> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(w) = self.pop()? {
+            out.push(w);
+        }
+        Ok(out)
     }
 
     /// Number of words currently buffered.
@@ -121,8 +147,8 @@ mod tests {
     fn aligned_full_beat() {
         let mut wbq = WriteBufferQueue::new();
         let words: Vec<u32> = (0..8).collect();
-        wbq.enqueue(0, &words);
-        let out = wbq.drain();
+        wbq.enqueue(0, &words).unwrap();
+        let out = wbq.drain().unwrap();
         assert_eq!(out.len(), 8);
         for (i, w) in out.iter().enumerate() {
             assert_eq!(w.lane, i);
@@ -133,18 +159,18 @@ mod tests {
     #[test]
     fn unaligned_write_wraps_lanes() {
         let mut wbq = WriteBufferQueue::new();
-        wbq.enqueue(5, &[1, 2, 3, 4, 5]);
-        let lanes: Vec<usize> = wbq.drain().iter().map(|w| w.lane).collect();
+        wbq.enqueue(5, &[1, 2, 3, 4, 5]).unwrap();
+        let lanes: Vec<usize> = wbq.drain().unwrap().iter().map(|w| w.lane).collect();
         assert_eq!(lanes, vec![5, 6, 7, 0, 1]);
     }
 
     #[test]
     fn arrival_order_preserved_across_writes() {
         let mut wbq = WriteBufferQueue::new();
-        wbq.enqueue(0, &[10]);
-        wbq.enqueue(0, &[20]); // same lane: must come out after 10
-        wbq.enqueue(3, &[30]);
-        let data: Vec<u32> = wbq.drain().iter().map(|w| w.data).collect();
+        wbq.enqueue(0, &[10]).unwrap();
+        wbq.enqueue(0, &[20]).unwrap(); // same lane: must come out after 10
+        wbq.enqueue(3, &[30]).unwrap();
+        let data: Vec<u32> = wbq.drain().unwrap().iter().map(|w| w.data).collect();
         assert_eq!(data, vec![10, 20, 30]);
     }
 
@@ -152,9 +178,9 @@ mod tests {
     fn len_and_counters() {
         let mut wbq = WriteBufferQueue::new();
         assert!(wbq.is_empty());
-        wbq.enqueue(0, &[1, 2, 3]);
+        wbq.enqueue(0, &[1, 2, 3]).unwrap();
         assert_eq!(wbq.len(), 3);
-        wbq.pop();
+        wbq.pop().unwrap();
         assert_eq!(wbq.len(), 2);
         assert_eq!(wbq.total_enqueued(), 3);
     }
@@ -169,9 +195,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_lane_panics() {
+    fn bad_lane_is_a_typed_error() {
         let mut wbq = WriteBufferQueue::new();
-        wbq.enqueue(8, &[1]);
+        assert_eq!(
+            wbq.enqueue(8, &[1]),
+            Err(ControllerError::LaneOutOfRange { lane: 8, lanes: 8 })
+        );
+        assert!(wbq.is_empty(), "failed enqueue must not buffer anything");
+    }
+
+    #[test]
+    fn pop_on_empty_buffer_is_ok_none() {
+        let mut wbq = WriteBufferQueue::new();
+        assert_eq!(wbq.pop(), Ok(None));
     }
 }

@@ -18,7 +18,7 @@ proptest! {
         let mut rbq = ReorderBufferQueue::new();
         let tags: Vec<_> = (0..16).map(|_| rbq.issue().unwrap()).collect();
         for &i in &perm {
-            rbq.complete(tags[i], i);
+            rbq.complete(tags[i], i).unwrap();
         }
         for expected in 0..16 {
             prop_assert_eq!(rbq.pop_in_order(), Some(expected));
@@ -32,12 +32,12 @@ proptest! {
         let mut wbq = WriteBufferQueue::new();
         let mut expected = Vec::new();
         for (lane, data) in &writes {
-            wbq.enqueue(*lane, data);
+            wbq.enqueue(*lane, data).unwrap();
             for (i, &d) in data.iter().enumerate() {
                 expected.push(((lane + i) % 8, d));
             }
         }
-        let drained = wbq.drain();
+        let drained = wbq.drain().unwrap();
         prop_assert_eq!(drained.len(), expected.len());
         for (got, (lane, data)) in drained.iter().zip(expected) {
             prop_assert_eq!(got.lane, lane);
@@ -66,7 +66,8 @@ proptest! {
         let mut pool = PguPool::new(PguConfig {
             units,
             ..PguConfig::default()
-        });
+        })
+        .unwrap();
         let mut per_unit: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); units];
         for _ in 0..jobs {
             let d = pool.dispatch(SimTime::ZERO);

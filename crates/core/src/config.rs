@@ -6,6 +6,7 @@ use qtenon_controller::{AdiModel, BusConfig, PipelineConfig};
 use qtenon_isa::QccLayout;
 use qtenon_mem::HierarchyConfig;
 use qtenon_quantum::GateTimes;
+use qtenon_sim_engine::FaultPlan;
 
 use crate::SystemError;
 
@@ -81,6 +82,10 @@ pub struct QtenonConfig {
     pub transmission: TransmissionPolicy,
     /// Seed for chip sampling.
     pub seed: u64,
+    /// Deterministic fault-injection plan (all rates zero by default:
+    /// the fault layer is inert and the system behaves exactly as the
+    /// fault-free model).
+    pub faults: FaultPlan,
 }
 
 impl QtenonConfig {
@@ -104,6 +109,7 @@ impl QtenonConfig {
             sync: SyncMode::FineGrained,
             transmission: TransmissionPolicy::Batched,
             seed: 0x51,
+            faults: FaultPlan::default(),
         })
     }
 
@@ -122,6 +128,12 @@ impl QtenonConfig {
     /// Returns a copy with a different sampling seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -157,6 +169,15 @@ mod tests {
         assert_eq!(cfg.sync, SyncMode::Fence);
         assert_eq!(cfg.transmission, TransmissionPolicy::Immediate);
         assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn fault_plan_defaults_inert_and_builder_installs_one() {
+        let cfg = QtenonConfig::table4(8, CoreModel::Rocket).unwrap();
+        assert!(!cfg.faults.is_active());
+        let cfg = cfg.with_faults(FaultPlan::all(0.01).with_seed(7));
+        assert!(cfg.faults.is_active());
+        assert_eq!(cfg.faults.seed, 7);
     }
 
     #[test]

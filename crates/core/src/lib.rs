@@ -44,7 +44,7 @@ pub mod vqa;
 
 pub use config::{CoreModel, QtenonConfig, SyncMode, TransmissionPolicy};
 pub use host::HostCoreModel;
-pub use report::{CommBreakdown, RunReport, TimeBreakdown};
+pub use report::{CommBreakdown, ResilienceSummary, RunReport, TimeBreakdown};
 pub use schedule::TransmissionPlan;
 pub use system::QtenonSystem;
 pub use vqa::VqaRunner;
@@ -60,6 +60,9 @@ pub enum SystemError {
     Isa(qtenon_isa::IsaError),
     /// Memory-model failure.
     Mem(qtenon_mem::MemError),
+    /// Controller hardware failure (retry budgets exhausted, structural
+    /// misuse) surfaced as a typed error instead of a panic.
+    Controller(qtenon_controller::ControllerError),
     /// Compilation failure.
     Compile(qtenon_compiler::CompileError),
     /// Quantum simulation failure.
@@ -72,6 +75,7 @@ impl fmt::Display for SystemError {
             SystemError::Config(m) => write!(f, "bad system config: {m}"),
             SystemError::Isa(e) => write!(f, "isa error: {e}"),
             SystemError::Mem(e) => write!(f, "memory error: {e}"),
+            SystemError::Controller(e) => write!(f, "controller error: {e}"),
             SystemError::Compile(e) => write!(f, "compile error: {e}"),
             SystemError::Quantum(e) => write!(f, "quantum error: {e}"),
         }
@@ -84,6 +88,7 @@ impl std::error::Error for SystemError {
             SystemError::Config(_) => None,
             SystemError::Isa(e) => Some(e),
             SystemError::Mem(e) => Some(e),
+            SystemError::Controller(e) => Some(e),
             SystemError::Compile(e) => Some(e),
             SystemError::Quantum(e) => Some(e),
         }
@@ -98,6 +103,11 @@ impl From<qtenon_isa::IsaError> for SystemError {
 impl From<qtenon_mem::MemError> for SystemError {
     fn from(e: qtenon_mem::MemError) -> Self {
         SystemError::Mem(e)
+    }
+}
+impl From<qtenon_controller::ControllerError> for SystemError {
+    fn from(e: qtenon_controller::ControllerError) -> Self {
+        SystemError::Controller(e)
     }
 }
 impl From<qtenon_compiler::CompileError> for SystemError {

@@ -111,6 +111,49 @@ impl std::ops::AddAssign for CommBreakdown {
     }
 }
 
+/// Fault-injection and recovery counters accumulated over a run.
+///
+/// All-zero (the [`Default`]) whenever the configured
+/// [`FaultPlan`](qtenon_sim_engine::FaultPlan) is inert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceSummary {
+    /// Faults the injector actually fired across every site.
+    pub faults_injected: u64,
+    /// TileLink transfers re-sent after a drop or corruption.
+    pub bus_retries: u64,
+    /// PGU stall events absorbed by extending the dispatch window.
+    pub pgu_stalls: u64,
+    /// Pulse computations re-dispatched after a PGU failure.
+    pub pgu_redispatches: u64,
+    /// SLT ways invalidated by parity poisoning (degraded to recompute).
+    pub slt_invalidations: u64,
+    /// RBQ tags reclaimed by the completion watchdog.
+    pub rbq_reclaims: u64,
+    /// Readout re-arms after a classification timeout.
+    pub readout_retries: u64,
+    /// `.measure` upsets corrected by the ECC decoder.
+    pub ecc_corrections: u64,
+}
+
+impl ResilienceSummary {
+    /// Total recovery actions of every kind — the headline
+    /// `resilience.retries` counter.
+    pub fn total_retries(&self) -> u64 {
+        self.bus_retries
+            + self.pgu_stalls
+            + self.pgu_redispatches
+            + self.slt_invalidations
+            + self.rbq_reclaims
+            + self.readout_retries
+            + self.ecc_corrections
+    }
+
+    /// Whether any fault fired or any recovery action ran.
+    pub fn is_zero(&self) -> bool {
+        self.faults_injected == 0 && self.total_retries() == 0
+    }
+}
+
 /// The complete result of one end-to-end VQA run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -137,6 +180,9 @@ pub struct RunReport {
     /// Fraction of pulse computations avoided relative to regenerating
     /// every pulse every evaluation (Table 5's "reduction").
     pub pulse_reduction: f64,
+    /// Fault-injection and recovery counters (all zero without faults).
+    #[serde(default)]
+    pub resilience: ResilienceSummary,
 }
 
 impl RunReport {
@@ -232,6 +278,23 @@ mod tests {
         assert!((s[0] - 0.1).abs() < 1e-12);
         assert!((s[2] - 0.6).abs() < 1e-12);
         assert_eq!(c.total(), ns(100));
+    }
+
+    #[test]
+    fn resilience_summary_totals_and_zero_check() {
+        let mut r = ResilienceSummary::default();
+        assert!(r.is_zero());
+        assert_eq!(r.total_retries(), 0);
+        r.bus_retries = 2;
+        r.rbq_reclaims = 1;
+        r.ecc_corrections = 3;
+        assert_eq!(r.total_retries(), 6);
+        assert!(!r.is_zero());
+        r = ResilienceSummary {
+            faults_injected: 1,
+            ..ResilienceSummary::default()
+        };
+        assert!(!r.is_zero());
     }
 
     #[test]

@@ -6,19 +6,24 @@
 //! higher layers (the VQA runner) can overlap operations exactly as the
 //! fine-grained synchronisation allows.
 
+use qtenon_controller::bus::TransferTiming;
 use qtenon_controller::pipeline::{PipelineReport, PulsePipeline, WorkItem};
 use qtenon_controller::rbq::Tag;
-use qtenon_controller::{AdiModel, MemoryBarrier, ReorderBufferQueue, TileLinkBus};
+use qtenon_controller::{
+    AdiModel, ControllerError, MemoryBarrier, ReadoutProcessor, ReorderBufferQueue, TileLinkBus,
+};
 use qtenon_isa::{GateType, ProgramEntry, QAddress, QubitId};
 use qtenon_mem::qcc::{AccessPort, QuantumControllerCache};
 use qtenon_mem::MemoryHierarchy;
 use qtenon_quantum::sim::Simulator;
 use qtenon_quantum::{BitString, Circuit, CircuitTiming};
-use qtenon_sim_engine::{Histogram, MetricsRegistry, SimDuration, SimTime};
+use qtenon_sim_engine::{
+    FaultInjector, FaultSite, Histogram, MetricsRegistry, SimDuration, SimTime,
+};
 
 use crate::config::QtenonConfig;
 use crate::host::HostCoreModel;
-use crate::report::CommBreakdown;
+use crate::report::{CommBreakdown, ResilienceSummary};
 use crate::trace::{Trace, TraceLane};
 use crate::SystemError;
 
@@ -54,6 +59,16 @@ pub struct QtenonSystem {
     active_flow: Option<(u64, Tag)>,
     /// Monotonic flow-id allocator.
     flow_seq: u64,
+    /// Deterministic fault injector (inert when all rates are zero).
+    injector: FaultInjector,
+    /// Readout processor model (timeout/re-arm cost under faults).
+    readout: ReadoutProcessor,
+    /// Readout re-arms performed after injected classification timeouts.
+    readout_retries: u64,
+    /// Host stalls taken while waiting for a free RBQ tag.
+    rbq_stalls: u64,
+    /// Stall time owed to the next instruction (RBQ tag exhaustion).
+    pending_stall: SimDuration,
     /// Per-instruction latency distributions, in nanoseconds.
     lat_q_update: Histogram,
     lat_q_set: Histogram,
@@ -82,7 +97,7 @@ impl QtenonSystem {
         Ok(QtenonSystem {
             config,
             qcc: QuantumControllerCache::new(config.layout),
-            pipeline: PulsePipeline::new(config.pipeline, config.layout),
+            pipeline: PulsePipeline::new(config.pipeline, config.layout)?,
             bus: TileLinkBus::new(config.bus),
             barrier: MemoryBarrier::new(),
             hierarchy: MemoryHierarchy::new(config.hierarchy)?,
@@ -96,6 +111,11 @@ impl QtenonSystem {
             rbq: ReorderBufferQueue::new(),
             active_flow: None,
             flow_seq: 0,
+            injector: FaultInjector::new(config.faults),
+            readout: ReadoutProcessor::default(),
+            readout_retries: 0,
+            rbq_stalls: 0,
+            pending_stall: SimDuration::ZERO,
             lat_q_update: Histogram::new(),
             lat_q_set: Histogram::new(),
             lat_q_acquire: Histogram::new(),
@@ -150,6 +170,31 @@ impl QtenonSystem {
         }
     }
 
+    /// Whether the RBQ flow protocol runs. Always on when tracing; also on
+    /// under fault injection so tag leaks and watchdog reclaims are
+    /// exercised even without a trace consumer.
+    fn flows_enabled(&self) -> bool {
+        self.trace.is_some() || self.injector.is_active()
+    }
+
+    /// Consumes any stall owed by RBQ tag exhaustion, shifting `now`.
+    /// Zero (and so a no-op) whenever fault injection is inert.
+    fn absorb_stall(&mut self, now: SimTime) -> SimTime {
+        now + std::mem::replace(&mut self.pending_stall, SimDuration::ZERO)
+    }
+
+    /// Schedules a bus transfer, routing through the retry-aware path
+    /// only when fault injection is live.
+    fn bus_transfer(&mut self, now: SimTime, bytes: u64) -> Result<TransferTiming, SystemError> {
+        if self.injector.is_active() {
+            Ok(self
+                .bus
+                .schedule_transfer_resilient(now, bytes, &mut self.injector)?)
+        } else {
+            Ok(self.bus.schedule_transfer(now, bytes))
+        }
+    }
+
     /// Returns the open flow id, opening one on the Host lane if needed.
     ///
     /// A flow names one logical request — issued by the host, carried over
@@ -158,11 +203,41 @@ impl QtenonSystem {
     /// chain across the four lanes. Returns `None` when tracing is off or
     /// all 32 tags are in flight.
     fn ensure_flow(&mut self, now: SimTime) -> Option<u64> {
-        self.trace.as_ref()?;
+        if !self.flows_enabled() {
+            return None;
+        }
         if let Some((flow, _)) = self.active_flow {
             return Some(flow);
         }
-        let tag = self.rbq.issue()?;
+        if self.injector.is_active() {
+            // Watchdog pass: reclaim tags whose completion response was
+            // lost to an injected fault before they pile up.
+            self.rbq
+                .reclaim_stuck(now, self.injector.plan().watchdog_timeout());
+        }
+        let tag = match self.rbq.issue_at(now) {
+            Some(tag) => tag,
+            None => {
+                // All 32 tags in flight: stall the host with backoff and
+                // let the watchdog free overdue tags, instead of dropping
+                // the request or erroring out.
+                let plan = *self.injector.plan();
+                let mut stalled = SimDuration::ZERO;
+                let mut reclaimed_tag = None;
+                for attempt in 1..=plan.max_attempts.max(1) {
+                    stalled = stalled + plan.backoff(attempt);
+                    self.rbq
+                        .reclaim_stuck(now + stalled, plan.watchdog_timeout());
+                    if let Some(tag) = self.rbq.issue_at(now + stalled) {
+                        reclaimed_tag = Some(tag);
+                        break;
+                    }
+                }
+                self.rbq_stalls += 1;
+                self.pending_stall = self.pending_stall + stalled;
+                reclaimed_tag?
+            }
+        };
         let flow = self.flow_seq;
         self.flow_seq += 1;
         self.active_flow = Some((flow, tag));
@@ -195,16 +270,45 @@ impl QtenonSystem {
         if let Some(trace) = &mut self.trace {
             trace.record_flow_end(format!("rbq:{}", tag.value()), lane, now, flow);
         }
-        self.rbq.complete(tag, ());
-        // The flow protocol issues and retires tags strictly in order, so
-        // the completed tag is always at the head of the RBQ.
-        let popped = self.rbq.pop_in_order();
-        debug_assert!(popped.is_some(), "completed tag must pop");
+        if self.injector.is_active() && self.injector.bernoulli(FaultSite::RbqStuck) {
+            // The completion response is lost: the tag stays allocated
+            // until the watchdog reclaims it.
+            self.trace_event("fault:rbq_stuck", lane, now, SimDuration::ZERO);
+            return;
+        }
+        // A tag the watchdog already reclaimed completes late; dropping
+        // that response is the recovery contract, not an error.
+        if self.rbq.complete(tag, ()).is_ok() {
+            // Retire every realigned response. Without faults the
+            // completed tag is always at the head; with leaked tags ahead
+            // of it, retirement waits until the watchdog frees them.
+            while self.rbq.pop_in_order().is_some() {}
+        }
     }
 
     /// Cumulative SLT statistics.
     pub fn slt_stats(&self) -> qtenon_controller::SltStats {
         self.pipeline.slt_stats()
+    }
+
+    /// The fault injector's plan and counters (read-only).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Fault-injection and recovery counters accumulated so far.
+    /// All-zero whenever the configured plan is inert.
+    pub fn resilience(&self) -> ResilienceSummary {
+        ResilienceSummary {
+            faults_injected: self.injector.injected_total(),
+            bus_retries: self.bus.retries(),
+            pgu_stalls: self.pipeline.pgu_stalls(),
+            pgu_redispatches: self.pipeline.pgu_redispatches(),
+            slt_invalidations: self.slt_stats().parity_invalidations,
+            rbq_reclaims: self.rbq.reclaimed(),
+            readout_retries: self.readout_retries,
+            ecc_corrections: self.qcc.ecc_corrections(),
+        }
     }
 
     /// `q_update`: one register value over the RoCC path (one cycle).
@@ -218,6 +322,7 @@ impl QtenonSystem {
         qaddr: QAddress,
         value: u32,
     ) -> Result<SimTime, SystemError> {
+        let now = self.absorb_stall(now);
         self.qcc
             .write_regfile(AccessPort::HostPublic, qaddr, value)?;
         let d = self.host.clock().cycles(1);
@@ -243,6 +348,7 @@ impl QtenonSystem {
         qaddr: QAddress,
         entries: &[ProgramEntry],
     ) -> Result<SimTime, SystemError> {
+        let now = self.absorb_stall(now);
         for (i, entry) in entries.iter().enumerate() {
             let dst = qaddr.offset(i as u64)?;
             self.qcc
@@ -252,7 +358,7 @@ impl QtenonSystem {
         // 9-byte records. The two pipelines overlap, so charge the max.
         let bytes = entries.len() as u64 * 9;
         let read = self.hierarchy.access_range(classical_addr, bytes, false);
-        let transfer = self.bus.schedule_transfer(now, bytes);
+        let transfer = self.bus_transfer(now, bytes)?;
         let complete = (now + read).max(transfer.complete);
         let d = complete.saturating_since(now);
         self.comm.q_set += d;
@@ -266,11 +372,17 @@ impl QtenonSystem {
 
     /// `q_acquire`: pull `.measure` entries back to host memory.
     ///
-    /// Returns the data and the completion time.
+    /// Returns the data and the completion time. Under fault injection,
+    /// each `.measure` read passes through the ECC decoder (correcting
+    /// injected upsets) and an injected readout-classification timeout
+    /// re-arms the readout processor with backoff up to the plan's retry
+    /// budget.
     ///
     /// # Errors
     ///
-    /// Returns [`SystemError::Mem`] for bad source addresses.
+    /// Returns [`SystemError::Mem`] for bad source addresses and
+    /// [`SystemError::Controller`] when the readout retry budget is
+    /// exhausted.
     pub fn q_acquire(
         &mut self,
         now: SimTime,
@@ -278,15 +390,37 @@ impl QtenonSystem {
         length: u64,
         classical_addr: u64,
     ) -> Result<(Vec<u64>, SimTime), SystemError> {
+        let now = self.absorb_stall(now);
         let mut data = Vec::with_capacity(length as usize);
         for i in 0..length {
             let src = qaddr.offset(i)?;
             data.push(self.qcc.read_measure(AccessPort::HostPublic, src)?);
         }
         let bytes = length * 8;
-        let transfer = self.bus.schedule_transfer(now, bytes);
+        let transfer = self.bus_transfer(now, bytes)?;
         let write = self.hierarchy.access_range(classical_addr, bytes, true);
-        let complete = transfer.complete.max(now + write);
+        let mut complete = transfer.complete.max(now + write);
+        if self.injector.is_active() {
+            let timeouts = self.injector.geometric_failures(FaultSite::ReadoutTimeout);
+            let budget = self.injector.plan().max_attempts.max(1);
+            if timeouts >= budget {
+                self.readout_retries += u64::from(budget - 1);
+                return Err(SystemError::Controller(
+                    ControllerError::ReadoutRetriesExhausted { attempts: budget },
+                ));
+            }
+            if timeouts > 0 {
+                let penalty = self.readout.retry_penalty(timeouts, self.injector.plan());
+                self.readout_retries += u64::from(timeouts);
+                complete = complete + penalty;
+                self.trace_event(
+                    "fault:readout_timeout",
+                    TraceLane::Communication,
+                    now,
+                    SimDuration::ZERO,
+                );
+            }
+        }
         self.barrier
             .mark_synced(classical_addr, bytes, transfer.complete);
         let d = complete.saturating_since(now);
@@ -302,8 +436,19 @@ impl QtenonSystem {
     /// A controller-initiated PUT of measurement results to host memory
     /// (the fine-grained path of Fig. 9b). Accounted as `q_acquire`-class
     /// traffic; marks the barrier when the request hits the bus.
-    pub fn put_results(&mut self, now: SimTime, classical_addr: u64, bytes: u64) -> SimTime {
-        let transfer = self.bus.schedule_transfer(now, bytes);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Controller`] when injected bus faults
+    /// exhaust the transfer's retry budget.
+    pub fn put_results(
+        &mut self,
+        now: SimTime,
+        classical_addr: u64,
+        bytes: u64,
+    ) -> Result<SimTime, SystemError> {
+        let now = self.absorb_stall(now);
+        let transfer = self.bus_transfer(now, bytes)?;
         self.barrier
             .mark_synced(classical_addr, bytes, transfer.complete);
         let d = transfer.complete.saturating_since(now);
@@ -312,7 +457,7 @@ impl QtenonSystem {
         self.lat_q_acquire.record(d.as_ps() / 1_000);
         self.flow_step(TraceLane::Communication, now);
         self.trace_event("put", TraceLane::Communication, now, d);
-        transfer.complete
+        Ok(transfer.complete)
     }
 
     /// `q_gen`: run the pulse pipeline over regfile-resolved work items,
@@ -327,6 +472,7 @@ impl QtenonSystem {
         now: SimTime,
         items: &[(QubitId, GateType, u32)],
     ) -> Result<(PipelineReport, SimTime), SystemError> {
+        let now = self.absorb_stall(now);
         let work: Vec<WorkItem> = items
             .iter()
             .map(|&(qubit, gate, data27)| WorkItem {
@@ -335,7 +481,12 @@ impl QtenonSystem {
                 data27,
             })
             .collect();
-        let (report, resolved) = self.pipeline.process(now, &work);
+        let (report, resolved) = if self.injector.is_active() {
+            self.pipeline
+                .process_resilient(now, &work, &mut self.injector)?
+        } else {
+            self.pipeline.process(now, &work)
+        };
         for (item, pulse) in work.iter().zip(&resolved) {
             if pulse.generated {
                 // Synthetic-but-deterministic pulse payload derived from
@@ -374,6 +525,7 @@ impl QtenonSystem {
         circuit: &Circuit,
         shots: u64,
     ) -> Result<RunOutcome, SystemError> {
+        let now = self.absorb_stall(now);
         let timing = CircuitTiming::of(circuit, &self.config.gate_times);
         let results = self.simulator.run(circuit, shots)?;
         // Pack each shot's bits into consecutive 64-bit measure entries.
@@ -388,6 +540,12 @@ impl QtenonSystem {
                     ))
                 })?;
                 self.qcc.write_measure(AccessPort::Controller, addr, word)?;
+                if self.injector.is_active() && self.injector.bernoulli(FaultSite::QccBitFlip) {
+                    // A single-event upset lands on the freshly written
+                    // word; the ECC decoder corrects it on the next read.
+                    self.qcc
+                        .poison_measure(addr, 1u64 << (self.measure_cursor & 63))?;
+                }
                 self.measure_cursor = (self.measure_cursor + 1) % layout.measure_entries();
             }
         }
@@ -436,6 +594,22 @@ impl QtenonSystem {
         m.histogram("core.instr.q_acquire.latency_ns", &self.lat_q_acquire);
         m.histogram("core.instr.q_gen.latency_ns", &self.lat_q_gen);
         m.histogram("core.instr.q_run.latency_ns", &self.lat_q_run);
+        // Fault and recovery namespaces appear only under an active plan,
+        // keeping fault-free snapshots identical to the fault-unaware
+        // model's.
+        if self.injector.is_active() {
+            self.injector.export_metrics(m, "faults");
+            let r = self.resilience();
+            m.counter("resilience.retries", r.total_retries());
+            m.counter("resilience.bus_retries", r.bus_retries);
+            m.counter("resilience.pgu_stalls", r.pgu_stalls);
+            m.counter("resilience.pgu_redispatches", r.pgu_redispatches);
+            m.counter("resilience.slt_invalidation", r.slt_invalidations);
+            m.counter("resilience.rbq_reclaims", r.rbq_reclaims);
+            m.counter("resilience.rbq_stalls", self.rbq_stalls);
+            m.counter("resilience.readout_retries", r.readout_retries);
+            m.counter("resilience.ecc_corrections", r.ecc_corrections);
+        }
     }
 
     /// Resets transient state between independent experiment runs while
@@ -447,6 +621,10 @@ impl QtenonSystem {
         self.barrier.reset();
         self.rbq = ReorderBufferQueue::new();
         self.active_flow = None;
+        self.injector = FaultInjector::new(self.config.faults);
+        self.readout_retries = 0;
+        self.rbq_stalls = 0;
+        self.pending_stall = SimDuration::ZERO;
         self.lat_q_update.reset();
         self.lat_q_set.reset();
         self.lat_q_acquire.reset();
@@ -573,7 +751,7 @@ mod tests {
     #[test]
     fn put_results_accounts_as_acquire_traffic() {
         let mut sys = system(8);
-        let done = sys.put_results(t0(), 0xB000, 32);
+        let done = sys.put_results(t0(), 0xB000, 32).unwrap();
         assert!(done > t0());
         assert_eq!(sys.comm().q_acquire_count, 1);
         assert!(sys.barrier_mut().is_synced(0xB000));
@@ -624,6 +802,68 @@ mod tests {
             Some(&MetricValue::Counter(1))
         );
         assert_eq!(m.get("core.instructions"), Some(&MetricValue::Counter(2)));
+    }
+
+    #[test]
+    fn inert_plan_exports_no_fault_metrics() {
+        let mut sys = system(4);
+        let addr = sys.config().layout.regfile_entry(0).unwrap();
+        sys.q_update(t0(), addr, 7).unwrap();
+        let items = vec![(QubitId::new(0), GateType::Rx, 123u32)];
+        sys.q_gen(t0(), &items).unwrap();
+        assert!(sys.resilience().is_zero());
+        let mut m = MetricsRegistry::new();
+        sys.export_metrics(&mut m);
+        assert!(!m
+            .paths()
+            .iter()
+            .any(|p| p.starts_with("faults.") || p.starts_with("resilience.")));
+    }
+
+    #[test]
+    fn faulty_run_recovers_and_reproduces_counters() {
+        use qtenon_sim_engine::FaultPlan;
+        let run = || {
+            let plan = FaultPlan::all(0.05).with_seed(0xFA17);
+            let cfg = QtenonConfig::table4(4, CoreModel::Rocket)
+                .unwrap()
+                .with_faults(plan);
+            let mut sys = QtenonSystem::new(cfg).unwrap();
+            let layout = sys.config().layout;
+            let qaddr = layout.program_entry(QubitId::new(0), 0).unwrap();
+            let entries =
+                vec![ProgramEntry::rotation(GateType::Rx, EncodedAngle::from_radians(0.3)); 8];
+            let mut c = Circuit::new(4);
+            c.rx(0, std::f64::consts::PI).measure_all();
+            let mut t = t0();
+            for i in 0..25u32 {
+                t = sys.q_set_program(t, 0x8000, qaddr, &entries).unwrap();
+                let items = vec![(
+                    QubitId::new(0),
+                    GateType::Ry,
+                    EncodedAngle::from_radians(0.01 * f64::from(i)).code(),
+                )];
+                let (_, tg) = sys.q_gen(t, &items).unwrap();
+                let out = sys.q_run(tg, &c, 4).unwrap();
+                let maddr = layout.measure_entry(0).unwrap();
+                let (data, done) = sys.q_acquire(out.complete, maddr, 4, 0xA000).unwrap();
+                // ECC corrects injected upsets before data leaves `.measure`.
+                assert!(data.iter().all(|w| w & 1 == 1));
+                t = done;
+            }
+            let mut m = MetricsRegistry::new();
+            sys.export_metrics(&mut m);
+            assert!(m.paths().iter().any(|p| p.starts_with("faults.injected.")));
+            assert!(m.get("resilience.retries").is_some());
+            sys.resilience()
+        };
+        let a = run();
+        let b = run();
+        // The run completed despite injected faults, recovered at least
+        // once, and the whole counter set reproduces under the same seed.
+        assert!(a.faults_injected > 0, "no faults fired: {a:?}");
+        assert!(a.total_retries() > 0, "no recovery actions: {a:?}");
+        assert_eq!(a, b);
     }
 
     #[test]

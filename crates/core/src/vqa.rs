@@ -265,6 +265,7 @@ impl VqaRunner {
             } else {
                 1.0 - pulses_generated as f64 / pulse_work_items as f64
             },
+            resilience: self.system.resilience(),
         })
     }
 
@@ -362,7 +363,7 @@ impl VqaRunner {
                 for batch in plan.batches() {
                     let ready =
                         first_shot_at + outcome.shot_duration * (batch.first_shot + batch.shots);
-                    let put_done = self.system.put_results(ready, addr, batch.bytes);
+                    let put_done = self.system.put_results(ready, addr, batch.bytes)?;
                     addr += batch.bytes;
                     // Per-PUT host wake: barrier query + buffer
                     // bookkeeping, plus any full blocks now evaluable.
@@ -591,6 +592,51 @@ mod tests {
             Some(MetricValue::Gauge(g)) => assert!(g.is_finite()),
             other => panic!("expected gauge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_does_not_perturb_the_run() {
+        use qtenon_sim_engine::FaultPlan;
+        let workload = Workload::benchmark(qtenon_workloads::WorkloadKind::Qaoa, 8, 3).unwrap();
+        let base_cfg = QtenonConfig::table4(8, CoreModel::Rocket).unwrap();
+        // A plan with a seed but all-zero rates must be behaviourally
+        // invisible: identical report, no resilience activity.
+        let zeroed_cfg = base_cfg.with_faults(FaultPlan::default().with_seed(99));
+        let base = VqaRunner::new(base_cfg, workload.clone())
+            .unwrap()
+            .run(&mut SpsaOptimizer::new(1), 2, 50)
+            .unwrap();
+        let zeroed = VqaRunner::new(zeroed_cfg, workload)
+            .unwrap()
+            .run(&mut SpsaOptimizer::new(1), 2, 50)
+            .unwrap();
+        assert_eq!(base, zeroed);
+        assert!(zeroed.resilience.is_zero());
+    }
+
+    #[test]
+    fn faulty_vqa_survives_and_reproduces() {
+        use qtenon_sim_engine::FaultPlan;
+        let run = || {
+            let plan = FaultPlan::all(0.02).with_seed(0xFA17);
+            let config = QtenonConfig::table4(8, CoreModel::Rocket)
+                .unwrap()
+                .with_faults(plan);
+            let workload = Workload::benchmark(qtenon_workloads::WorkloadKind::Vqe, 8, 7).unwrap();
+            VqaRunner::new(config, workload)
+                .unwrap()
+                .run(&mut SpsaOptimizer::new(3), 2, 100)
+                .unwrap()
+        };
+        let a = run();
+        // Graceful degradation: the run completes despite injected faults
+        // and reports what it absorbed.
+        assert!(a.resilience.faults_injected > 0, "{:?}", a.resilience);
+        assert!(a.resilience.total_retries() > 0, "{:?}", a.resilience);
+        assert!(a.total > SimDuration::ZERO);
+        // Same seed, same plan → bit-identical outcome.
+        let b = run();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property-based tests for deterministic fault injection and controller
+//! resilience: reproducibility, rate monotonicity, and the zero-rate
+//! identity that keeps the fault layer invisible when disabled.
+
+use proptest::prelude::*;
+
+use qtenon_core::config::{CoreModel, QtenonConfig};
+use qtenon_core::report::RunReport;
+use qtenon_core::vqa::VqaRunner;
+use qtenon_sim_engine::{FaultPlan, FaultSite, MetricsRegistry};
+use qtenon_workloads::{SpsaOptimizer, Workload, WorkloadKind};
+
+/// Runs a small VQA under `faults`, returning the report and the full
+/// metric snapshot rendered to JSON (the same artefact `--metrics`
+/// writes, so byte-equality here is byte-equality there).
+fn run_with(faults: FaultPlan, workload_seed: u64) -> (RunReport, String) {
+    let config = QtenonConfig::table4(6, CoreModel::Rocket)
+        .expect("valid config")
+        .with_seed(workload_seed)
+        .with_faults(faults);
+    let workload = Workload::benchmark(WorkloadKind::Vqe, 6, workload_seed).expect("workload");
+    let mut runner = VqaRunner::new(config, workload).expect("runner");
+    let report = runner
+        .run(&mut SpsaOptimizer::new(workload_seed), 2, 40)
+        .expect("run survives injected faults");
+    let mut m = MetricsRegistry::new();
+    runner.export_metrics(&mut m);
+    (report, m.snapshot().to_json())
+}
+
+proptest! {
+    // Each case is a full (small) VQA run; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The same plan (seed + rates) reproduces the run bit-for-bit:
+    /// identical report, identical metric tree, identical fault and
+    /// resilience counters.
+    #[test]
+    fn same_seed_reproduces_report_and_metrics_exactly(
+        fault_seed in any::<u64>(),
+        rate in 0.0f64..0.03,
+        workload_seed in 1u64..1_000,
+    ) {
+        let plan = FaultPlan::all(rate).with_seed(fault_seed);
+        let (report_a, metrics_a) = run_with(plan, workload_seed);
+        let (report_b, metrics_b) = run_with(plan, workload_seed);
+        prop_assert_eq!(report_a, report_b);
+        prop_assert_eq!(metrics_a, metrics_b);
+    }
+
+    /// For a fixed seed, raising the fault rate never lowers the retry
+    /// counts. Restricted to the bus and readout sites: their draw counts
+    /// are set by the instruction stream alone (one draw per transfer /
+    /// per acquire), so the per-event geometric inversion makes the totals
+    /// pointwise monotone. Sites that alter control flow (RBQ leaks, SLT
+    /// invalidations) have no such pointwise guarantee.
+    #[test]
+    fn retry_counts_are_monotone_in_fault_rate(
+        fault_seed in any::<u64>(),
+        low in 0.0f64..0.02,
+        bump in 0.0f64..0.02,
+        workload_seed in 1u64..1_000,
+    ) {
+        let high = low + bump;
+        let plan_at = |r: f64| {
+            let mut p = FaultPlan::default().with_seed(fault_seed);
+            p.set_rate(FaultSite::BusDrop, r).unwrap();
+            p.set_rate(FaultSite::BusCorrupt, r).unwrap();
+            p.set_rate(FaultSite::ReadoutTimeout, r).unwrap();
+            // A deep retry budget so no case trips retries-exhausted.
+            p.max_attempts = 16;
+            p
+        };
+        let (low_report, _) = run_with(plan_at(low), workload_seed);
+        let (high_report, _) = run_with(plan_at(high), workload_seed);
+        prop_assert!(
+            high_report.resilience.bus_retries >= low_report.resilience.bus_retries,
+            "bus retries fell as the rate rose: {} -> {}",
+            low_report.resilience.bus_retries,
+            high_report.resilience.bus_retries,
+        );
+        prop_assert!(
+            high_report.resilience.readout_retries >= low_report.resilience.readout_retries,
+            "readout retries fell as the rate rose: {} -> {}",
+            low_report.resilience.readout_retries,
+            high_report.resilience.readout_retries,
+        );
+        prop_assert!(
+            high_report.resilience.faults_injected >= low_report.resilience.faults_injected,
+            "injected faults fell as the rate rose: {} -> {}",
+            low_report.resilience.faults_injected,
+            high_report.resilience.faults_injected,
+        );
+    }
+
+    /// A plan with all-zero rates — whatever its seed and policy knobs —
+    /// is behaviourally invisible: the report and metric tree are
+    /// identical to a run with no fault plan installed at all.
+    #[test]
+    fn zero_rate_plan_is_identical_to_no_faults(
+        fault_seed in any::<u64>(),
+        max_attempts in 1u32..10,
+        workload_seed in 1u64..1_000,
+    ) {
+        let mut inert = FaultPlan::default().with_seed(fault_seed);
+        inert.max_attempts = max_attempts;
+        let (faultless_report, faultless_metrics) =
+            run_with(FaultPlan::default(), workload_seed);
+        let (inert_report, inert_metrics) = run_with(inert, workload_seed);
+        prop_assert_eq!(faultless_report, inert_report.clone());
+        prop_assert_eq!(faultless_metrics, inert_metrics);
+        prop_assert!(inert_report.resilience.is_zero());
+    }
+}

@@ -6,7 +6,8 @@
 //! private — the paper keeps them under exclusive hardware control to
 //! avoid three-way synchronisation between interdependent segments.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 
 use qtenon_isa::{ProgramEntry, QAddress, QccLayout, Segment};
 use qtenon_sim_engine::MetricsRegistry;
@@ -54,6 +55,12 @@ pub struct QuantumControllerCache {
     reads: Cell<u64>,
     /// Successful writes.
     writes: u64,
+    /// Pending single-event upsets in `.measure`, keyed by flat segment
+    /// index. Each value is the xor mask the upset applied to the raw
+    /// array bits; the SECDED decoder corrects it on the next read.
+    measure_faults: RefCell<BTreeMap<usize, u64>>,
+    /// Upsets detected and corrected by the ECC decoder.
+    ecc_corrections: Cell<u64>,
 }
 
 impl QuantumControllerCache {
@@ -67,6 +74,8 @@ impl QuantumControllerCache {
             regfile: vec![0; layout.segment_entries(Segment::Regfile) as usize],
             reads: Cell::new(0),
             writes: 0,
+            measure_faults: RefCell::new(BTreeMap::new()),
+            ecc_corrections: Cell::new(0),
         }
     }
 
@@ -165,6 +174,12 @@ impl QuantumControllerCache {
     pub fn read_measure(&self, port: AccessPort, addr: QAddress) -> Result<u64, MemError> {
         let idx = self.locate(port, addr, Segment::Measure)?;
         self.reads.set(self.reads.get() + 1);
+        // The SECDED decoder sits on the read path: a pending upset is
+        // detected, corrected, and scrubbed before data leaves the array,
+        // so callers always observe the value that was written.
+        if self.measure_faults.borrow_mut().remove(&idx).is_some() {
+            self.ecc_corrections.set(self.ecc_corrections.get() + 1);
+        }
         Ok(self.measure[idx])
     }
 
@@ -181,8 +196,37 @@ impl QuantumControllerCache {
     ) -> Result<(), MemError> {
         let idx = self.locate(port, addr, Segment::Measure)?;
         self.measure[idx] = value;
+        // A full-word write refreshes the check bits, clearing any
+        // pending upset without a correction event.
+        self.measure_faults.borrow_mut().remove(&idx);
         self.writes += 1;
         Ok(())
+    }
+
+    /// Injects a single-event upset into the `.measure` entry at `addr`:
+    /// the raw array bits are flipped by `mask` until the next read
+    /// (SECDED correction) or write (check-bit refresh) of that entry.
+    /// A zero mask, or a second flip of the same bits, is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped or wrong-segment addresses.
+    pub fn poison_measure(&mut self, addr: QAddress, mask: u64) -> Result<(), MemError> {
+        let idx = self.locate(AccessPort::Controller, addr, Segment::Measure)?;
+        if mask != 0 {
+            let mut faults = self.measure_faults.borrow_mut();
+            let pending = faults.entry(idx).or_insert(0);
+            *pending ^= mask;
+            if *pending == 0 {
+                faults.remove(&idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Upsets detected and corrected by the `.measure` ECC decoder.
+    pub fn ecc_corrections(&self) -> u64 {
+        self.ecc_corrections.get()
     }
 
     /// Reads a `.regfile` entry.
@@ -237,6 +281,9 @@ impl QuantumControllerCache {
     pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
         m.counter(&format!("{prefix}.reads"), self.reads());
         m.counter(&format!("{prefix}.writes"), self.writes());
+        if self.ecc_corrections() > 0 {
+            m.counter(&format!("{prefix}.ecc_corrections"), self.ecc_corrections());
+        }
     }
 }
 
@@ -334,6 +381,45 @@ mod tests {
         let mut m = MetricsRegistry::new();
         qcc.export_metrics(&mut m, "mem.qcc");
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn measure_upset_is_corrected_and_scrubbed_on_read() {
+        let (layout, mut qcc) = qcc();
+        let m = layout.measure_entry(2).unwrap();
+        qcc.write_measure(AccessPort::Controller, m, 0b1010)
+            .unwrap();
+        qcc.poison_measure(m, 0b0110).unwrap();
+        // The decoder corrects the flip: the caller sees the written value.
+        assert_eq!(qcc.read_measure(AccessPort::Controller, m).unwrap(), 0b1010);
+        assert_eq!(qcc.ecc_corrections(), 1);
+        // Scrubbed: the second read is clean, no new correction.
+        assert_eq!(qcc.read_measure(AccessPort::Controller, m).unwrap(), 0b1010);
+        assert_eq!(qcc.ecc_corrections(), 1);
+        let mut metrics = MetricsRegistry::new();
+        qcc.export_metrics(&mut metrics, "mem.qcc");
+        assert_eq!(metrics.len(), 3);
+    }
+
+    #[test]
+    fn write_refreshes_check_bits_without_a_correction() {
+        let (layout, mut qcc) = qcc();
+        let m = layout.measure_entry(0).unwrap();
+        qcc.poison_measure(m, u64::MAX).unwrap();
+        qcc.write_measure(AccessPort::Controller, m, 77).unwrap();
+        assert_eq!(qcc.read_measure(AccessPort::Controller, m).unwrap(), 77);
+        assert_eq!(qcc.ecc_corrections(), 0);
+    }
+
+    #[test]
+    fn double_flip_cancels_and_zero_mask_is_noop() {
+        let (layout, mut qcc) = qcc();
+        let m = layout.measure_entry(1).unwrap();
+        qcc.poison_measure(m, 0).unwrap();
+        qcc.poison_measure(m, 0b11).unwrap();
+        qcc.poison_measure(m, 0b11).unwrap();
+        assert_eq!(qcc.read_measure(AccessPort::Controller, m).unwrap(), 0);
+        assert_eq!(qcc.ecc_corrections(), 0);
     }
 
     #[test]

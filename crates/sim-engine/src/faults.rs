@@ -1,0 +1,556 @@
+//! Deterministic, seeded fault injection for the component models.
+//!
+//! Real control stacks must tolerate transient link errors, readout
+//! timeouts, and control-store corruption. This module supplies the
+//! *injection* half of that story: a [`FaultPlan`] names per-site fault
+//! rates plus the resilience-policy knobs (retry budget, backoff, watchdog
+//! timeout), and a [`FaultInjector`] turns the plan into reproducible
+//! per-site Bernoulli/geometric draws. The *response* half — retries,
+//! watchdogs, parity fallbacks — lives with the components themselves.
+//!
+//! # Determinism
+//!
+//! Every site owns an independent SplitMix64 stream derived from the plan
+//! seed, and every injection decision consumes **exactly one** draw from
+//! its site's stream regardless of the outcome. Retry counts come from a
+//! single uniform draw inverted through the geometric CDF
+//! (`k = max k with u < rate^k`), so for a fixed seed the streams stay
+//! aligned across different rates and every per-event failure count is
+//! pointwise monotone in the rate. That is what makes "retry counts are
+//! monotone in the fault rate" a testable property rather than a
+//! statistical tendency.
+//!
+//! # Examples
+//!
+//! ```
+//! use qtenon_sim_engine::faults::{FaultInjector, FaultPlan, FaultSite};
+//!
+//! let plan = FaultPlan::parse("bus_drop=0.5,readout_timeout=0.1").unwrap();
+//! let mut a = FaultInjector::new(plan.with_seed(7));
+//! let mut b = FaultInjector::new(plan.with_seed(7));
+//! for _ in 0..100 {
+//!     assert_eq!(
+//!         a.geometric_failures(FaultSite::BusDrop),
+//!         b.geometric_failures(FaultSite::BusDrop),
+//!     );
+//! }
+//! assert_eq!(a.injected(FaultSite::BusDrop), b.injected(FaultSite::BusDrop));
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsRegistry;
+use crate::time::SimDuration;
+
+/// A component boundary where faults can be injected.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// A TileLink transaction is dropped in flight (needs retransmission).
+    BusDrop,
+    /// A TileLink transaction arrives corrupted (CRC fails, retransmit).
+    BusCorrupt,
+    /// A PGU holds its result for extra cycles (transient stall).
+    PguStall,
+    /// A PGU produces a detectably bad pulse (must re-dispatch).
+    PguFail,
+    /// A parity-detectable bit flip in a resident SLT entry.
+    SltBitFlip,
+    /// A correctable (SECDED) bit flip in a QCC `.measure` word.
+    QccBitFlip,
+    /// An RBQ tag whose completion never arrives (stuck / leaked).
+    RbqStuck,
+    /// The readout chain misses its deadline and must be re-armed.
+    ReadoutTimeout,
+}
+
+impl FaultSite {
+    /// Every injection site, in declaration order.
+    pub const ALL: [FaultSite; 8] = [
+        FaultSite::BusDrop,
+        FaultSite::BusCorrupt,
+        FaultSite::PguStall,
+        FaultSite::PguFail,
+        FaultSite::SltBitFlip,
+        FaultSite::QccBitFlip,
+        FaultSite::RbqStuck,
+        FaultSite::ReadoutTimeout,
+    ];
+
+    /// The stable spec/metric name of the site.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::BusDrop => "bus_drop",
+            FaultSite::BusCorrupt => "bus_corrupt",
+            FaultSite::PguStall => "pgu_stall",
+            FaultSite::PguFail => "pgu_fail",
+            FaultSite::SltBitFlip => "slt_bitflip",
+            FaultSite::QccBitFlip => "qcc_bitflip",
+            FaultSite::RbqStuck => "rbq_stuck",
+            FaultSite::ReadoutTimeout => "readout_timeout",
+        }
+    }
+
+    fn index(self) -> usize {
+        FaultSite::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("site is in ALL")
+    }
+}
+
+/// A reproducible fault schedule: per-site rates, the RNG seed that makes
+/// them deterministic, and the resilience-policy knobs the components
+/// consult when reacting to injected faults.
+///
+/// The all-zero default plan is inert: [`FaultPlan::is_active`] is false
+/// and a system configured with it behaves byte-identically to one with
+/// no fault support at all.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the per-site SplitMix64 streams.
+    pub seed: u64,
+    /// Probability a bus transaction is dropped (per transfer).
+    pub bus_drop: f64,
+    /// Probability a bus transaction is corrupted (per transfer).
+    pub bus_corrupt: f64,
+    /// Probability a PGU dispatch stalls (per dispatch).
+    pub pgu_stall: f64,
+    /// Probability a PGU dispatch produces a bad pulse (per dispatch).
+    pub pgu_fail: f64,
+    /// Probability an SLT lookup observes a parity error (per lookup).
+    pub slt_bitflip: f64,
+    /// Probability a QCC `.measure` read sees a correctable flip (per read).
+    pub qcc_bitflip: f64,
+    /// Probability an issued RBQ tag gets stuck (per flow).
+    pub rbq_stuck: f64,
+    /// Probability a readout misses its deadline (per `q_acquire`).
+    pub readout_timeout: f64,
+    /// Retry budget per operation; exceeding it surfaces a typed error.
+    pub max_attempts: u32,
+    /// Base retry backoff in nanoseconds (doubles per attempt).
+    pub backoff_ns: u64,
+    /// RBQ watchdog: tags stuck longer than this are reclaimed (ns).
+    pub watchdog_timeout_ns: u64,
+    /// Extra controller-SRAM cycles a stalled PGU dispatch costs.
+    pub pgu_stall_cycles: u64,
+    /// Modelled cost of one readout re-arm, in nanoseconds.
+    pub readout_penalty_ns: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xFA17,
+            bus_drop: 0.0,
+            bus_corrupt: 0.0,
+            pgu_stall: 0.0,
+            pgu_fail: 0.0,
+            slt_bitflip: 0.0,
+            qcc_bitflip: 0.0,
+            rbq_stuck: 0.0,
+            readout_timeout: 0.0,
+            max_attempts: 4,
+            backoff_ns: 50,
+            watchdog_timeout_ns: 10_000,
+            pgu_stall_cycles: 500,
+            readout_penalty_ns: 300,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with every site at `rate` (policy knobs at defaults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn all(rate: f64) -> Self {
+        let mut plan = FaultPlan::default();
+        for site in FaultSite::ALL {
+            plan.set_rate(site, rate).expect("rate in [0, 1)");
+        }
+        plan
+    }
+
+    /// The injection rate configured for `site`.
+    pub fn rate(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::BusDrop => self.bus_drop,
+            FaultSite::BusCorrupt => self.bus_corrupt,
+            FaultSite::PguStall => self.pgu_stall,
+            FaultSite::PguFail => self.pgu_fail,
+            FaultSite::SltBitFlip => self.slt_bitflip,
+            FaultSite::QccBitFlip => self.qcc_bitflip,
+            FaultSite::RbqStuck => self.rbq_stuck,
+            FaultSite::ReadoutTimeout => self.readout_timeout,
+        }
+    }
+
+    /// Sets the injection rate for `site`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `rate` is not a finite probability in `[0, 1)`
+    /// (1.0 is excluded: a certain fault would make geometric retry counts
+    /// unbounded).
+    pub fn set_rate(&mut self, site: FaultSite, rate: f64) -> Result<(), String> {
+        if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
+            return Err(format!(
+                "fault rate for {} must be in [0, 1): got {rate}",
+                site.name()
+            ));
+        }
+        let slot = match site {
+            FaultSite::BusDrop => &mut self.bus_drop,
+            FaultSite::BusCorrupt => &mut self.bus_corrupt,
+            FaultSite::PguStall => &mut self.pgu_stall,
+            FaultSite::PguFail => &mut self.pgu_fail,
+            FaultSite::SltBitFlip => &mut self.slt_bitflip,
+            FaultSite::QccBitFlip => &mut self.qcc_bitflip,
+            FaultSite::RbqStuck => &mut self.rbq_stuck,
+            FaultSite::ReadoutTimeout => &mut self.readout_timeout,
+        };
+        *slot = rate;
+        Ok(())
+    }
+
+    /// Builder-style rate update (see [`FaultPlan::set_rate`] for limits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn with_rate(mut self, site: FaultSite, rate: f64) -> Self {
+        self.set_rate(site, rate).expect("rate in [0, 1)");
+        self
+    }
+
+    /// Builder-style seed update.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// True when any site has a non-zero rate. An inactive plan must be
+    /// behaviourally invisible.
+    pub fn is_active(&self) -> bool {
+        FaultSite::ALL.iter().any(|&s| self.rate(s) > 0.0)
+    }
+
+    /// The exponential backoff charged before retry number `attempt`
+    /// (1-based): `backoff_ns << (attempt - 1)`, saturating.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(20);
+        SimDuration::from_ns(self.backoff_ns.saturating_mul(1u64 << shift))
+    }
+
+    /// The RBQ watchdog timeout as a duration.
+    pub fn watchdog_timeout(&self) -> SimDuration {
+        SimDuration::from_ns(self.watchdog_timeout_ns)
+    }
+
+    /// The modelled cost of one readout re-arm.
+    pub fn readout_penalty(&self) -> SimDuration {
+        SimDuration::from_ns(self.readout_penalty_ns)
+    }
+
+    /// Parses a fault spec: comma- or newline-separated `key=value` pairs
+    /// with `#`-to-end-of-line comments, so the same grammar serves both
+    /// `--faults bus_drop=0.01,readout_timeout=0.05` on a command line and
+    /// a small plan file. Keys are the eight site names, the shorthand
+    /// `all` (sets every site), and the policy knobs `seed`,
+    /// `max_attempts`, `backoff_ns`, `watchdog_timeout_ns`,
+    /// `pgu_stall_cycles`, and `readout_penalty_ns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending pair on unknown keys,
+    /// malformed numbers, or out-of-range rates.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for raw_line in spec.lines() {
+            let line = raw_line.split('#').next().unwrap_or("");
+            for pair in line.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("fault spec entry {pair:?} is not key=value"))?;
+                let (key, value) = (key.trim(), value.trim());
+                let int = |what: &str| -> Result<u64, String> {
+                    value
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad {what} in fault spec: {e}"))
+                };
+                let rate = || -> Result<f64, String> {
+                    value
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad rate for {key} in fault spec: {e}"))
+                };
+                match key {
+                    "seed" => plan.seed = int("seed")?,
+                    "max_attempts" => plan.max_attempts = int("max_attempts")? as u32,
+                    "backoff_ns" => plan.backoff_ns = int("backoff_ns")?,
+                    "watchdog_timeout_ns" => plan.watchdog_timeout_ns = int("watchdog_timeout_ns")?,
+                    "pgu_stall_cycles" => plan.pgu_stall_cycles = int("pgu_stall_cycles")?,
+                    "readout_penalty_ns" => plan.readout_penalty_ns = int("readout_penalty_ns")?,
+                    "all" => {
+                        let r = rate()?;
+                        for site in FaultSite::ALL {
+                            plan.set_rate(site, r)?;
+                        }
+                    }
+                    _ => {
+                        let site = FaultSite::ALL
+                            .into_iter()
+                            .find(|s| s.name() == key)
+                            .ok_or_else(|| format!("unknown fault spec key {key:?}"))?;
+                        plan.set_rate(site, rate()?)?;
+                    }
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// SplitMix64: tiny, splittable, and plenty for fault schedules.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` with 53 bits of precision.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The runtime half of a [`FaultPlan`]: per-site RNG streams plus
+/// checked/injected counters for the `faults.*` metrics namespace.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    streams: [u64; FaultSite::ALL.len()],
+    checked: [u64; FaultSite::ALL.len()],
+    injected: [u64; FaultSite::ALL.len()],
+}
+
+impl FaultInjector {
+    /// Builds an injector; each site's stream is seeded independently so
+    /// draws at one site never perturb another.
+    pub fn new(plan: FaultPlan) -> Self {
+        let streams = std::array::from_fn(|i| {
+            let mut s = plan.seed ^ (i as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F);
+            // Burn one round so nearby seeds decorrelate immediately.
+            splitmix64(&mut s);
+            s
+        });
+        FaultInjector {
+            plan,
+            streams,
+            checked: [0; FaultSite::ALL.len()],
+            injected: [0; FaultSite::ALL.len()],
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True when any site can fire (see [`FaultPlan::is_active`]).
+    pub fn is_active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    /// One Bernoulli trial at `site`; consumes exactly one draw.
+    pub fn bernoulli(&mut self, site: FaultSite) -> bool {
+        let i = site.index();
+        self.checked[i] += 1;
+        let hit = unit(&mut self.streams[i]) < self.plan.rate(site);
+        if hit {
+            self.injected[i] += 1;
+        }
+        hit
+    }
+
+    /// The number of consecutive failures before the first success at
+    /// `site`, from exactly one draw: `k = max k with u < rate^k`. A zero
+    /// rate always returns 0; the count is capped at 64 so a pathological
+    /// draw cannot spin.
+    pub fn geometric_failures(&mut self, site: FaultSite) -> u32 {
+        let i = site.index();
+        self.checked[i] += 1;
+        let rate = self.plan.rate(site);
+        let u = unit(&mut self.streams[i]);
+        let mut k = 0u32;
+        let mut threshold = rate;
+        while u < threshold && k < 64 {
+            k += 1;
+            threshold *= rate;
+        }
+        self.injected[i] += u64::from(k);
+        k
+    }
+
+    /// Decisions evaluated at `site` so far.
+    pub fn checked(&self, site: FaultSite) -> u64 {
+        self.checked[site.index()]
+    }
+
+    /// Faults actually injected at `site` so far.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site.index()]
+    }
+
+    /// Faults injected across every site.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Registers `<prefix>.checked.<site>`, `<prefix>.injected.<site>`,
+    /// and `<prefix>.injected.total` counters.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        for site in FaultSite::ALL {
+            m.counter(
+                &format!("{prefix}.checked.{}", site.name()),
+                self.checked(site),
+            );
+            m.counter(
+                &format!("{prefix}.injected.{}", site.name()),
+                self.injected(site),
+            );
+        }
+        m.counter(&format!("{prefix}.injected.total"), self.injected_total());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        let mut inj = FaultInjector::new(plan);
+        for site in FaultSite::ALL {
+            assert!(!inj.bernoulli(site));
+            assert_eq!(inj.geometric_failures(site), 0);
+        }
+        assert_eq!(inj.injected_total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let plan = FaultPlan::all(0.3).with_seed(99);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..500 {
+            for site in FaultSite::ALL {
+                assert_eq!(a.bernoulli(site), b.bernoulli(site));
+                assert_eq!(a.geometric_failures(site), b.geometric_failures(site));
+            }
+        }
+        for site in FaultSite::ALL {
+            assert_eq!(a.injected(site), b.injected(site));
+            assert_eq!(a.checked(site), b.checked(site));
+        }
+    }
+
+    #[test]
+    fn geometric_counts_are_pointwise_monotone_in_rate() {
+        let low = FaultPlan::all(0.05).with_seed(7);
+        let high = FaultPlan::all(0.4).with_seed(7);
+        let mut a = FaultInjector::new(low);
+        let mut b = FaultInjector::new(high);
+        for _ in 0..2_000 {
+            let ka = a.geometric_failures(FaultSite::BusDrop);
+            let kb = b.geometric_failures(FaultSite::BusDrop);
+            assert!(ka <= kb, "geometric count fell as rate rose");
+        }
+        assert!(b.injected(FaultSite::BusDrop) > a.injected(FaultSite::BusDrop));
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan::default()
+            .with_rate(FaultSite::ReadoutTimeout, 0.25)
+            .with_seed(1);
+        let mut inj = FaultInjector::new(plan);
+        let n = 10_000;
+        let mut hits = 0;
+        for _ in 0..n {
+            if inj.bernoulli(FaultSite::ReadoutTimeout) {
+                hits += 1;
+            }
+        }
+        let observed = hits as f64 / n as f64;
+        assert!((observed - 0.25).abs() < 0.02, "observed {observed}");
+        // Other sites untouched.
+        assert_eq!(inj.checked(FaultSite::BusDrop), 0);
+    }
+
+    #[test]
+    fn sites_have_independent_streams() {
+        let plan = FaultPlan::all(0.5).with_seed(3);
+        // Interleaving draws at other sites must not change this site's
+        // sequence.
+        let mut solo = FaultInjector::new(plan);
+        let solo_seq: Vec<bool> = (0..100)
+            .map(|_| solo.bernoulli(FaultSite::PguStall))
+            .collect();
+        let mut mixed = FaultInjector::new(plan);
+        let mixed_seq: Vec<bool> = (0..100)
+            .map(|_| {
+                mixed.bernoulli(FaultSite::BusDrop);
+                mixed.geometric_failures(FaultSite::QccBitFlip);
+                mixed.bernoulli(FaultSite::PguStall)
+            })
+            .collect();
+        assert_eq!(solo_seq, mixed_seq);
+    }
+
+    #[test]
+    fn parse_round_trips_sites_and_knobs() {
+        let plan = FaultPlan::parse(
+            "bus_drop=0.01, readout_timeout=0.05\n# comment\nseed=77,max_attempts=6,backoff_ns=25",
+        )
+        .unwrap();
+        assert_eq!(plan.rate(FaultSite::BusDrop), 0.01);
+        assert_eq!(plan.rate(FaultSite::ReadoutTimeout), 0.05);
+        assert_eq!(plan.rate(FaultSite::PguFail), 0.0);
+        assert_eq!(plan.seed, 77);
+        assert_eq!(plan.max_attempts, 6);
+        assert_eq!(plan.backoff_ns, 25);
+
+        let all = FaultPlan::parse("all=0.02").unwrap();
+        for site in FaultSite::ALL {
+            assert_eq!(all.rate(site), 0.02);
+        }
+        assert!(all.is_active());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("bus_drop").is_err());
+        assert!(FaultPlan::parse("no_such_site=0.1").is_err());
+        assert!(FaultPlan::parse("bus_drop=1.5").is_err());
+        assert!(FaultPlan::parse("bus_drop=-0.1").is_err());
+        assert!(FaultPlan::parse("bus_drop=1.0").is_err());
+        assert!(FaultPlan::parse("seed=abc").is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let plan = FaultPlan::default();
+        assert_eq!(plan.backoff(1), SimDuration::from_ns(50));
+        assert_eq!(plan.backoff(2), SimDuration::from_ns(100));
+        assert_eq!(plan.backoff(3), SimDuration::from_ns(200));
+        assert!(plan.backoff(100) > SimDuration::ZERO);
+    }
+}

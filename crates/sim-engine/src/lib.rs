@@ -15,7 +15,10 @@
 //!   of counters, gauges, and log-bucketed latency histograms with JSON
 //!   and Prometheus exporters;
 //! - [`opcount`]: the abstract-operation counter that drives the host core
-//!   cost models.
+//!   cost models;
+//! - [`faults`]: deterministic, seeded fault injection ([`FaultPlan`] /
+//!   [`FaultInjector`]) used by the component models to exercise their
+//!   retry/degradation paths reproducibly.
 //!
 //! # Examples
 //!
@@ -31,6 +34,7 @@
 
 pub mod clock;
 pub mod event;
+pub mod faults;
 pub mod metrics;
 pub mod opcount;
 pub mod stats;
@@ -38,6 +42,7 @@ pub mod time;
 
 pub use clock::ClockDomain;
 pub use event::EventQueue;
+pub use faults::{FaultInjector, FaultPlan, FaultSite};
 pub use metrics::{Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use opcount::{OpClass, OpCounter};
 pub use stats::{Counter, Tally};

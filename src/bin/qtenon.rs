@@ -5,6 +5,7 @@
 //! ```text
 //! qtenon run <file.qasm> [--shots N] [--seed S] [--noise]   # execute on the system
 //!             [--metrics out.json] [--trace out.json]       # telemetry export
+//!             [--faults SPEC|FILE] [--fault-seed S]         # fault injection
 //! qtenon disasm <file.qasm>                                 # compiled chunk listing
 //! qtenon trace <file.qasm> [--shots N]                      # Chrome trace JSON to stdout
 //! ```
@@ -13,6 +14,12 @@
 //! Prometheus text rendering to `PATH.prom`, and prints a human-readable
 //! report to stdout. `--trace PATH` records the flow-annotated Chrome
 //! trace to `PATH` (open with Perfetto / `chrome://tracing`).
+//!
+//! `--faults` takes either an inline spec (`all=0.01,max_attempts=5` or
+//! per-site rates like `bus_drop=0.02,slt_bitflip=0.001`) or a path to a
+//! file holding the same format, one pair per line with `#` comments.
+//! `--fault-seed` overrides the plan's deterministic seed: the same spec,
+//! seed, and program reproduce the exact same faults and recoveries.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -23,7 +30,7 @@ use qtenon::core::system::QtenonSystem;
 use qtenon::isa::{disasm, QubitId};
 use qtenon::quantum::noise::NoiseModel;
 use qtenon::quantum::{qasm, transpile, Circuit};
-use qtenon::sim_engine::{MetricsRegistry, SimTime};
+use qtenon::sim_engine::{FaultPlan, MetricsRegistry, SimTime};
 
 struct Args {
     command: String,
@@ -33,6 +40,8 @@ struct Args {
     noise: bool,
     metrics: Option<String>,
     trace_out: Option<String>,
+    faults: Option<String>,
+    fault_seed: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
     let mut noise = false;
     let mut metrics = None;
     let mut trace_out = None;
+    let mut faults = None;
+    let mut fault_seed = None;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--shots" => {
@@ -67,6 +78,17 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => {
                 trace_out = Some(argv.next().ok_or("--trace needs a path")?);
             }
+            "--faults" => {
+                faults = Some(argv.next().ok_or("--faults needs a spec or file")?);
+            }
+            "--fault-seed" => {
+                fault_seed = Some(
+                    argv.next()
+                        .ok_or("--fault-seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --fault-seed: {e}"))?,
+                );
+            }
             other if file.is_none() && !other.starts_with("--") => {
                 file = Some(other.to_string());
             }
@@ -81,13 +103,35 @@ fn parse_args() -> Result<Args, String> {
         noise,
         metrics,
         trace_out,
+        faults,
+        fault_seed,
     })
 }
 
 fn usage() -> String {
     "usage: qtenon <run|disasm|trace> <file.qasm> [--shots N] [--seed S] [--noise] \
-     [--metrics out.json] [--trace out.json]"
+     [--metrics out.json] [--trace out.json] [--faults SPEC|FILE] [--fault-seed S]"
         .into()
+}
+
+/// Builds the fault plan from `--faults`/`--fault-seed`: the argument is
+/// read as a file when one exists at that path, otherwise parsed as an
+/// inline spec.
+fn fault_plan(args: &Args) -> Result<FaultPlan, String> {
+    let mut plan = match &args.faults {
+        Some(spec_or_file) => {
+            let spec = match std::fs::read_to_string(spec_or_file) {
+                Ok(contents) => contents,
+                Err(_) => spec_or_file.clone(),
+            };
+            FaultPlan::parse(&spec).map_err(|e| format!("bad --faults: {e}"))?
+        }
+        None => FaultPlan::default(),
+    };
+    if let Some(seed) = args.fault_seed {
+        plan.seed = seed;
+    }
+    Ok(plan)
 }
 
 fn load_circuit(path: &str) -> Result<Circuit, String> {
@@ -110,9 +154,11 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     let circuit = load_circuit(&args.file)?;
     let n = circuit.n_qubits();
+    let plan = fault_plan(&args)?;
     let config = QtenonConfig::table4(n, CoreModel::Rocket)
         .map_err(|e| e.to_string())?
-        .with_seed(args.seed);
+        .with_seed(args.seed)
+        .with_faults(plan);
     let program = QtenonCompiler::new(config.layout)
         .compile(&circuit)
         .map_err(|e| e.to_string())?;
@@ -213,6 +259,23 @@ fn run() -> Result<(), String> {
                     println!("{json}");
                     return Ok(());
                 }
+            }
+
+            if plan.is_active() {
+                let r = system.resilience();
+                println!(
+                    "fault injection (seed {:#x}): {} injected; recovered via {} bus retries, \
+                     {} PGU stalls, {} PGU redispatches, {} SLT invalidations, \
+                     {} RBQ reclaims, {} ECC corrections",
+                    plan.seed,
+                    r.faults_injected,
+                    r.bus_retries,
+                    r.pgu_stalls,
+                    r.pgu_redispatches,
+                    r.slt_invalidations,
+                    r.rbq_reclaims,
+                    r.ecc_corrections,
+                );
             }
 
             // Histogram of outcomes (top 16).

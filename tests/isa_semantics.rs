@@ -238,7 +238,7 @@ fn tracing_records_the_whole_instruction_flow() {
     let items = program.work_items(&[]).unwrap();
     let (_, t) = sys.q_gen(now, &items).unwrap();
     let outcome = sys.q_run(t, &c, 8).unwrap();
-    sys.put_results(outcome.complete, 0x9000_0000, 8);
+    sys.put_results(outcome.complete, 0x9000_0000, 8).unwrap();
 
     let trace = sys.take_trace().unwrap();
     assert!(trace.len() >= 4, "expected q_set+q_gen+q_run+put events");

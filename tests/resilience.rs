@@ -1,0 +1,64 @@
+//! Acceptance test for the fault-injection and resilience layer: a
+//! 64-qubit VQE run under non-zero fault rates must complete, report its
+//! recovery work in the exported metrics, and reproduce exactly under the
+//! same seed.
+
+use qtenon::core::config::{CoreModel, QtenonConfig};
+use qtenon::core::vqa::VqaRunner;
+use qtenon::sim_engine::{FaultPlan, MetricsRegistry};
+use qtenon::workloads::{SpsaOptimizer, Workload, WorkloadKind};
+
+fn vqe_64_under_faults(plan: FaultPlan) -> (qtenon::core::report::RunReport, String) {
+    let config = QtenonConfig::table4(64, CoreModel::Rocket)
+        .unwrap()
+        .with_seed(42)
+        .with_faults(plan);
+    let workload = Workload::benchmark(WorkloadKind::Vqe, 64, 42).unwrap();
+    let mut runner = VqaRunner::new(config, workload).unwrap();
+    let report = runner.run(&mut SpsaOptimizer::new(42), 1, 50).unwrap();
+    let mut m = MetricsRegistry::new();
+    runner.export_metrics(&mut m);
+    (report, m.snapshot().to_json())
+}
+
+#[test]
+fn faulty_64q_vqe_completes_reports_and_reproduces() {
+    let plan = FaultPlan::all(0.01).with_seed(0xFA17);
+    let (report, metrics) = vqe_64_under_faults(plan);
+
+    // Graceful degradation: the run completed and absorbed real faults.
+    assert!(report.final_cost.is_finite());
+    assert!(
+        report.resilience.faults_injected > 0,
+        "{:?}",
+        report.resilience
+    );
+    assert!(
+        report.resilience.total_retries() > 0,
+        "{:?}",
+        report.resilience
+    );
+
+    // The recovery work is visible in the exported metric tree.
+    assert!(metrics.contains("faults.injected.total"), "{metrics}");
+    assert!(metrics.contains("resilience.retries"), "{metrics}");
+
+    // Same plan, same seed: bit-identical report and metric tree.
+    let (report2, metrics2) = vqe_64_under_faults(plan);
+    assert_eq!(report, report2);
+    assert_eq!(metrics, metrics2);
+
+    // A different fault seed produces a different fault schedule (the
+    // counters are seed-dependent, not rate-schedule artefacts).
+    let (report3, _) = vqe_64_under_faults(plan.with_seed(0xBEEF));
+    assert!(report3.final_cost.is_finite());
+    assert_ne!(report.resilience, report3.resilience);
+}
+
+#[test]
+fn inert_plan_leaves_64q_metrics_free_of_fault_namespaces() {
+    let (report, metrics) = vqe_64_under_faults(FaultPlan::default());
+    assert!(report.resilience.is_zero());
+    assert!(!metrics.contains("faults."), "{metrics}");
+    assert!(!metrics.contains("resilience."), "{metrics}");
+}
