@@ -15,6 +15,7 @@ fn scale() -> ExperimentScale {
         qubit_sweep: vec![16],
         scaling_sweep: vec![16],
         seed: 42,
+        threads: 1,
     }
 }
 

@@ -39,6 +39,7 @@ fn comm_mix_per_workload(c: &mut Criterion) {
         qubit_sweep: vec![16],
         scaling_sweep: vec![16],
         seed: 42,
+        threads: 1,
     };
     let mut group = c.benchmark_group("fig14_comm_mix");
     group.sample_size(10);

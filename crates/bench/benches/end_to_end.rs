@@ -20,6 +20,7 @@ fn bench_scale() -> ExperimentScale {
         qubit_sweep: vec![8, 16],
         scaling_sweep: vec![8],
         seed: 42,
+        threads: 1,
     }
 }
 

@@ -16,6 +16,7 @@ fn fig17_system_sweep(c: &mut Criterion) {
         qubit_sweep: vec![],
         scaling_sweep: vec![],
         seed: 42,
+        threads: 1,
     };
     let mut group = c.benchmark_group("fig17_scaling");
     group.sample_size(10);

@@ -1,0 +1,77 @@
+//! Serial vs shot-sharded wall-clock for the parallel execution engine.
+//!
+//! Measures `q_run` directly at a shot count large enough to amortise
+//! thread spawns, plus the full 64-qubit VQA evaluation loop, at 1 and 4
+//! worker threads. Results are bitwise identical across thread counts —
+//! only the wall clock moves — so the criterion comparison IS the
+//! speedup quoted in the experiments `parallel` table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qtenon_bench::experiments::{qtenon_default, ExperimentScale, OptimizerKind};
+use qtenon_core::config::{CoreModel, QtenonConfig};
+use qtenon_core::system::QtenonSystem;
+use qtenon_sim_engine::SimTime;
+use qtenon_workloads::{Workload, WorkloadKind};
+
+fn scale(threads: usize) -> ExperimentScale {
+    ExperimentScale {
+        iterations: 1,
+        shots: 2000,
+        qubit_sweep: vec![64],
+        scaling_sweep: vec![64],
+        seed: 42,
+        threads,
+    }
+}
+
+fn q_run_sharding(c: &mut Criterion) {
+    let workload = Workload::benchmark(WorkloadKind::Vqe, 64, 42).expect("workload");
+    let circuit = workload
+        .circuit
+        .bind(&workload.initial_params)
+        .expect("bound circuit");
+    let mut group = c.benchmark_group("q_run_sharding");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for threads in [1usize, 4] {
+        let config = QtenonConfig::table4(64, CoreModel::Rocket)
+            .expect("config")
+            .with_threads(threads);
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let mut system = QtenonSystem::new(config).expect("system");
+                let outcome = system.q_run(SimTime::ZERO, &circuit, 2000).expect("run");
+                black_box(outcome.shots.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn vqa_sweep_sharding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vqa_64q_sharding");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for threads in [1usize, 4] {
+        let scale = scale(threads);
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                black_box(qtenon_default(
+                    WorkloadKind::Vqe,
+                    64,
+                    CoreModel::Rocket,
+                    OptimizerKind::Spsa,
+                    &scale,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, q_run_sharding, vqa_sweep_sharding);
+criterion_main!(benches);

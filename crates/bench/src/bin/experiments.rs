@@ -3,28 +3,37 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--full] [--metrics out.json] [ids...]
+//! experiments [--full] [--threads N] [--metrics out.json] [ids...]
 //! ```
 //!
 //! With no ids, all experiments run. `--full` uses the paper-scale setup
 //! (500 shots × 10 iterations, 8–64 qubit sweeps); the default quick
 //! scale preserves every ratio's shape at a fraction of the runtime.
-//! `--metrics PATH` additionally runs the representative 64-qubit VQE
-//! and dumps its full metric tree to `PATH` (JSON) and `PATH.prom`
-//! (Prometheus text format).
+//! `--threads N` shards shot sampling over `N` worker threads — wall
+//! clock drops, every table stays bitwise identical. `--metrics PATH`
+//! additionally runs the representative 64-qubit VQE and dumps its full
+//! metric tree to `PATH` (JSON) and `PATH.prom` (Prometheus text format).
 //! Valid ids: `fig1 table1 table2 table4 fig11 fig12 fig13 fig14 table5
-//! fig15 fig16a fig16b fig17 ablation resilience`.
+//! fig15 fig16a fig16b fig17 ablation resilience parallel`.
 
 use qtenon_bench::experiments::{self, ExperimentScale, OptimizerKind};
 
 fn main() {
     let mut full = false;
+    let mut threads = 1usize;
     let mut metrics_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--full" => full = true,
+            "--threads" => match argv.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => threads = n,
+                _ => {
+                    eprintln!("error: --threads needs a number");
+                    std::process::exit(2);
+                }
+            },
             "--metrics" => match argv.next() {
                 Some(path) => metrics_path = Some(path),
                 None => {
@@ -44,14 +53,17 @@ fn main() {
         ExperimentScale::paper()
     } else {
         ExperimentScale::quick()
-    };
+    }
+    .with_threads(threads);
     let all = ids.is_empty();
     let want = |id: &str| all || ids.contains(&id);
     println!(
-        "# Qtenon experiment harness ({} scale: {} iterations, {} shots)\n",
+        "# Qtenon experiment harness ({} scale: {} iterations, {} shots, {} thread{})\n",
         if full { "paper" } else { "quick" },
         scale.iterations,
-        scale.shots
+        scale.shots,
+        scale.threads,
+        if scale.threads == 1 { "" } else { "s" }
     );
 
     if want("fig1") {
@@ -146,6 +158,13 @@ fn main() {
         section(
             "Resilience (beyond the paper) — 64-qubit VQE under fault injection",
             experiments::resilience(&scale).to_string(),
+        );
+    }
+    if want("parallel") {
+        section(
+            "Parallel (beyond the paper) — shot-sharded wall-clock vs serial, \
+             bitwise-determinism checked",
+            experiments::parallel(&scale).to_string(),
         );
     }
 

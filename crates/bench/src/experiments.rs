@@ -54,6 +54,9 @@ pub struct ExperimentScale {
     pub scaling_sweep: Vec<u32>,
     /// Workload/optimizer seeds.
     pub seed: u64,
+    /// Worker threads for shot-sharded sampling. Results are bitwise
+    /// identical at any value; only wall-clock changes.
+    pub threads: usize,
 }
 
 impl ExperimentScale {
@@ -65,6 +68,7 @@ impl ExperimentScale {
             qubit_sweep: vec![8, 16, 32, 64],
             scaling_sweep: vec![64, 128, 192],
             seed: 42,
+            threads: 1,
         }
     }
 
@@ -76,7 +80,14 @@ impl ExperimentScale {
             qubit_sweep: (1..=8).map(|i| 8 * i).collect(),
             scaling_sweep: vec![64, 128, 192, 256, 320],
             seed: 42,
+            threads: 1,
         }
+    }
+
+    /// Returns a copy with a different worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -119,7 +130,8 @@ pub fn qtenon_run(
         .expect("valid config")
         .with_sync(sync)
         .with_transmission(policy)
-        .with_seed(scale.seed);
+        .with_seed(scale.seed)
+        .with_threads(scale.threads);
     let workload = Workload::benchmark(kind, n, scale.seed).expect("valid workload");
     let mut runner = VqaRunner::new(config, workload).expect("runner builds");
     let mut optimizer = opt.build(scale.seed);
@@ -602,7 +614,8 @@ pub fn fig17(scale: &ExperimentScale) -> TextTable {
 pub fn telemetry_snapshot(scale: &ExperimentScale) -> MetricsSnapshot {
     let config = QtenonConfig::table4(64, CoreModel::Rocket)
         .expect("valid config")
-        .with_seed(scale.seed);
+        .with_seed(scale.seed)
+        .with_threads(scale.threads);
     let workload = Workload::benchmark(WorkloadKind::Vqe, 64, scale.seed).expect("valid workload");
     let mut runner = VqaRunner::new(config, workload).expect("runner builds");
     let mut optimizer = OptimizerKind::Spsa.build(scale.seed);
@@ -612,6 +625,107 @@ pub fn telemetry_snapshot(scale: &ExperimentScale) -> MetricsSnapshot {
     let mut registry = MetricsRegistry::new();
     runner.export_metrics(&mut registry);
     registry.snapshot()
+}
+
+/// Shot-sharded parallel execution study (beyond the paper): serial vs
+/// multi-threaded wall-clock on the largest qubit-sweep size across the
+/// three VQA workloads, with a live bitwise-determinism check per cell —
+/// the `bitwise identical` column compares the threaded run's full
+/// metrics JSON and [`RunReport`] byte-for-byte against the serial run.
+/// The final row re-dispatches the three threaded runs concurrently under
+/// [`std::thread::scope`] (each worker owns its whole system) and also
+/// checks that the [`RunReport::merge`] reduction of the threaded reports
+/// matches the reduction of the serial ones.
+///
+/// # Panics
+///
+/// Panics if construction or execution fails (the configurations are
+/// known-valid).
+pub fn parallel(scale: &ExperimentScale) -> TextTable {
+    use std::time::{Duration, Instant};
+
+    let n = scale.qubit_sweep.last().copied().unwrap_or(64);
+    let threads = scale.threads.max(4);
+    let kinds = [WorkloadKind::Vqe, WorkloadKind::Qaoa, WorkloadKind::Qnn];
+
+    let timed_run = |threads: usize, kind: WorkloadKind| -> (Duration, RunReport, String) {
+        let config = QtenonConfig::table4(n, CoreModel::Rocket)
+            .expect("valid config")
+            .with_seed(scale.seed)
+            .with_threads(threads);
+        let workload = Workload::benchmark(kind, n, scale.seed).expect("valid workload");
+        let mut runner = VqaRunner::new(config, workload).expect("runner builds");
+        let mut optimizer = OptimizerKind::Spsa.build(scale.seed);
+        let start = Instant::now();
+        let report = runner
+            .run(optimizer.as_mut(), scale.iterations, scale.shots)
+            .expect("run succeeds");
+        let wall = start.elapsed();
+        let mut registry = MetricsRegistry::new();
+        runner.export_metrics(&mut registry);
+        (wall, report, registry.snapshot().to_json())
+    };
+
+    let mut t = TextTable::new(vec![
+        "workload".into(),
+        "serial wall".into(),
+        format!("{threads}-thread wall"),
+        "speedup".into(),
+        "bitwise identical".into(),
+    ]);
+    let mut serial_wall = Duration::ZERO;
+    let mut merged_serial: Option<RunReport> = None;
+    let mut merged_sharded: Option<RunReport> = None;
+    let mut all_identical = true;
+    for kind in kinds {
+        let (ws, serial_report, serial_json) = timed_run(1, kind);
+        let (wt, sharded_report, sharded_json) = timed_run(threads, kind);
+        let identical = serial_report == sharded_report && serial_json == sharded_json;
+        all_identical &= identical;
+        serial_wall += ws;
+        match merged_serial.as_mut() {
+            Some(m) => m.merge(&serial_report),
+            None => merged_serial = Some(serial_report),
+        }
+        match merged_sharded.as_mut() {
+            Some(m) => m.merge(&sharded_report),
+            None => merged_sharded = Some(sharded_report),
+        }
+        t.row(vec![
+            format!("{kind:?}-{n}"),
+            format!("{ws:.2?}"),
+            format!("{wt:.2?}"),
+            fmt_x(ws.as_secs_f64() / wt.as_secs_f64().max(f64::MIN_POSITIVE)),
+            if identical { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
+    // Fleet dispatch: the same three sharded runs, launched together.
+    let timed_run = &timed_run;
+    let fleet_start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = kinds
+            .iter()
+            .map(|&kind| scope.spawn(move || timed_run(threads, kind)))
+            .collect();
+        for h in handles {
+            h.join().expect("fleet worker panicked");
+        }
+    });
+    let fleet_wall = fleet_start.elapsed();
+    let merges_match = merged_serial == merged_sharded;
+    t.row(vec![
+        "all (concurrent dispatch)".into(),
+        format!("{serial_wall:.2?}"),
+        format!("{fleet_wall:.2?}"),
+        fmt_x(serial_wall.as_secs_f64() / fleet_wall.as_secs_f64().max(f64::MIN_POSITIVE)),
+        if all_identical && merges_match {
+            "yes".into()
+        } else {
+            "NO".into()
+        },
+    ]);
+    t
 }
 
 /// Resilience sweep (beyond the paper): the 64-qubit VQE under rising
@@ -734,6 +848,7 @@ mod tests {
             qubit_sweep: vec![8],
             scaling_sweep: vec![8, 16],
             seed: 3,
+            threads: 1,
         }
     }
 
@@ -794,6 +909,40 @@ mod tests {
         assert_eq!(injected[0], 0);
         assert!(injected.last().unwrap() > &0);
         assert!(injected.last().unwrap() >= &injected[1]);
+    }
+
+    #[test]
+    fn parallel_study_is_bitwise_identical_per_cell() {
+        let mut scale = tiny();
+        // Enough shots for genuinely multi-shard plans at 4 threads.
+        scale.shots = 120;
+        let t = parallel(&scale);
+        assert_eq!(t.len(), 4); // 3 workloads + concurrent-dispatch row
+        for row in t.rows() {
+            assert_eq!(row[4], "yes", "determinism violated in {row:?}");
+        }
+    }
+
+    #[test]
+    fn experiments_honor_the_thread_knob_without_changing_results() {
+        let mut serial = tiny();
+        serial.shots = 100;
+        let sharded = serial.clone().with_threads(4);
+        let a = qtenon_default(
+            WorkloadKind::Qaoa,
+            8,
+            CoreModel::Rocket,
+            OptimizerKind::Spsa,
+            &serial,
+        );
+        let b = qtenon_default(
+            WorkloadKind::Qaoa,
+            8,
+            CoreModel::Rocket,
+            OptimizerKind::Spsa,
+            &sharded,
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

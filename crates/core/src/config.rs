@@ -86,6 +86,16 @@ pub struct QtenonConfig {
     /// the fault layer is inert and the system behaves exactly as the
     /// fault-free model).
     pub faults: FaultPlan,
+    /// Worker threads for shot-sharded sampling (1 = serial). Purely a
+    /// wall-clock knob: per-shot RNG streams make every thread count
+    /// produce bitwise-identical results, so `threads` never appears in
+    /// any metric or report.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+}
+
+fn default_threads() -> usize {
+    1
 }
 
 impl QtenonConfig {
@@ -110,6 +120,7 @@ impl QtenonConfig {
             transmission: TransmissionPolicy::Batched,
             seed: 0x51,
             faults: FaultPlan::default(),
+            threads: 1,
         })
     }
 
@@ -134,6 +145,13 @@ impl QtenonConfig {
     /// Returns a copy with a different fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Returns a copy with a different worker-thread count (0 is clamped
+    /// to 1, i.e. serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -178,6 +196,14 @@ mod tests {
         let cfg = cfg.with_faults(FaultPlan::all(0.01).with_seed(7));
         assert!(cfg.faults.is_active());
         assert_eq!(cfg.faults.seed, 7);
+    }
+
+    #[test]
+    fn threads_default_serial_and_clamp_to_one() {
+        let cfg = QtenonConfig::table4(8, CoreModel::Rocket).unwrap();
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.with_threads(4).threads, 4);
+        assert_eq!(cfg.with_threads(0).threads, 1);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! - [`schedule`]: the batched transmission policy (Algorithm 1);
 //! - [`system`]: [`QtenonSystem`] — functional-plus-timed execution of
 //!   the five Qtenon instructions against the controller and chip;
+//! - [`parallel`]: the shot-sharded execution engine — contiguous shard
+//!   planning plus scoped thread fan-out whose merged results are
+//!   bitwise identical to the serial run at any thread count;
 //! - [`vqa`]: [`VqaRunner`] — full hybrid quantum-classical algorithm
 //!   execution with incremental compilation, overlap scheduling, and
 //!   per-component time accounting;
@@ -36,6 +39,7 @@
 
 pub mod config;
 pub mod host;
+pub mod parallel;
 pub mod report;
 pub mod schedule;
 pub mod system;
@@ -44,6 +48,7 @@ pub mod vqa;
 
 pub use config::{CoreModel, QtenonConfig, SyncMode, TransmissionPolicy};
 pub use host::HostCoreModel;
+pub use parallel::{Shard, ShardPlan};
 pub use report::{CommBreakdown, ResilienceSummary, RunReport, TimeBreakdown};
 pub use schedule::TransmissionPlan;
 pub use system::QtenonSystem;

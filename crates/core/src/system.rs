@@ -18,11 +18,12 @@ use qtenon_mem::MemoryHierarchy;
 use qtenon_quantum::sim::Simulator;
 use qtenon_quantum::{BitString, Circuit, CircuitTiming};
 use qtenon_sim_engine::{
-    FaultInjector, FaultSite, Histogram, MetricsRegistry, SimDuration, SimTime,
+    FaultInjector, FaultSite, Histogram, MetricValue, MetricsRegistry, SimDuration, SimTime,
 };
 
 use crate::config::QtenonConfig;
 use crate::host::HostCoreModel;
+use crate::parallel::{self, ShardPlan};
 use crate::report::{CommBreakdown, ResilienceSummary};
 use crate::trace::{Trace, TraceLane};
 use crate::SystemError;
@@ -69,6 +70,10 @@ pub struct QtenonSystem {
     rbq_stalls: u64,
     /// Stall time owed to the next instruction (RBQ tag exhaustion).
     pending_stall: SimDuration,
+    /// Shot-shard worker telemetry, merged in canonical shard order.
+    /// Workers record only per-shot quantities, so the merged registry is
+    /// identical at every thread count.
+    shard_metrics: MetricsRegistry,
     /// Per-instruction latency distributions, in nanoseconds.
     lat_q_update: Histogram,
     lat_q_set: Histogram,
@@ -116,6 +121,7 @@ impl QtenonSystem {
             readout_retries: 0,
             rbq_stalls: 0,
             pending_stall: SimDuration::ZERO,
+            shard_metrics: MetricsRegistry::new(),
             lat_q_update: Histogram::new(),
             lat_q_set: Histogram::new(),
             lat_q_acquire: Histogram::new(),
@@ -515,6 +521,14 @@ impl QtenonSystem {
     /// `q_run`: execute the bound circuit for `shots` repetitions,
     /// depositing packed measurement words into `.measure`.
     ///
+    /// Sampling fans out across the configured worker threads in
+    /// contiguous shot shards; every shot draws from its own
+    /// `(seed, global shot index)` RNG stream and shard results merge in
+    /// canonical shard order, so the outcome is bitwise identical at any
+    /// thread count. The `.measure` deposit (and its per-shot fault
+    /// draws) stays serial over the merged shots — the QCC is a single
+    /// shared device.
+    ///
     /// # Errors
     ///
     /// Returns [`SystemError::Quantum`] for simulation failures and
@@ -527,11 +541,37 @@ impl QtenonSystem {
     ) -> Result<RunOutcome, SystemError> {
         let now = self.absorb_stall(now);
         let timing = CircuitTiming::of(circuit, &self.config.gate_times);
-        let results = self.simulator.run(circuit, shots)?;
+        let prepared = self.simulator.prepare(circuit)?;
+        let base = self.simulator.advance_cursor(shots);
+        let plan = ShardPlan::new(shots, self.config.threads);
+        let simulator = &self.simulator;
+        let shard_outputs = parallel::run_sharded(&plan, |shard| {
+            let mut bits = Vec::with_capacity(shard.shots as usize);
+            let mut ones = Histogram::new();
+            for s in shard.first_shot..shard.first_shot + shard.shots {
+                let shot = prepared.sample_shot(&mut simulator.shot_rng(base + s));
+                ones.record(u64::from(shot.count_ones()));
+                bits.push(shot);
+            }
+            let mut worker_metrics = MetricsRegistry::new();
+            worker_metrics.counter("core.parallel.shots_sampled", shard.shots);
+            worker_metrics.histogram("core.parallel.ones_per_shot", &ones);
+            (bits, worker_metrics)
+        });
+        let mut results: Vec<BitString> = Vec::with_capacity(shots as usize);
+        for (bits, worker_metrics) in shard_outputs {
+            results.extend(bits);
+            self.shard_metrics.merge(&worker_metrics);
+        }
         // Pack each shot's bits into consecutive 64-bit measure entries.
         self.measure_cursor = 0;
         let layout = self.config.layout;
-        for bits in &results {
+        let faults_active = self.injector.is_active();
+        for (i, bits) in results.iter().enumerate() {
+            // Bit-flip draws come from the shot's own fault sub-stream,
+            // keyed by global shot index, so the schedule is independent
+            // of shard boundaries; counters fold back in shot order.
+            let mut shot_injector = faults_active.then(|| self.injector.for_shot(base + i as u64));
             for &word in bits.words() {
                 let addr = layout.measure_entry(self.measure_cursor).map_err(|_| {
                     SystemError::Config(format!(
@@ -540,13 +580,18 @@ impl QtenonSystem {
                     ))
                 })?;
                 self.qcc.write_measure(AccessPort::Controller, addr, word)?;
-                if self.injector.is_active() && self.injector.bernoulli(FaultSite::QccBitFlip) {
-                    // A single-event upset lands on the freshly written
-                    // word; the ECC decoder corrects it on the next read.
-                    self.qcc
-                        .poison_measure(addr, 1u64 << (self.measure_cursor & 63))?;
+                if let Some(inj) = shot_injector.as_mut() {
+                    if inj.bernoulli(FaultSite::QccBitFlip) {
+                        // A single-event upset lands on the freshly written
+                        // word; the ECC decoder corrects it on the next read.
+                        self.qcc
+                            .poison_measure(addr, 1u64 << (self.measure_cursor & 63))?;
+                    }
                 }
                 self.measure_cursor = (self.measure_cursor + 1) % layout.measure_entries();
+            }
+            if let Some(inj) = shot_injector {
+                self.injector.absorb(&inj);
             }
         }
         let complete = now
@@ -594,6 +639,16 @@ impl QtenonSystem {
         m.histogram("core.instr.q_acquire.latency_ns", &self.lat_q_acquire);
         m.histogram("core.instr.q_gen.latency_ns", &self.lat_q_gen);
         m.histogram("core.instr.q_run.latency_ns", &self.lat_q_run);
+        // Shot-shard worker telemetry, re-registered with the same
+        // overwrite semantics as everything else (the shard-order merge
+        // already happened inside q_run).
+        for (path, value) in self.shard_metrics.iter() {
+            match value {
+                MetricValue::Counter(v) => m.counter(path, *v),
+                MetricValue::Gauge(v) => m.gauge(path, *v),
+                MetricValue::Histogram(h) => m.histogram(path, h),
+            }
+        }
         // Fault and recovery namespaces appear only under an active plan,
         // keeping fault-free snapshots identical to the fault-unaware
         // model's.
@@ -625,6 +680,7 @@ impl QtenonSystem {
         self.readout_retries = 0;
         self.rbq_stalls = 0;
         self.pending_stall = SimDuration::ZERO;
+        self.shard_metrics = MetricsRegistry::new();
         self.lat_q_update.reset();
         self.lat_q_set.reset();
         self.lat_q_acquire.reset();
@@ -728,6 +784,83 @@ mod tests {
             outcome.complete.saturating_since(t0()),
             SimDuration::from_ns(200 + 10 * 1220)
         );
+    }
+
+    #[test]
+    fn q_run_is_bitwise_identical_at_any_thread_count() {
+        use qtenon_sim_engine::FaultPlan;
+        let run = |threads: usize, faults: FaultPlan| {
+            let cfg = QtenonConfig::table4(6, CoreModel::Rocket)
+                .unwrap()
+                .with_threads(threads)
+                .with_faults(faults);
+            let mut sys = QtenonSystem::new(cfg).unwrap();
+            let mut c = Circuit::new(6);
+            c.ry(0, 1.0).ry(3, 0.7).cz(0, 3).measure_all();
+            let out = sys.q_run(t0(), &c, 128).unwrap();
+            let mut m = MetricsRegistry::new();
+            sys.export_metrics(&mut m);
+            (out.shots, m.snapshot().to_json(), sys.resilience())
+        };
+        for faults in [FaultPlan::default(), FaultPlan::all(0.05).with_seed(0xFA17)] {
+            let serial = run(1, faults);
+            for threads in [2usize, 4, 8] {
+                let parallel = run(threads, faults);
+                assert_eq!(parallel.0, serial.0, "shots diverged at {threads} threads");
+                assert_eq!(
+                    parallel.1, serial.1,
+                    "metrics JSON diverged at {threads} threads"
+                );
+                assert_eq!(parallel.2, serial.2);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_metrics_cover_every_sampled_shot() {
+        let mut sys = QtenonSystem::new(
+            QtenonConfig::table4(4, CoreModel::Rocket)
+                .unwrap()
+                .with_threads(4),
+        )
+        .unwrap();
+        let mut c = Circuit::new(4);
+        c.rx(0, std::f64::consts::PI).measure_all();
+        sys.q_run(t0(), &c, 100).unwrap();
+        let mut m = MetricsRegistry::new();
+        sys.export_metrics(&mut m);
+        use qtenon_sim_engine::MetricValue;
+        assert_eq!(
+            m.get("core.parallel.shots_sampled"),
+            Some(&MetricValue::Counter(100))
+        );
+        match m.get("core.parallel.ones_per_shot") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count(), 100);
+                // rx(π) pins qubit 0 to |1⟩, so every shot has ≥ 1 one.
+                assert!(h.min().unwrap() >= 1);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Repeated export must overwrite, not double-count.
+        sys.export_metrics(&mut m);
+        assert_eq!(
+            m.get("core.parallel.shots_sampled"),
+            Some(&MetricValue::Counter(100))
+        );
+    }
+
+    #[test]
+    fn system_graph_send_sync_audit() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        // The whole system migrates between threads (Send), but its QCC
+        // interior mutability forbids sharing (&System is not handed to
+        // workers); the worker-facing pieces are fully shareable.
+        assert_send::<QtenonSystem>();
+        assert_sync::<qtenon_quantum::PreparedCircuit>();
+        assert_sync::<Simulator>();
+        assert_send::<BitString>();
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Property-based tests for the ISA layer: every instruction survives the
+//! full RoCC encode → 32-bit word → decode → disassemble → re-parse
+//! pipeline, operand packing is a bijection up to its documented
+//! saturation, and the QCC layout's segment/chunk addressing inverts
+//! exactly.
+
+use proptest::prelude::*;
+
+use qtenon_isa::instr::{pack_len_addr, unpack_len_addr, MAX_TRANSFER_LEN};
+use qtenon_isa::qaddress::QADDRESS_MASK;
+use qtenon_isa::{
+    EncodedInstruction, Instruction, IsaError, QAddress, QccLayout, QubitId, RoccWord, Segment,
+};
+
+/// Any valid 39-bit quantum address.
+fn arb_qaddr() -> impl Strategy<Value = QAddress> {
+    (0u64..=QADDRESS_MASK).prop_map(|raw| QAddress::new(raw).expect("masked raw is valid"))
+}
+
+/// Any of the five instructions with representable operands: addresses in
+/// the 39-bit space, transfer lengths within the 25-bit `rs2` field.
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_qaddr(), any::<u32>())
+            .prop_map(|(qaddr, value)| Instruction::QUpdate { qaddr, value }),
+        (any::<u64>(), arb_qaddr(), 0u64..=MAX_TRANSFER_LEN).prop_map(
+            |(classical_addr, qaddr, length)| Instruction::QSet {
+                classical_addr,
+                qaddr,
+                length,
+            }
+        ),
+        (any::<u64>(), arb_qaddr(), 0u64..=MAX_TRANSFER_LEN).prop_map(
+            |(classical_addr, qaddr, length)| Instruction::QAcquire {
+                classical_addr,
+                qaddr,
+                length,
+            }
+        ),
+        (arb_qaddr(), any::<u64>()).prop_map(|(qaddr, length)| Instruction::QGen { qaddr, length }),
+        any::<u64>().prop_map(|shots| Instruction::QRun { shots }),
+    ]
+}
+
+proptest! {
+    /// Semantic → RoCC registers → 32-bit word bits → decoded word →
+    /// semantic: the full hardware encode/decode pipeline is lossless for
+    /// every representable instruction.
+    #[test]
+    fn rocc_encode_decode_round_trips(instr in arb_instruction()) {
+        let enc = instr.encode();
+        let bits = enc.word.encode();
+        let word = RoccWord::decode(bits).expect("own encoding decodes");
+        prop_assert_eq!(word, enc.word);
+        let redecoded = Instruction::decode(&EncodedInstruction {
+            word,
+            rs1_value: enc.rs1_value,
+            rs2_value: enc.rs2_value,
+        })
+        .expect("own encoding decodes");
+        prop_assert_eq!(redecoded, instr);
+    }
+
+    /// Decoded instructions disassemble to text that re-parses to the
+    /// same instruction: the assembler and `Display` stay in sync.
+    #[test]
+    fn disassembly_reparses_to_the_same_instruction(instr in arb_instruction()) {
+        let decoded = Instruction::decode(&instr.encode()).expect("decodes");
+        let text = decoded.to_string();
+        let reparsed = Instruction::parse_asm(&text)
+            .unwrap_or_else(|e| panic!("{text:?} failed to re-parse: {e}"));
+        prop_assert_eq!(reparsed, decoded);
+    }
+
+    /// `pack_len_addr`/`unpack_len_addr` invert exactly for in-range
+    /// lengths and saturate (never corrupt the address) beyond the 25-bit
+    /// field.
+    #[test]
+    fn len_addr_packing_inverts_and_saturates(
+        length in any::<u64>(),
+        qaddr in arb_qaddr(),
+    ) {
+        let (len, addr) = unpack_len_addr(pack_len_addr(length, qaddr)).expect("unpacks");
+        prop_assert_eq!(len, length.min(MAX_TRANSFER_LEN));
+        prop_assert_eq!(addr, qaddr);
+    }
+
+    /// Raw `rs2` values beyond the address space are rejected, never
+    /// silently wrapped.
+    #[test]
+    fn oversized_raw_addresses_rejected(raw in QADDRESS_MASK + 1..u64::MAX) {
+        prop_assert!(matches!(
+            QAddress::new(raw),
+            Err(IsaError::AddressOutOfRange { .. })
+        ));
+    }
+
+    /// Per-qubit chunk addressing round-trips through `decode` for every
+    /// in-range (qubit, entry) pair in the per-qubit segments.
+    #[test]
+    fn per_qubit_chunk_addressing_round_trips(
+        n_qubits in 1u32..128,
+        qubit_sel in any::<u32>(),
+        entry_sel in any::<u64>(),
+    ) {
+        let layout = QccLayout::for_qubits(n_qubits).expect("layout");
+        let qubit = QubitId::new(qubit_sel % n_qubits);
+        for (segment, per_qubit) in [
+            (Segment::Program, layout.program_entries_per_qubit()),
+            (Segment::Pulse, layout.pulse_entries_per_qubit()),
+        ] {
+            let entry = entry_sel % per_qubit;
+            let addr = match segment {
+                Segment::Program => layout.program_entry(qubit, entry),
+                _ => layout.pulse_entry(qubit, entry),
+            }
+            .expect("in-range entry");
+            let d = layout.decode(addr).expect("mapped address decodes");
+            prop_assert_eq!(d.segment, segment);
+            prop_assert_eq!(d.qubit, Some(qubit));
+            prop_assert_eq!(d.entry, entry);
+        }
+    }
+
+    /// Shared-segment addressing (`.measure`, `.regfile`) round-trips and
+    /// reports no owning qubit.
+    #[test]
+    fn shared_segment_addressing_round_trips(
+        n_qubits in 1u32..128,
+        entry_sel in any::<u64>(),
+    ) {
+        let layout = QccLayout::for_qubits(n_qubits).expect("layout");
+        for (segment, entries) in [
+            (Segment::Measure, layout.measure_entries()),
+            (Segment::Regfile, layout.regfile_entries()),
+        ] {
+            let entry = entry_sel % entries;
+            let addr = match segment {
+                Segment::Measure => layout.measure_entry(entry),
+                _ => layout.regfile_entry(entry),
+            }
+            .expect("in-range entry");
+            let d = layout.decode(addr).expect("mapped address decodes");
+            prop_assert_eq!(d.segment, segment);
+            prop_assert_eq!(d.qubit, None);
+            prop_assert_eq!(d.entry, entry);
+        }
+    }
+
+    /// Segments never overlap: each segment's span ends at or before the
+    /// next segment's base, for any qubit count.
+    #[test]
+    fn segments_never_overlap(n_qubits in 1u32..256) {
+        let layout = QccLayout::for_qubits(n_qubits).expect("layout");
+        let mut spans: Vec<(u64, u64)> = Segment::ALL
+            .iter()
+            .map(|&s| {
+                let base = layout.segment_base(s);
+                (base, base + layout.segment_entries(s))
+            })
+            .collect();
+        spans.sort_unstable();
+        for pair in spans.windows(2) {
+            prop_assert!(
+                pair[0].1 <= pair[1].0,
+                "segment spans overlap: {:?}",
+                pair
+            );
+        }
+        prop_assert!(spans.last().unwrap().1 <= QADDRESS_MASK);
+    }
+}

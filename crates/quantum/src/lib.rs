@@ -46,6 +46,7 @@ pub use bits::BitString;
 pub use circuit::{Circuit, Operation};
 pub use gate::{Angle, Gate, ParamId};
 pub use hamiltonian::{Hamiltonian, PauliTerm};
+pub use sim::{PreparedCircuit, Simulator};
 pub use statevector::StateVector;
 pub use timing::{CircuitTiming, GateTimes};
 

@@ -12,6 +12,7 @@
 //! parameter-responsive — optimizers see a real, smooth landscape — at
 //! O(gates + qubits·shots) cost.
 
+use qtenon_sim_engine::rng::stream_seed;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -255,8 +256,91 @@ impl MeanFieldState {
     }
 }
 
+/// The state-independent sampling backend for one prepared circuit.
+#[derive(Debug, Clone)]
+enum PreparedBackend {
+    /// Inverse sampling over the exact basis-state distribution.
+    Exact { cumulative: Vec<f64>, total: f64 },
+    /// Independent per-qubit marginals from the mean-field state.
+    MeanField { p1: Vec<f64> },
+}
+
+/// A circuit applied once and frozen into its measurement distribution:
+/// the immutable, thread-shareable half of a [`Simulator::run`].
+///
+/// Preparation (state evolution) is deterministic and happens once;
+/// sampling draws from the frozen distribution with whatever RNG the
+/// caller supplies. Splitting the two is what lets the parallel engine
+/// share one `PreparedCircuit` across shot-shard workers — the struct
+/// holds only plain probability tables, so it is `Send + Sync` — while
+/// each shot consumes its own [`Simulator::shot_rng`] stream.
+///
+/// # Examples
+///
+/// ```
+/// use qtenon_quantum::{Circuit, sim::Simulator};
+///
+/// let mut c = Circuit::new(4);
+/// c.rx(0, std::f64::consts::PI).measure_all();
+/// let mut sim = Simulator::auto(4, 1);
+/// let prepared = sim.prepare(&c)?;
+/// let base = sim.advance_cursor(10);
+/// let shots: Vec<_> = (0..10)
+///     .map(|s| prepared.sample_shot(&mut sim.shot_rng(base + s)))
+///     .collect();
+/// assert!(shots.iter().all(|s| s.get(0)));
+/// # Ok::<(), qtenon_quantum::QuantumError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedCircuit {
+    n_qubits: u32,
+    noise: NoiseModel,
+    backend: PreparedBackend,
+}
+
+impl PreparedCircuit {
+    /// The circuit width.
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// Draws one measurement outcome (including readout noise, when the
+    /// owning simulator carries a noise model) from `rng`.
+    pub fn sample_shot<R: Rng>(&self, rng: &mut R) -> BitString {
+        let mut bits = match &self.backend {
+            PreparedBackend::Exact { cumulative, total } => {
+                let r: f64 = rng.gen::<f64>() * total;
+                let idx = cumulative.partition_point(|&c| c < r);
+                BitString::from_u64(idx.min(cumulative.len() - 1) as u64, self.n_qubits)
+            }
+            PreparedBackend::MeanField { p1 } => {
+                let mut bits = BitString::zeros(self.n_qubits);
+                for (q, &p) in p1.iter().enumerate() {
+                    if rng.gen::<f64>() < p {
+                        bits.set(q as u32, true);
+                    }
+                }
+                bits
+            }
+        };
+        if !self.noise.is_noiseless() {
+            self.noise.corrupt_readout(&mut bits, rng);
+        }
+        bits
+    }
+}
+
 /// Simulation front-end that picks the exact backend when feasible and the
 /// mean-field backend beyond [`EXACT_QUBIT_LIMIT`] qubits.
+///
+/// # Determinism
+///
+/// Every shot owns an independent RNG stream seeded from
+/// `(simulator seed, global shot index)`; the simulator itself only keeps
+/// a monotone shot cursor. Shot *s* therefore draws the same values
+/// whether the run is serial or sharded across any number of threads —
+/// the bitwise-reproducibility contract the parallel execution engine is
+/// built on (DESIGN.md §"Parallel execution model").
 ///
 /// # Examples
 ///
@@ -274,7 +358,8 @@ impl MeanFieldState {
 pub struct Simulator {
     n_qubits: u32,
     exact: bool,
-    rng: StdRng,
+    seed: u64,
+    shot_cursor: u64,
     noise: NoiseModel,
 }
 
@@ -284,7 +369,8 @@ impl Simulator {
         Simulator {
             n_qubits,
             exact: n_qubits <= EXACT_QUBIT_LIMIT,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            shot_cursor: 0,
             noise: NoiseModel::NONE,
         }
     }
@@ -299,7 +385,8 @@ impl Simulator {
         Simulator {
             n_qubits,
             exact: n_qubits <= FAST_EXACT_LIMIT,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            shot_cursor: 0,
             noise: NoiseModel::NONE,
         }
     }
@@ -310,7 +397,8 @@ impl Simulator {
         Simulator {
             n_qubits,
             exact: false,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            shot_cursor: 0,
             noise: NoiseModel::NONE,
         }
     }
@@ -338,35 +426,74 @@ impl Simulator {
         self.exact
     }
 
-    /// Prepares |0…0⟩, applies the bound native `circuit`, and draws
-    /// `shots` measurement outcomes.
+    /// The configured RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Reserves `shots` global shot indices and returns the first one.
+    /// The cursor is monotone across a simulator's lifetime, so every
+    /// [`Simulator::run`] (or sharded equivalent) consumes a fresh,
+    /// non-overlapping index range.
+    pub fn advance_cursor(&mut self, shots: u64) -> u64 {
+        let base = self.shot_cursor;
+        self.shot_cursor = self.shot_cursor.wrapping_add(shots);
+        base
+    }
+
+    /// The RNG for global shot index `global_shot`: a pure function of
+    /// `(seed, global_shot)`, independent of every other shot's draws and
+    /// of the thread that evaluates it.
+    pub fn shot_rng(&self, global_shot: u64) -> StdRng {
+        StdRng::seed_from_u64(stream_seed(self.seed, global_shot))
+    }
+
+    /// Prepares |0…0⟩, applies the bound native `circuit`, and freezes
+    /// the resulting measurement distribution for sampling.
     ///
     /// # Errors
     ///
-    /// Returns [`QuantumError::ParameterCountMismatch`] if the circuit
-    /// width disagrees with the simulator, plus any backend error.
-    pub fn run(&mut self, circuit: &Circuit, shots: u64) -> Result<Vec<BitString>, QuantumError> {
+    /// Returns [`QuantumError::QubitOutOfRange`] if the circuit width
+    /// disagrees with the simulator, plus any backend error.
+    pub fn prepare(&self, circuit: &Circuit) -> Result<PreparedCircuit, QuantumError> {
         if circuit.n_qubits() != self.n_qubits {
             return Err(QuantumError::QubitOutOfRange {
                 qubit: circuit.n_qubits(),
                 n_qubits: self.n_qubits,
             });
         }
-        let mut results = if self.exact {
+        let backend = if self.exact {
             let mut sv = StateVector::new(self.n_qubits)?;
             sv.apply_circuit(circuit)?;
-            sv.sample(&mut self.rng, shots)
+            let (cumulative, total) = sv.cumulative_distribution();
+            PreparedBackend::Exact { cumulative, total }
         } else {
             let mut mf = MeanFieldState::new(self.n_qubits);
             mf.apply_circuit_noisy(circuit, &self.noise)?;
-            mf.sample(&mut self.rng, shots)
-        };
-        if !self.noise.is_noiseless() {
-            for bits in &mut results {
-                self.noise.corrupt_readout(bits, &mut self.rng);
+            PreparedBackend::MeanField {
+                p1: mf.qubits.iter().map(|b| (1.0 - b.z) / 2.0).collect(),
             }
-        }
-        Ok(results)
+        };
+        Ok(PreparedCircuit {
+            n_qubits: self.n_qubits,
+            noise: self.noise,
+            backend,
+        })
+    }
+
+    /// Prepares |0…0⟩, applies the bound native `circuit`, and draws
+    /// `shots` measurement outcomes, one independent RNG stream per shot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitOutOfRange`] if the circuit width
+    /// disagrees with the simulator, plus any backend error.
+    pub fn run(&mut self, circuit: &Circuit, shots: u64) -> Result<Vec<BitString>, QuantumError> {
+        let prepared = self.prepare(circuit)?;
+        let base = self.advance_cursor(shots);
+        Ok((0..shots)
+            .map(|s| prepared.sample_shot(&mut self.shot_rng(base + s)))
+            .collect())
     }
 }
 
@@ -468,6 +595,63 @@ mod tests {
         assert_eq!(a, b);
         let c2 = Simulator::auto(4, 100).run(&c, 50).unwrap();
         assert_ne!(a, c2);
+    }
+
+    #[test]
+    fn sharded_sampling_reproduces_serial_run() {
+        // Sampling the same global shot range in arbitrary shard cuts
+        // must reproduce Simulator::run bit for bit.
+        let mut c = Circuit::new(16);
+        c.ry(0, 1.0).ry(5, 0.5).cz(0, 5).rx(9, 2.2).measure_all();
+        let serial = Simulator::fast(16, 7).run(&c, 60).unwrap();
+        for split in [1u64, 17, 30, 59] {
+            let mut sim = Simulator::fast(16, 7);
+            let prepared = sim.prepare(&c).unwrap();
+            let base = sim.advance_cursor(60);
+            let mut sharded: Vec<BitString> = (base..base + split)
+                .map(|s| prepared.sample_shot(&mut sim.shot_rng(s)))
+                .collect();
+            sharded.extend(
+                (base + split..base + 60).map(|s| prepared.sample_shot(&mut sim.shot_rng(s))),
+            );
+            assert_eq!(sharded, serial, "split at {split} diverged");
+        }
+    }
+
+    #[test]
+    fn noisy_sharded_sampling_reproduces_serial_run() {
+        let mut c = Circuit::new(8);
+        c.ry(0, 1.2).ry(3, 0.4).cz(0, 3).measure_all();
+        let noise = NoiseModel::typical_superconducting();
+        let serial = Simulator::mean_field(8, 21)
+            .with_noise(noise)
+            .run(&c, 40)
+            .unwrap();
+        let mut sim = Simulator::mean_field(8, 21).with_noise(noise);
+        let prepared = sim.prepare(&c).unwrap();
+        let base = sim.advance_cursor(40);
+        let sharded: Vec<BitString> = (0..40)
+            .map(|s| prepared.sample_shot(&mut sim.shot_rng(base + s)))
+            .collect();
+        assert_eq!(sharded, serial);
+    }
+
+    #[test]
+    fn successive_runs_consume_fresh_shot_indices() {
+        let mut c = Circuit::new(6);
+        c.ry(0, 1.0).ry(1, 1.0).ry(2, 1.0).measure_all();
+        let mut sim = Simulator::mean_field(6, 5);
+        let first = sim.run(&c, 200).unwrap();
+        let second = sim.run(&c, 200).unwrap();
+        assert_ne!(first, second, "reruns must see fresh randomness");
+        assert_eq!(sim.advance_cursor(0), 400);
+    }
+
+    #[test]
+    fn prepared_circuit_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedCircuit>();
+        assert_send_sync::<BitString>();
     }
 
     #[test]

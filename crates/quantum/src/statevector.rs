@@ -297,16 +297,25 @@ impl StateVector {
             .sum()
     }
 
-    /// Draws `shots` full measurement outcomes.
-    pub fn sample<R: Rng>(&self, rng: &mut R, shots: u64) -> Vec<BitString> {
-        // Cumulative distribution over basis states, then inverse sampling.
+    /// The cumulative probability distribution over basis states plus its
+    /// total mass (clamped away from zero), ready for inverse sampling.
+    /// Summation runs in basis-state order, so the distribution — and
+    /// therefore every draw made from it — is identical no matter which
+    /// thread or shard computes it.
+    pub fn cumulative_distribution(&self) -> (Vec<f64>, f64) {
         let mut cumulative = Vec::with_capacity(self.amps.len());
         let mut acc = 0.0;
         for a in &self.amps {
             acc += a.norm_sqr();
             cumulative.push(acc);
         }
-        let total = acc.max(f64::MIN_POSITIVE);
+        (cumulative, acc.max(f64::MIN_POSITIVE))
+    }
+
+    /// Draws `shots` full measurement outcomes.
+    pub fn sample<R: Rng>(&self, rng: &mut R, shots: u64) -> Vec<BitString> {
+        // Cumulative distribution over basis states, then inverse sampling.
+        let (cumulative, total) = self.cumulative_distribution();
         (0..shots)
             .map(|_| {
                 let r: f64 = rng.gen::<f64>() * total;

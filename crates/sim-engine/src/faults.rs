@@ -40,6 +40,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::MetricsRegistry;
+use crate::rng::{splitmix64, stream_seed, unit};
 use crate::time::SimDuration;
 
 /// A component boundary where faults can be injected.
@@ -315,20 +316,6 @@ impl FaultPlan {
     }
 }
 
-/// SplitMix64: tiny, splittable, and plenty for fault schedules.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// A uniform draw in `[0, 1)` with 53 bits of precision.
-fn unit(state: &mut u64) -> f64 {
-    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
-}
-
 /// The runtime half of a [`FaultPlan`]: per-site RNG streams plus
 /// checked/injected counters for the `faults.*` metrics namespace.
 #[derive(Clone, Debug)]
@@ -410,6 +397,31 @@ impl FaultInjector {
     /// Faults injected across every site.
     pub fn injected_total(&self) -> u64 {
         self.injected.iter().sum()
+    }
+
+    /// Derives the injector for one simulation shot: the same plan with
+    /// its seed replaced by the `(seed, shot)` sub-stream seed and fresh
+    /// counters.
+    ///
+    /// The derived injector's draws depend only on the parent plan's seed
+    /// and the global shot index — never on how many draws the parent has
+    /// already consumed or which thread evaluates the shot — so shot
+    /// execution can be sharded across workers and still reproduce the
+    /// serial fault schedule bit for bit. Fold the counters back with
+    /// [`FaultInjector::absorb`] in canonical shot order.
+    pub fn for_shot(&self, shot: u64) -> FaultInjector {
+        FaultInjector::new(self.plan.with_seed(stream_seed(self.plan.seed, shot)))
+    }
+
+    /// Adds `other`'s checked/injected counters into this injector's,
+    /// without touching the RNG streams. Counter addition is commutative,
+    /// but callers absorb shards in canonical shot order anyway so the
+    /// whole merge pipeline follows one ordering rule.
+    pub fn absorb(&mut self, other: &FaultInjector) {
+        for i in 0..FaultSite::ALL.len() {
+            self.checked[i] += other.checked[i];
+            self.injected[i] += other.injected[i];
+        }
     }
 
     /// Registers `<prefix>.checked.<site>`, `<prefix>.injected.<site>`,
@@ -543,6 +555,61 @@ mod tests {
         assert!(FaultPlan::parse("bus_drop=-0.1").is_err());
         assert!(FaultPlan::parse("bus_drop=1.0").is_err());
         assert!(FaultPlan::parse("seed=abc").is_err());
+    }
+
+    #[test]
+    fn per_shot_injectors_are_order_independent() {
+        let plan = FaultPlan::all(0.2).with_seed(0xFA17);
+        let parent = FaultInjector::new(plan);
+        // Shot 5's draws are identical whether derived before or after
+        // shot 3's, and regardless of draws made in between.
+        let mut early = parent.for_shot(5);
+        let mut sibling = parent.for_shot(3);
+        for _ in 0..50 {
+            sibling.bernoulli(FaultSite::BusDrop);
+        }
+        let mut late = parent.for_shot(5);
+        for _ in 0..50 {
+            assert_eq!(
+                early.bernoulli(FaultSite::QccBitFlip),
+                late.bernoulli(FaultSite::QccBitFlip),
+            );
+        }
+        // Distinct shots get distinct streams.
+        let seq5: Vec<bool> = (0..64)
+            .map(|_| early.bernoulli(FaultSite::BusDrop))
+            .collect();
+        let mut three = parent.for_shot(3);
+        let seq3: Vec<bool> = (0..64)
+            .map(|_| three.bernoulli(FaultSite::BusDrop))
+            .collect();
+        assert_ne!(seq5, seq3);
+    }
+
+    #[test]
+    fn absorb_sums_counters_without_touching_streams() {
+        let plan = FaultPlan::all(0.3).with_seed(11);
+        let mut merged = FaultInjector::new(plan);
+        let mut reference = FaultInjector::new(plan);
+        let mut shard = FaultInjector::new(plan.with_seed(99));
+        for _ in 0..100 {
+            shard.bernoulli(FaultSite::BusDrop);
+            shard.geometric_failures(FaultSite::ReadoutTimeout);
+        }
+        merged.absorb(&shard);
+        assert_eq!(merged.checked(FaultSite::BusDrop), 100);
+        assert_eq!(
+            merged.injected(FaultSite::BusDrop),
+            shard.injected(FaultSite::BusDrop)
+        );
+        assert_eq!(merged.injected_total(), shard.injected_total());
+        // The absorbing injector's own streams are unperturbed.
+        for _ in 0..50 {
+            assert_eq!(
+                merged.bernoulli(FaultSite::PguStall),
+                reference.bernoulli(FaultSite::PguStall),
+            );
+        }
     }
 
     #[test]

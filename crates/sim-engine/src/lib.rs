@@ -18,7 +18,10 @@
 //!   cost models;
 //! - [`faults`]: deterministic, seeded fault injection ([`FaultPlan`] /
 //!   [`FaultInjector`]) used by the component models to exercise their
-//!   retry/degradation paths reproducibly.
+//!   retry/degradation paths reproducibly;
+//! - [`rng`]: the engine's splittable SplitMix64 generator and the
+//!   [`stream_seed`] derivation that gives every shot (and every fault
+//!   site) an independent, thread-count-invariant random stream.
 //!
 //! # Examples
 //!
@@ -37,6 +40,7 @@ pub mod event;
 pub mod faults;
 pub mod metrics;
 pub mod opcount;
+pub mod rng;
 pub mod stats;
 pub mod time;
 
@@ -45,5 +49,6 @@ pub use event::EventQueue;
 pub use faults::{FaultInjector, FaultPlan, FaultSite};
 pub use metrics::{Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use opcount::{OpClass, OpCounter};
+pub use rng::{splitmix64, stream_seed, unit};
 pub use stats::{Counter, Tally};
 pub use time::{SimDuration, SimTime};

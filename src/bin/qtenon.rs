@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! qtenon run <file.qasm> [--shots N] [--seed S] [--noise]   # execute on the system
+//!             [--threads T]                                 # shot-sharded sampling
 //!             [--metrics out.json] [--trace out.json]       # telemetry export
 //!             [--faults SPEC|FILE] [--fault-seed S]         # fault injection
 //! qtenon disasm <file.qasm>                                 # compiled chunk listing
@@ -20,6 +21,10 @@
 //! file holding the same format, one pair per line with `#` comments.
 //! `--fault-seed` overrides the plan's deterministic seed: the same spec,
 //! seed, and program reproduce the exact same faults and recoveries.
+//!
+//! `--threads T` fans shot sampling out across `T` worker threads. The
+//! shard merge is bitwise deterministic: any `T` produces results (and
+//! metrics, and fault accounting) identical to `--threads 1`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -37,6 +42,7 @@ struct Args {
     file: String,
     shots: u64,
     seed: u64,
+    threads: usize,
     noise: bool,
     metrics: Option<String>,
     trace_out: Option<String>,
@@ -50,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
     let mut file = None;
     let mut shots = 1000u64;
     let mut seed = 42u64;
+    let mut threads = 1usize;
     let mut noise = false;
     let mut metrics = None;
     let mut trace_out = None;
@@ -70,6 +77,13 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--seed needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--threads" => {
+                threads = argv
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
             }
             "--noise" => noise = true,
             "--metrics" => {
@@ -100,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
         file: file.ok_or_else(usage)?,
         shots,
         seed,
+        threads,
         noise,
         metrics,
         trace_out,
@@ -109,8 +124,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: qtenon <run|disasm|trace> <file.qasm> [--shots N] [--seed S] [--noise] \
-     [--metrics out.json] [--trace out.json] [--faults SPEC|FILE] [--fault-seed S]"
+    "usage: qtenon <run|disasm|trace> <file.qasm> [--shots N] [--seed S] [--threads T] \
+     [--noise] [--metrics out.json] [--trace out.json] [--faults SPEC|FILE] [--fault-seed S]"
         .into()
 }
 
@@ -158,6 +173,7 @@ fn run() -> Result<(), String> {
     let config = QtenonConfig::table4(n, CoreModel::Rocket)
         .map_err(|e| e.to_string())?
         .with_seed(args.seed)
+        .with_threads(args.threads)
         .with_faults(plan);
     let program = QtenonCompiler::new(config.layout)
         .compile(&circuit)

@@ -1,0 +1,89 @@
+//! Golden-file snapshot tests for the experiments telemetry export — the
+//! JSON artefact `qtenon --metrics` and `experiments --metrics` write.
+//!
+//! Goldens live in `tests/golden/`. A missing golden is bootstrapped from
+//! the current output on first run; after an intentional schema or model
+//! change, regenerate with `UPDATE_GOLDEN=1 cargo test -p qtenon --test
+//! golden` (see README). The determinism assertions (serial vs sharded)
+//! run unconditionally — they never depend on the files.
+
+use std::path::PathBuf;
+
+use qtenon_bench::experiments::{telemetry_snapshot, ExperimentScale};
+use qtenon_sim_engine::MetricValue;
+
+/// A fixed tiny scale so golden bytes are stable and cheap to produce.
+fn golden_scale() -> ExperimentScale {
+    ExperimentScale {
+        iterations: 1,
+        shots: 64,
+        qubit_sweep: vec![8],
+        scaling_sweep: vec![8],
+        seed: 7,
+        threads: 1,
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the stored golden. Bootstraps a missing
+/// golden and rewrites it under `UPDATE_GOLDEN=1`.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    if update || !path.exists() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has parent"))
+            .expect("create tests/golden");
+        std::fs::write(&path, actual).expect("write golden");
+        eprintln!("golden {name}: wrote {} bytes", actual.len());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).expect("read golden");
+    assert_eq!(
+        expected, actual,
+        "golden {name} is stale; regenerate with UPDATE_GOLDEN=1 after verifying the change"
+    );
+}
+
+#[test]
+fn metrics_schema_matches_golden() {
+    let snapshot = telemetry_snapshot(&golden_scale());
+    let mut schema = String::new();
+    for (path, value) in &snapshot.metrics {
+        let kind = match value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        schema.push_str(path);
+        schema.push(' ');
+        schema.push_str(kind);
+        schema.push('\n');
+    }
+    // The parallel engine's shard metrics are part of the schema.
+    assert!(
+        schema.contains("core.parallel.shots_sampled counter"),
+        "shard counter missing from schema:\n{schema}"
+    );
+    assert!(
+        schema.contains("core.parallel.ones_per_shot histogram"),
+        "shard histogram missing from schema:\n{schema}"
+    );
+    check_golden("metrics_schema.txt", &schema);
+}
+
+#[test]
+fn metrics_json_matches_golden_at_any_thread_count() {
+    let serial = telemetry_snapshot(&golden_scale()).to_json();
+    let sharded = telemetry_snapshot(&golden_scale().with_threads(4)).to_json();
+    // Bitwise determinism first: the golden never depends on threads.
+    assert_eq!(
+        serial, sharded,
+        "sharded telemetry diverged from serial telemetry"
+    );
+    check_golden("metrics_tiny.json", &serial);
+}
