@@ -51,7 +51,7 @@ fn pgu_count_sweep(c: &mut Criterion) {
             };
             b.iter(|| {
                 let mut pipe = PulsePipeline::new(config, layout).unwrap();
-                let (report, _) = pipe.process(SimTime::ZERO, &items);
+                let (report, _) = pipe.process(SimTime::ZERO, &items).unwrap();
                 black_box(report.total_time)
             })
         });
@@ -70,17 +70,17 @@ fn slt_reuse_sweep(c: &mut Criterion) {
     group.bench_function("with_slt", |b| {
         b.iter(|| {
             let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout).unwrap();
-            pipe.process(SimTime::ZERO, &items);
-            let (warm, _) = pipe.process(SimTime::ZERO, &items);
+            pipe.process(SimTime::ZERO, &items).unwrap();
+            let (warm, _) = pipe.process(SimTime::ZERO, &items).unwrap();
             black_box(warm.total_time)
         })
     });
     group.bench_function("without_slt", |b| {
         b.iter(|| {
             let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout).unwrap();
-            pipe.process(SimTime::ZERO, &items);
+            pipe.process(SimTime::ZERO, &items).unwrap();
             pipe.reset(); // discard cached pulses: every pass is cold
-            let (cold, _) = pipe.process(SimTime::ZERO, &items);
+            let (cold, _) = pipe.process(SimTime::ZERO, &items).unwrap();
             black_box(cold.total_time)
         })
     });

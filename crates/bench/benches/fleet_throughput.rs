@@ -1,0 +1,77 @@
+//! Benchmarks for the multi-job batch scheduler: the same mixed fleet
+//! dispatched at increasing pool widths, plus the scheduler's own
+//! admission overhead (submit + priority ordering, no execution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qtenon_core::jobs::{BatchScheduler, JobOptimizer, JobSpec};
+use qtenon_workloads::WorkloadKind;
+
+fn fleet_jobs(n_jobs: usize) -> Vec<JobSpec> {
+    let kinds = [WorkloadKind::Vqe, WorkloadKind::Qaoa, WorkloadKind::Qnn];
+    (0..n_jobs)
+        .map(|i| {
+            let mut spec = JobSpec::new(&format!("job-{i}"), kinds[i % kinds.len()], 8)
+                .with_iterations(1)
+                .with_shots(50)
+                .with_priority((i % 3) as u8);
+            if i % 2 == 1 {
+                spec = spec.with_optimizer(JobOptimizer::Gd);
+            }
+            spec
+        })
+        .collect()
+}
+
+/// Six mixed jobs through the whole scheduler at pool widths 1/2/4: the
+/// fleet analogue of the shot-sharding bench — artefacts are identical
+/// at every width, only the wall clock moves.
+fn fleet_pool_sweep(c: &mut Criterion) {
+    let jobs = fleet_jobs(6);
+    let mut group = c.benchmark_group("fleet_pool_width");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut sched = BatchScheduler::new(42);
+                    for job in &jobs {
+                        sched.submit(job.clone()).unwrap();
+                    }
+                    let batch = sched.run(threads).unwrap();
+                    assert_eq!(batch.completed(), jobs.len());
+                    black_box(batch.wall)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Pure scheduling overhead: admit 64 jobs into the bounded queue and
+/// compute the priority order, without running anything.
+fn admission_overhead(c: &mut Criterion) {
+    let jobs = fleet_jobs(64);
+    let mut group = c.benchmark_group("fleet_admission");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("submit64_order", |b| {
+        b.iter(|| {
+            let mut sched = BatchScheduler::with_capacity(42, 64);
+            for job in &jobs {
+                sched.submit(job.clone()).unwrap();
+            }
+            black_box(sched.schedule_order())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fleet_pool_sweep, admission_overhead);
+criterion_main!(benches);

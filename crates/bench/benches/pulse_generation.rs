@@ -38,14 +38,14 @@ fn table5_pipeline(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cold", kind.name()), &items, |b, items| {
             b.iter(|| {
                 let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout).unwrap();
-                black_box(pipe.process(SimTime::ZERO, items))
+                black_box(pipe.process(SimTime::ZERO, items).unwrap())
             })
         });
         group.bench_with_input(BenchmarkId::new("warm", kind.name()), &items, |b, items| {
             // Pre-warm once; each measured pass is all-hits.
             let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout).unwrap();
-            pipe.process(SimTime::ZERO, items);
-            b.iter(|| black_box(pipe.process(SimTime::ZERO, items)))
+            pipe.process(SimTime::ZERO, items).unwrap();
+            b.iter(|| black_box(pipe.process(SimTime::ZERO, items).unwrap()))
         });
     }
     group.finish();

@@ -14,7 +14,7 @@
 //! additionally runs the representative 64-qubit VQE and dumps its full
 //! metric tree to `PATH` (JSON) and `PATH.prom` (Prometheus text format).
 //! Valid ids: `fig1 table1 table2 table4 fig11 fig12 fig13 fig14 table5
-//! fig15 fig16a fig16b fig17 ablation resilience parallel`.
+//! fig15 fig16a fig16b fig17 ablation resilience parallel fleet`.
 
 use qtenon_bench::experiments::{self, ExperimentScale, OptimizerKind};
 
@@ -165,6 +165,13 @@ fn main() {
             "Parallel (beyond the paper) — shot-sharded wall-clock vs serial, \
              bitwise-determinism checked",
             experiments::parallel(&scale).to_string(),
+        );
+    }
+    if want("fleet") {
+        section(
+            "Fleet (beyond the paper) — multi-job batch scheduler, jobs x threads sweep, \
+             per-job artefacts checked against standalone runs",
+            experiments::fleet(&scale).to_string(),
         );
     }
 

@@ -4,6 +4,7 @@ use qtenon_baseline::{BaselineConfig, BaselineRunner};
 use qtenon_compiler::{BaselineCompiler, ParameterDiff, QtenonCompiler};
 use qtenon_controller::{BusConfig, TileLinkBus};
 use qtenon_core::config::{CoreModel, QtenonConfig, SyncMode, TransmissionPolicy};
+use qtenon_core::jobs::{run_standalone, BatchScheduler, JobOptimizer, JobSpec};
 use qtenon_core::report::RunReport;
 use qtenon_core::vqa::VqaRunner;
 use qtenon_isa::{QccLayout, Segment};
@@ -728,6 +729,103 @@ pub fn parallel(scale: &ExperimentScale) -> TextTable {
     t
 }
 
+/// The jobs the fleet study schedules: a mixed bag of workload kinds,
+/// host cores, optimizers, and priorities, sized from the experiment
+/// scale. One job carries an active fault plan so the determinism check
+/// covers fault accounting too.
+fn fleet_jobs(scale: &ExperimentScale) -> Vec<JobSpec> {
+    use qtenon_sim_engine::FaultPlan;
+
+    let n = scale.qubit_sweep.first().copied().unwrap_or(8);
+    let kinds = [WorkloadKind::Vqe, WorkloadKind::Qaoa, WorkloadKind::Qnn];
+    (0..6)
+        .map(|i| {
+            let kind = kinds[i % kinds.len()];
+            let mut spec = JobSpec::new(&format!("{}-{i}", kind.name().to_lowercase()), kind, n)
+                .with_iterations(scale.iterations)
+                .with_shots(scale.shots)
+                .with_priority((i % 3) as u8);
+            if i == 1 {
+                spec = spec.with_core(CoreModel::BoomLarge);
+            }
+            if i % 2 == 1 {
+                spec = spec.with_optimizer(JobOptimizer::Gd);
+            }
+            if i == 4 {
+                spec = spec.with_faults(FaultPlan::all(0.01).with_seed(scale.seed ^ 0xFA17));
+            }
+            spec
+        })
+        .collect()
+}
+
+/// Multi-job fleet study (beyond the paper): the same 6-job batch —
+/// mixed workloads, cores, optimizers, priorities, one job under active
+/// fault injection — dispatched through [`BatchScheduler`] at increasing
+/// pool widths. The serial baseline is the identical batch on one
+/// thread; the `bitwise identical` column compares every job's full
+/// metrics JSON and [`RunReport`] byte-for-byte against a standalone
+/// [`run_standalone`] execution of the same spec and seed.
+///
+/// # Panics
+///
+/// Panics if admission or execution fails (the fleet is known-valid).
+pub fn fleet(scale: &ExperimentScale) -> TextTable {
+    use std::time::Duration;
+
+    let jobs = fleet_jobs(scale);
+    let mut sched = BatchScheduler::new(scale.seed);
+    for job in &jobs {
+        sched.submit(job.clone()).expect("fleet fits the queue");
+    }
+
+    // Standalone reference artefacts, one isolated run per job.
+    let references: Vec<_> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let seed = sched
+                .seed_of(qtenon_core::jobs::JobId::from_index(i))
+                .expect("admitted job");
+            run_standalone(job, seed, 1).expect("standalone run succeeds")
+        })
+        .collect();
+
+    let mut t = TextTable::new(vec![
+        "pool threads".into(),
+        "pool shape".into(),
+        "wall".into(),
+        "jobs/s".into(),
+        "shots/s".into(),
+        "speedup".into(),
+        "bitwise identical".into(),
+    ]);
+    let mut serial_wall = Duration::ZERO;
+    for threads in [1usize, 2, 4, 8] {
+        let batch = sched.run(threads).expect("batch run succeeds");
+        if threads == 1 {
+            serial_wall = batch.wall;
+        }
+        let identical = batch.results.iter().enumerate().all(|(i, r)| {
+            let a = r.outcome.as_ref().expect("job completes");
+            a.report == references[i].report && a.metrics_json == references[i].metrics_json
+        });
+        t.row(vec![
+            threads.to_string(),
+            format!(
+                "{} jobs x {} shards",
+                batch.pool.job_workers, batch.pool.shard_threads
+            ),
+            format!("{:.2?}", batch.wall),
+            format!("{:.2}", batch.jobs_per_second()),
+            format!("{:.0}", batch.shots_per_second()),
+            fmt_x(serial_wall.as_secs_f64() / batch.wall.as_secs_f64().max(f64::MIN_POSITIVE)),
+            if identical { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
+}
+
 /// Resilience sweep (beyond the paper): the 64-qubit VQE under rising
 /// uniform fault rates. Every run completes — graceful degradation — and
 /// the columns show how much recovery work and wall time each rate costs.
@@ -820,12 +918,12 @@ pub fn ablation(scale: &ExperimentScale) -> TextTable {
             ..PipelineConfig::default()
         };
         let mut pipe = PulsePipeline::new(config, layout).expect("pipeline builds");
-        let (cold, _) = pipe.process(SimTime::ZERO, &items);
-        let (warm, _) = pipe.process(SimTime::ZERO, &items);
+        let (cold, _) = pipe.process(SimTime::ZERO, &items).expect("pipeline run");
+        let (warm, _) = pipe.process(SimTime::ZERO, &items).expect("pipeline run");
         let mut no_slt = PulsePipeline::new(config, layout).expect("pipeline builds");
-        no_slt.process(SimTime::ZERO, &items);
+        no_slt.process(SimTime::ZERO, &items).expect("pipeline run");
         no_slt.reset();
-        let (cold_again, _) = no_slt.process(SimTime::ZERO, &items);
+        let (cold_again, _) = no_slt.process(SimTime::ZERO, &items).expect("pipeline run");
         t.row(vec![
             units.to_string(),
             fmt_dur(cold.total_time),

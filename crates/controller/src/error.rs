@@ -48,6 +48,22 @@ pub enum ControllerError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// A pulse request named a qubit outside the configured layout
+    /// (malformed program or config).
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: u32,
+        /// The number of qubits in the layout.
+        n_qubits: u32,
+    },
+    /// The pulse allocator produced a slot the layout rejected — the
+    /// layout geometry and the allocator disagree (malformed config).
+    PulseSlotOutOfRange {
+        /// The owning qubit index.
+        qubit: u32,
+        /// The rejected slot.
+        slot: u64,
+    },
 }
 
 impl std::fmt::Display for ControllerError {
@@ -74,6 +90,12 @@ impl std::fmt::Display for ControllerError {
             }
             ControllerError::ReadoutRetriesExhausted { attempts } => {
                 write!(f, "readout timed out after {attempts} attempts")
+            }
+            ControllerError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} outside layout of {n_qubits} qubits")
+            }
+            ControllerError::PulseSlotOutOfRange { qubit, slot } => {
+                write!(f, "pulse slot {slot} rejected by layout for qubit {qubit}")
             }
         }
     }

@@ -93,15 +93,15 @@ impl PipelineReport {
 /// use qtenon_sim_engine::SimTime;
 ///
 /// let layout = QccLayout::for_qubits(4)?;
-/// let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout).unwrap();
+/// let mut pipe = PulsePipeline::new(PipelineConfig::default(), layout)?;
 /// let item = WorkItem {
 ///     qubit: QubitId::new(0),
 ///     gate: GateType::Rx,
 ///     data27: EncodedAngle::from_radians(0.5).code(),
 /// };
-/// let (report, _) = pipe.process(SimTime::ZERO, &[item, item]);
+/// let (report, _) = pipe.process(SimTime::ZERO, &[item, item])?;
 /// assert_eq!(report.generated, 1); // second occurrence hits the SLT
-/// # Ok::<(), qtenon_isa::IsaError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct PulsePipeline {
@@ -149,16 +149,18 @@ impl PulsePipeline {
 
     /// Processes `items` starting at `start`, returning the run report and
     /// each item's resolved pulse address in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::QubitOutOfRange`] when a work item names
+    /// a qubit outside the layout (malformed program or config) — the run
+    /// degrades into a typed error instead of aborting the process.
     pub fn process(
         &mut self,
         start: SimTime,
         items: &[WorkItem],
-    ) -> (PipelineReport, Vec<ResolvedPulse>) {
-        match self.process_with_faults(start, items, None) {
-            Ok(out) => out,
-            // Without an injector no retry budget exists to exhaust.
-            Err(_) => unreachable!("fault-free processing cannot fail"),
-        }
+    ) -> Result<(PipelineReport, Vec<ResolvedPulse>), ControllerError> {
+        self.process_with_faults(start, items, None)
     }
 
     /// Processes `items` under fault injection: SLT lookups run their
@@ -168,7 +170,8 @@ impl PulsePipeline {
     /// # Errors
     ///
     /// Returns [`ControllerError::PguRetriesExhausted`] when a dispatch
-    /// burns through the plan's retry budget.
+    /// burns through the plan's retry budget, plus everything
+    /// [`PulsePipeline::process`] can return.
     pub fn process_resilient(
         &mut self,
         start: SimTime,
@@ -212,8 +215,8 @@ impl PulsePipeline {
             let resolution = match faults.as_deref_mut() {
                 Some(f) => self
                     .slt
-                    .resolve_resilient(item.qubit, item.gate, item.data27, f),
-                None => self.slt.resolve(item.qubit, item.gate, item.data27),
+                    .resolve_resilient(item.qubit, item.gate, item.data27, f)?,
+                None => self.slt.resolve(item.qubit, item.gate, item.data27)?,
             };
             let (complete, was_generated) = match resolution {
                 PulseResolution::SltHit(qaddr) | PulseResolution::QSpaceHit(qaddr) => {
@@ -337,7 +340,7 @@ mod tests {
     #[test]
     fn single_item_takes_pipeline_plus_pgu_latency() {
         let mut p = pipeline();
-        let (report, resolved) = p.process(SimTime::ZERO, &[rx(0, 1.0)]);
+        let (report, resolved) = p.process(SimTime::ZERO, &[rx(0, 1.0)]).unwrap();
         // fetch (1) + decode (1) + PGU (1000) + writeback (1) cycles.
         assert_eq!(report.total_time, SimDuration::from_ns(1003));
         assert_eq!(report.generated, 1);
@@ -348,7 +351,7 @@ mod tests {
     fn repeated_parameter_is_skipped() {
         let mut p = pipeline();
         let items = [rx(0, 1.0), rx(0, 1.0), rx(0, 1.0)];
-        let (report, resolved) = p.process(SimTime::ZERO, &items);
+        let (report, resolved) = p.process(SimTime::ZERO, &items).unwrap();
         assert_eq!(report.generated, 1);
         assert_eq!(report.slt.hits, 2);
         assert_eq!(resolved[0].qaddr, resolved[1].qaddr);
@@ -360,8 +363,8 @@ mod tests {
     fn warm_second_run_is_fast() {
         let mut p = pipeline();
         let items: Vec<WorkItem> = (0..8).map(|q| rx(q, 0.7)).collect();
-        let (cold, _) = p.process(SimTime::ZERO, &items);
-        let (warm, _) = p.process(SimTime::ZERO, &items);
+        let (cold, _) = p.process(SimTime::ZERO, &items).unwrap();
+        let (warm, _) = p.process(SimTime::ZERO, &items).unwrap();
         assert_eq!(warm.generated, 0);
         assert!(warm.total_time < cold.total_time / 10);
     }
@@ -370,7 +373,7 @@ mod tests {
     fn eight_pgus_absorb_eight_misses_without_stall() {
         let mut p = pipeline();
         let items: Vec<WorkItem> = (0..8).map(|q| rx(q, 0.1)).collect();
-        let (report, _) = p.process(SimTime::ZERO, &items);
+        let (report, _) = p.process(SimTime::ZERO, &items).unwrap();
         assert_eq!(report.stall_time, SimDuration::ZERO);
         // Entries enter one per cycle; last enters at cycle 8, finishes
         // ~1002 cycles later.
@@ -382,7 +385,7 @@ mod tests {
         let mut p = pipeline();
         // Nine distinct parameters on one qubit: the ninth waits for PGU 0.
         let items: Vec<WorkItem> = (0..9).map(|i| rx(0, 0.1 + 0.2 * i as f64)).collect();
-        let (report, _) = p.process(SimTime::ZERO, &items);
+        let (report, _) = p.process(SimTime::ZERO, &items).unwrap();
         assert!(report.stall_time > SimDuration::ZERO);
         assert_eq!(report.generated, 9);
     }
@@ -395,7 +398,7 @@ mod tests {
             gate: GateType::Idle,
             data27: 0,
         }];
-        let (report, resolved) = p.process(SimTime::ZERO, &items);
+        let (report, resolved) = p.process(SimTime::ZERO, &items).unwrap();
         assert_eq!(report.generated, 0);
         assert_eq!(report.slt.lookups, 0);
         assert!(!resolved[0].generated);
@@ -409,8 +412,8 @@ mod tests {
             gate: GateType::Measure,
             data27: 0,
         };
-        let (r1, _) = p.process(SimTime::ZERO, &[m]);
-        let (r2, _) = p.process(SimTime::ZERO, &[m]);
+        let (r1, _) = p.process(SimTime::ZERO, &[m]).unwrap();
+        let (r2, _) = p.process(SimTime::ZERO, &[m]).unwrap();
         assert_eq!(r1.generated, 1);
         assert_eq!(r2.generated, 0);
     }
@@ -418,9 +421,9 @@ mod tests {
     #[test]
     fn reset_forces_regeneration() {
         let mut p = pipeline();
-        p.process(SimTime::ZERO, &[rx(0, 1.0)]);
+        p.process(SimTime::ZERO, &[rx(0, 1.0)]).unwrap();
         p.reset();
-        let (report, _) = p.process(SimTime::ZERO, &[rx(0, 1.0)]);
+        let (report, _) = p.process(SimTime::ZERO, &[rx(0, 1.0)]).unwrap();
         assert_eq!(report.generated, 1);
     }
 
@@ -431,7 +434,7 @@ mod tests {
         let mut a = pipeline();
         let mut b = pipeline();
         let items: Vec<WorkItem> = (0..12).map(|i| rx(i % 4, (i % 3) as f64 * 0.4)).collect();
-        let (ra, pa) = a.process(SimTime::ZERO, &items);
+        let (ra, pa) = a.process(SimTime::ZERO, &items).unwrap();
         let (rb, pb) = b
             .process_resilient(SimTime::ZERO, &items, &mut inj)
             .unwrap();
@@ -448,13 +451,13 @@ mod tests {
         let mut inj = FaultInjector::new(plan);
         let mut p = pipeline();
         let items = vec![rx(0, 1.0); 20];
-        p.process(SimTime::ZERO, &items); // warm
+        p.process(SimTime::ZERO, &items).unwrap(); // warm
         let mut clean = pipeline();
-        clean.process(SimTime::ZERO, &items); // warm
+        clean.process(SimTime::ZERO, &items).unwrap(); // warm
         let (faulty, _) = p
             .process_resilient(SimTime::ZERO, &items, &mut inj)
             .unwrap();
-        let (warm, _) = clean.process(SimTime::ZERO, &items);
+        let (warm, _) = clean.process(SimTime::ZERO, &items).unwrap();
         assert!(faulty.slt.parity_invalidations > 0);
         assert!(faulty.generated + faulty.slt.qspace_hits > 0);
         assert!(
@@ -464,10 +467,28 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_qubit_degrades_to_typed_error() {
+        let mut p = pipeline();
+        // The layout has 8 qubits; qubit 12 is a malformed program, not a
+        // reason to abort the process.
+        let err = p.process(SimTime::ZERO, &[rx(12, 1.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            ControllerError::QubitOutOfRange {
+                qubit: 12,
+                n_qubits: 8
+            }
+        );
+        // The pipeline stays usable for well-formed work afterwards.
+        let (report, _) = p.process(SimTime::ZERO, &[rx(0, 1.0)]).unwrap();
+        assert_eq!(report.generated, 1);
+    }
+
+    #[test]
     fn report_counts_are_consistent() {
         let mut p = pipeline();
         let items: Vec<WorkItem> = (0..20).map(|i| rx(i % 4, (i % 5) as f64 * 0.3)).collect();
-        let (report, resolved) = p.process(SimTime::ZERO, &items);
+        let (report, resolved) = p.process(SimTime::ZERO, &items).unwrap();
         assert_eq!(report.entries, 20);
         assert_eq!(
             report.generated,

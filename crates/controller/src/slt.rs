@@ -20,6 +20,8 @@ use qtenon_mem::QSpace;
 use qtenon_sim_engine::{FaultInjector, FaultSite, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 
+use crate::error::ControllerError;
+
 /// Saturation limit of the 5-bit use counter.
 pub const MAX_COUNT: u8 = 31;
 
@@ -135,11 +137,11 @@ impl SltStats {
 /// let layout = QccLayout::for_qubits(4)?;
 /// let mut slt = SltController::new(layout);
 /// let angle = EncodedAngle::from_radians(1.0);
-/// let first = slt.resolve(QubitId::new(0), GateType::Rx, angle.code());
+/// let first = slt.resolve(QubitId::new(0), GateType::Rx, angle.code())?;
 /// assert!(first.needs_generation());
-/// let again = slt.resolve(QubitId::new(0), GateType::Rx, angle.code());
+/// let again = slt.resolve(QubitId::new(0), GateType::Rx, angle.code())?;
 /// assert!(!again.needs_generation()); // cached
-/// # Ok::<(), qtenon_isa::IsaError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct SltController {
@@ -177,13 +179,35 @@ impl SltController {
         &self.qspace
     }
 
+    /// Rejects qubits outside the layout with a typed error so malformed
+    /// programs degrade instead of aborting a fleet run.
+    fn check_qubit(&self, qubit: QubitId) -> Result<(), ControllerError> {
+        let n_qubits = self.layout.n_qubits();
+        if qubit.index() >= n_qubits {
+            return Err(ControllerError::QubitOutOfRange {
+                qubit: qubit.index(),
+                n_qubits,
+            });
+        }
+        Ok(())
+    }
+
     /// Resolves a pulse request for `(qubit, gate, data27)` through the
     /// Fig. 7 workflow.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `qubit` is outside the layout.
-    pub fn resolve(&mut self, qubit: QubitId, gate: GateType, data27: u32) -> PulseResolution {
+    /// Returns [`ControllerError::QubitOutOfRange`] if `qubit` is outside
+    /// the layout, and [`ControllerError::PulseSlotOutOfRange`] if the
+    /// allocator and layout geometry disagree. Rejected requests are not
+    /// counted as lookups.
+    pub fn resolve(
+        &mut self,
+        qubit: QubitId,
+        gate: GateType,
+        data27: u32,
+    ) -> Result<PulseResolution, ControllerError> {
+        self.check_qubit(qubit)?;
         let key = SltKey::for_gate(gate, data27);
         self.stats.lookups += 1;
         let q = qubit.index() as usize;
@@ -194,11 +218,13 @@ impl SltController {
             if way.valid && way.tag == key.tag {
                 way.count = way.count.saturating_add(1).min(MAX_COUNT);
                 self.stats.hits += 1;
-                return PulseResolution::SltHit(way.qaddr);
+                return Ok(PulseResolution::SltHit(way.qaddr));
             }
         }
 
         // ❷ Least-Count replacement: invalid ways first, else min count.
+        // `WAYS` is a nonzero constant, so the fallback arm is inert — it
+        // exists to keep this a total function with no panic path.
         let victim = (0..WAYS)
             .min_by_key(|&w| {
                 let e = &set[w];
@@ -208,7 +234,7 @@ impl SltController {
                     (0, 0)
                 }
             })
-            .expect("WAYS > 0");
+            .unwrap_or(0);
         if set[victim].valid {
             // Write back the evicted mapping to QSpace.
             self.stats.evictions += 1;
@@ -225,10 +251,12 @@ impl SltController {
             None => {
                 let slot = self.next_pulse[q];
                 self.next_pulse[q] = (slot + 1) % self.layout.pulse_entries_per_qubit();
-                let qaddr = self
-                    .layout
-                    .pulse_entry(qubit, slot)
-                    .expect("slot within per-qubit pulse chunk");
+                let qaddr = self.layout.pulse_entry(qubit, slot).map_err(|_| {
+                    ControllerError::PulseSlotOutOfRange {
+                        qubit: qubit.index(),
+                        slot,
+                    }
+                })?;
                 self.stats.allocations += 1;
                 (qaddr, PulseResolution::Allocated(qaddr))
             }
@@ -241,7 +269,7 @@ impl SltController {
             valid: true,
             count: 1,
         };
-        resolution
+        Ok(resolution)
     }
 
     /// Like [`SltController::resolve`], with a per-lookup parity check
@@ -249,13 +277,19 @@ impl SltController {
     /// invalidates that way, so the lookup degrades to the QSpace lookup
     /// or a full PGU recomputation — trading the skip speedup for
     /// correctness instead of serving a corrupted pulse address.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SltController::resolve`]; a rejected request
+    /// draws no fault, so RNG streams stay aligned with the plain path.
     pub fn resolve_resilient(
         &mut self,
         qubit: QubitId,
         gate: GateType,
         data27: u32,
         faults: &mut FaultInjector,
-    ) -> PulseResolution {
+    ) -> Result<PulseResolution, ControllerError> {
+        self.check_qubit(qubit)?;
         // One draw per lookup (not per hit) keeps the site's RNG stream
         // aligned across fault rates.
         if faults.bernoulli(FaultSite::SltBitFlip) {
@@ -321,9 +355,13 @@ mod tests {
     #[test]
     fn first_use_allocates_second_hits() {
         let mut slt = controller(2);
-        let r1 = slt.resolve(QubitId::new(0), GateType::Rx, code(1.0));
+        let r1 = slt
+            .resolve(QubitId::new(0), GateType::Rx, code(1.0))
+            .unwrap();
         assert!(matches!(r1, PulseResolution::Allocated(_)));
-        let r2 = slt.resolve(QubitId::new(0), GateType::Rx, code(1.0));
+        let r2 = slt
+            .resolve(QubitId::new(0), GateType::Rx, code(1.0))
+            .unwrap();
         assert!(matches!(r2, PulseResolution::SltHit(_)));
         assert_eq!(r1.qaddr(), r2.qaddr());
         assert_eq!(slt.stats().hits, 1);
@@ -333,8 +371,12 @@ mod tests {
     #[test]
     fn per_qubit_isolation() {
         let mut slt = controller(2);
-        let a = slt.resolve(QubitId::new(0), GateType::Rx, code(1.0));
-        let b = slt.resolve(QubitId::new(1), GateType::Rx, code(1.0));
+        let a = slt
+            .resolve(QubitId::new(0), GateType::Rx, code(1.0))
+            .unwrap();
+        let b = slt
+            .resolve(QubitId::new(1), GateType::Rx, code(1.0))
+            .unwrap();
         // Same parameter on a different qubit is a separate pulse.
         assert!(b.needs_generation());
         assert_ne!(a.qaddr(), b.qaddr());
@@ -343,8 +385,12 @@ mod tests {
     #[test]
     fn distinct_gate_types_do_not_collide() {
         let mut slt = controller(1);
-        let rx = slt.resolve(QubitId::new(0), GateType::Rx, code(1.0));
-        let ry = slt.resolve(QubitId::new(0), GateType::Ry, code(1.0));
+        let rx = slt
+            .resolve(QubitId::new(0), GateType::Rx, code(1.0))
+            .unwrap();
+        let ry = slt
+            .resolve(QubitId::new(0), GateType::Ry, code(1.0))
+            .unwrap();
         assert!(rx.needs_generation());
         assert!(ry.needs_generation());
         assert_ne!(rx.qaddr(), ry.qaddr());
@@ -354,8 +400,12 @@ mod tests {
     fn nearby_angles_share_tags() {
         // Angles within tag resolution share a pulse — quantization reuse.
         let mut slt = controller(1);
-        let a = slt.resolve(QubitId::new(0), GateType::Rz, code(1.0));
-        let b = slt.resolve(QubitId::new(0), GateType::Rz, code(1.0 + 1e-8));
+        let a = slt
+            .resolve(QubitId::new(0), GateType::Rz, code(1.0))
+            .unwrap();
+        let b = slt
+            .resolve(QubitId::new(0), GateType::Rz, code(1.0 + 1e-8))
+            .unwrap();
         assert!(!b.needs_generation());
         assert_eq!(a.qaddr(), b.qaddr());
     }
@@ -371,17 +421,20 @@ mod tests {
         let c1 = base | (1 << 7);
         let c2 = base | (2 << 7);
         let c3 = base | (3 << 7);
-        let r1 = slt.resolve(q, GateType::Rx, c1);
+        let r1 = slt.resolve(q, GateType::Rx, c1).unwrap();
         // Bump c1's count so c2 is the least-counted victim later.
-        slt.resolve(q, GateType::Rx, c1);
-        let _r2 = slt.resolve(q, GateType::Rx, c2);
-        let _r3 = slt.resolve(q, GateType::Rx, c3); // evicts c2 (count 1)
+        slt.resolve(q, GateType::Rx, c1).unwrap();
+        let _r2 = slt.resolve(q, GateType::Rx, c2).unwrap();
+        let _r3 = slt.resolve(q, GateType::Rx, c3).unwrap(); // evicts c2 (count 1)
         assert_eq!(slt.stats().evictions, 1);
         // c1 must still be cached.
-        assert!(!slt.resolve(q, GateType::Rx, c1).needs_generation());
-        assert_eq!(slt.resolve(q, GateType::Rx, c1).qaddr(), r1.qaddr());
+        assert!(!slt.resolve(q, GateType::Rx, c1).unwrap().needs_generation());
+        assert_eq!(
+            slt.resolve(q, GateType::Rx, c1).unwrap().qaddr(),
+            r1.qaddr()
+        );
         // c2 now misses the SLT but hits QSpace: no regeneration.
-        let back = slt.resolve(q, GateType::Rx, c2);
+        let back = slt.resolve(q, GateType::Rx, c2).unwrap();
         assert!(matches!(back, PulseResolution::QSpaceHit(_)));
     }
 
@@ -390,9 +443,9 @@ mod tests {
         let mut slt = controller(1);
         let q = QubitId::new(0);
         let base = 0b0001 << 23;
-        slt.resolve(q, GateType::Rx, base | (1 << 7));
+        slt.resolve(q, GateType::Rx, base | (1 << 7)).unwrap();
         // Second distinct tag should fill the invalid way, evicting nothing.
-        slt.resolve(q, GateType::Rx, base | (2 << 7));
+        slt.resolve(q, GateType::Rx, base | (2 << 7)).unwrap();
         assert_eq!(slt.stats().evictions, 0);
     }
 
@@ -401,7 +454,7 @@ mod tests {
         let mut slt = controller(1);
         let q = QubitId::new(0);
         for _ in 0..9 {
-            slt.resolve(q, GateType::Ry, code(0.5));
+            slt.resolve(q, GateType::Ry, code(0.5)).unwrap();
         }
         // 1 allocation + 8 hits.
         let s = slt.stats();
@@ -414,7 +467,7 @@ mod tests {
         let mut slt = controller(1);
         let q = QubitId::new(0);
         for _ in 0..100 {
-            slt.resolve(q, GateType::Rx, code(2.0));
+            slt.resolve(q, GateType::Rx, code(2.0)).unwrap();
         }
         let key = SltKey::for_gate(GateType::Rx, code(2.0));
         let set = &slt.tables[0][key.index as usize];
@@ -430,7 +483,7 @@ mod tests {
         let mut addrs = Vec::new();
         for i in 0..6u32 {
             // Distinct tags forcing fresh allocations.
-            let r = slt.resolve(q, GateType::Rx, (i + 1) << 7);
+            let r = slt.resolve(q, GateType::Rx, (i + 1) << 7).unwrap();
             if r.needs_generation() {
                 addrs.push(r.qaddr().raw());
             }
@@ -444,11 +497,13 @@ mod tests {
     #[test]
     fn reset_clears_everything() {
         let mut slt = controller(1);
-        slt.resolve(QubitId::new(0), GateType::Rx, code(1.0));
+        slt.resolve(QubitId::new(0), GateType::Rx, code(1.0))
+            .unwrap();
         slt.reset();
         assert_eq!(slt.stats(), SltStats::default());
         assert!(slt
             .resolve(QubitId::new(0), GateType::Rx, code(1.0))
+            .unwrap()
             .needs_generation());
     }
 
@@ -462,15 +517,17 @@ mod tests {
         let mut slt = controller(1);
         let q = QubitId::new(0);
         // Warm the entry through the fault-free path.
-        let first = slt.resolve(q, GateType::Rx, code(1.0));
+        let first = slt.resolve(q, GateType::Rx, code(1.0)).unwrap();
         assert!(first.needs_generation());
         // Near-certain parity error on the re-lookup: the hit is refused
         // and the pulse is recomputed rather than served corrupted.
-        let degraded = slt.resolve_resilient(q, GateType::Rx, code(1.0), &mut inj);
+        let degraded = slt
+            .resolve_resilient(q, GateType::Rx, code(1.0), &mut inj)
+            .unwrap();
         assert!(!matches!(degraded, PulseResolution::SltHit(_)));
         assert_eq!(slt.stats().parity_invalidations, 1);
         // The warm path is restored afterwards (fault-free lookup hits).
-        let healed = slt.resolve(q, GateType::Rx, code(1.0));
+        let healed = slt.resolve(q, GateType::Rx, code(1.0)).unwrap();
         assert!(matches!(healed, PulseResolution::SltHit(_)));
     }
 
@@ -481,11 +538,38 @@ mod tests {
         let mut a = controller(1);
         let mut b = controller(1);
         for i in 0..50u32 {
-            let ra = a.resolve(QubitId::new(0), GateType::Ry, (i % 7 + 1) << 7);
-            let rb = b.resolve_resilient(QubitId::new(0), GateType::Ry, (i % 7 + 1) << 7, &mut inj);
+            let ra = a
+                .resolve(QubitId::new(0), GateType::Ry, (i % 7 + 1) << 7)
+                .unwrap();
+            let rb = b
+                .resolve_resilient(QubitId::new(0), GateType::Ry, (i % 7 + 1) << 7, &mut inj)
+                .unwrap();
             assert_eq!(ra, rb);
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn out_of_range_qubit_is_a_typed_error_not_a_panic() {
+        use qtenon_sim_engine::{FaultInjector, FaultPlan};
+        let mut slt = controller(2);
+        let err = slt
+            .resolve(QubitId::new(7), GateType::Rx, code(1.0))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ControllerError::QubitOutOfRange {
+                qubit: 7,
+                n_qubits: 2
+            }
+        );
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        let err = slt
+            .resolve_resilient(QubitId::new(7), GateType::Rx, code(1.0), &mut inj)
+            .unwrap_err();
+        assert!(matches!(err, ControllerError::QubitOutOfRange { .. }));
+        // Rejected requests leave the stats untouched.
+        assert_eq!(slt.stats(), SltStats::default());
     }
 
     #[test]

@@ -89,7 +89,7 @@ proptest! {
         let mut slt = SltController::new(layout);
         let mut book = std::collections::HashMap::new();
         for &code in &codes {
-            let r = slt.resolve(QubitId::new(0), GateType::Rx, code);
+            let r = slt.resolve(QubitId::new(0), GateType::Rx, code).unwrap();
             // Key = the tag the hardware uses (top 20 bits of the code).
             let key = code >> 7;
             let addr = r.qaddr();

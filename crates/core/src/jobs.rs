@@ -1,0 +1,1279 @@
+//! Deterministic multi-job batch scheduling over one shared worker pool.
+//!
+//! PR 4's shot-sharded engine executes exactly one VQA job at a time;
+//! this module is the platform layer on top of it: N independent jobs —
+//! each with its own configuration, seed, and optional fault plan — are
+//! admitted into a bounded queue (FIFO within a priority level, higher
+//! priorities first) and executed by a pool of job workers, each of
+//! which shot-shards its job across the pool's remaining threads
+//! ([`PoolPlan`] splits `threads` into `job_workers × shard_threads`).
+//!
+//! # Determinism
+//!
+//! Every job's artefacts — its [`RunReport`] and metrics-JSON export —
+//! are byte-identical to running that job alone:
+//!
+//! 1. A job's seed is fixed at admission: the explicit `seed` in its
+//!    spec, else [`stream_seed`]`(fleet_seed, submission_index)`. It
+//!    never depends on scheduling order or completion order.
+//! 2. Jobs share no mutable state: each runs in its own
+//!    [`VqaRunner`](crate::vqa::VqaRunner) via the same
+//!    [`run_standalone`] function the standalone path uses.
+//! 3. Within a job, the shot-sharded engine is thread-count invariant,
+//!    so the pool's `shard_threads` choice never shows up in results.
+//! 4. Results are collected into canonical submission order regardless
+//!    of completion order.
+//!
+//! Only fleet-level wall-clock observables (`jobs.*` wait/turnaround
+//! histograms, throughput gauges) depend on the pool shape — they
+//! describe the schedule, not the jobs.
+//!
+//! # Examples
+//!
+//! ```
+//! use qtenon_core::jobs::{BatchScheduler, JobSpec};
+//! use qtenon_workloads::WorkloadKind;
+//!
+//! let mut sched = BatchScheduler::new(42);
+//! sched.submit(JobSpec::new("a", WorkloadKind::Vqe, 8))?;
+//! sched.submit(JobSpec::new("b", WorkloadKind::Qaoa, 8).with_priority(3))?;
+//! let batch = sched.run(2)?;
+//! // Canonical submission order, even though "b" ran first (priority 3).
+//! assert_eq!(batch.results[0].name, "a");
+//! assert_eq!(batch.results[1].name, "b");
+//! # Ok::<(), qtenon_core::jobs::JobError>(())
+//! ```
+
+use std::cmp::Reverse;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use qtenon_sim_engine::{stream_seed, FaultPlan, Histogram, MetricValue, MetricsRegistry};
+use qtenon_workloads::{
+    GradientDescentOptimizer, Optimizer, SpsaOptimizer, Workload, WorkloadKind,
+};
+
+use crate::config::{CoreModel, QtenonConfig, SyncMode, TransmissionPolicy};
+use crate::report::RunReport;
+use crate::vqa::VqaRunner;
+
+/// Default bounded-queue capacity.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Default fleet seed (matches the single-run default in `QtenonConfig`).
+pub const DEFAULT_FLEET_SEED: u64 = 0x51;
+
+/// Which optimizer a job uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOptimizer {
+    /// SPSA (two evaluations per iteration).
+    Spsa,
+    /// Gradient descent via the parameter-shift rule.
+    Gd,
+}
+
+impl JobOptimizer {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobOptimizer::Spsa => "SPSA",
+            JobOptimizer::Gd => "GD",
+        }
+    }
+
+    /// Builds the optimizer for a job seed.
+    pub fn build(self, seed: u64) -> Box<dyn Optimizer> {
+        match self {
+            JobOptimizer::Spsa => Box::new(SpsaOptimizer::new(seed)),
+            JobOptimizer::Gd => Box::new(GradientDescentOptimizer::new(0.05)),
+        }
+    }
+}
+
+/// One VQA job: everything needed to build its config, workload, and
+/// optimizer. The spec is pure data — submitting it never runs anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Job name (for reports and artefact filenames).
+    pub name: String,
+    /// Workload family.
+    pub kind: WorkloadKind,
+    /// Qubit count.
+    pub n_qubits: u32,
+    /// Host core model.
+    pub core: CoreModel,
+    /// Optimizer.
+    pub optimizer: JobOptimizer,
+    /// Optimizer iterations.
+    pub iterations: usize,
+    /// Shots per circuit evaluation.
+    pub shots: u64,
+    /// Admission priority: higher runs earlier; FIFO within a level.
+    pub priority: u8,
+    /// Explicit seed; `None` derives one from the fleet seed and the
+    /// job's submission index at admission time.
+    pub seed: Option<u64>,
+    /// Synchronisation mode.
+    pub sync: SyncMode,
+    /// Measurement transmission policy.
+    pub transmission: TransmissionPolicy,
+    /// Optional fault-injection plan for this job only.
+    pub faults: Option<FaultPlan>,
+}
+
+impl JobSpec {
+    /// A spec with the paper-default policies, SPSA, 2 iterations, and
+    /// 100 shots.
+    pub fn new(name: &str, kind: WorkloadKind, n_qubits: u32) -> Self {
+        JobSpec {
+            name: name.to_string(),
+            kind,
+            n_qubits,
+            core: CoreModel::Rocket,
+            optimizer: JobOptimizer::Spsa,
+            iterations: 2,
+            shots: 100,
+            priority: 0,
+            seed: None,
+            sync: SyncMode::default(),
+            transmission: TransmissionPolicy::default(),
+            faults: None,
+        }
+    }
+
+    /// Returns a copy with a different host core.
+    pub fn with_core(mut self, core: CoreModel) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Returns a copy with a different optimizer.
+    pub fn with_optimizer(mut self, optimizer: JobOptimizer) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Returns a copy with a different iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Returns a copy with a different shot count.
+    pub fn with_shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Returns a copy with a different admission priority.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Returns a copy with an explicit seed (opting out of fleet-seed
+    /// derivation).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Returns a copy with a different synchronisation mode.
+    pub fn with_sync(mut self, sync: SyncMode) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Returns a copy with a different transmission policy.
+    pub fn with_transmission(mut self, transmission: TransmissionPolicy) -> Self {
+        self.transmission = transmission;
+        self
+    }
+
+    /// Returns a copy with a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+/// Typed scheduler failures. Admission rejections and malformed specs
+/// are values, never panics — a full queue degrades, it does not abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The bounded queue is full; the job was rejected at admission.
+    QueueFull {
+        /// The queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// `run` was called with no admitted jobs.
+    EmptyBatch,
+    /// A job spec could not be parsed or validated.
+    Spec {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A job failed while executing.
+    Execution {
+        /// The job's name.
+        job: String,
+        /// The underlying failure.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::QueueFull { capacity } => {
+                write!(f, "job queue full (capacity {capacity})")
+            }
+            JobError::EmptyBatch => write!(f, "no jobs admitted"),
+            JobError::Spec { reason } => write!(f, "bad job spec: {reason}"),
+            JobError::Execution { job, reason } => {
+                write!(f, "job {job:?} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Identifier handed out at admission: the job's submission index, which
+/// is also its position in [`BatchReport::results`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(usize);
+
+impl JobId {
+    /// The id for a known submission index (what `submit` returned for
+    /// the `index`-th admission).
+    pub fn from_index(index: usize) -> Self {
+        JobId(index)
+    }
+
+    /// The submission index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// How a worker pool is split between job-level and shot-level
+/// parallelism: as many job workers as there are jobs (capped at the
+/// thread budget), remaining threads shared out as shot-shard workers
+/// per job. Purely a wall-clock decision — results never depend on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolPlan {
+    /// Concurrent jobs.
+    pub job_workers: usize,
+    /// Shot-shard threads inside each job.
+    pub shard_threads: usize,
+}
+
+impl PoolPlan {
+    /// Splits `threads` across `jobs` (both clamped to at least 1).
+    pub fn new(jobs: usize, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let job_workers = jobs.clamp(1, threads);
+        PoolPlan {
+            job_workers,
+            shard_threads: (threads / job_workers).max(1),
+        }
+    }
+}
+
+/// The byte-stable per-job artefacts: exactly what a standalone run of
+/// the same spec and seed produces, at any pool shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobArtifacts {
+    /// The full run report.
+    pub report: RunReport,
+    /// The metrics-JSON export (`--metrics` writes exactly this string).
+    pub metrics_json: String,
+    /// Shots sampled by the quantum chip model over the whole run.
+    pub shots_sampled: u64,
+}
+
+/// One job's outcome plus its fleet-side timeline.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Admission identifier (equals this result's index in the batch).
+    pub id: JobId,
+    /// Job name.
+    pub name: String,
+    /// The seed the job actually ran with.
+    pub seed: u64,
+    /// Admission priority.
+    pub priority: u8,
+    /// Artefacts, or a typed failure. One failing job never poisons its
+    /// neighbours.
+    pub outcome: Result<JobArtifacts, JobError>,
+    /// Batch start → job picked up by a worker.
+    pub wait: Duration,
+    /// Batch start → job finished.
+    pub turnaround: Duration,
+}
+
+/// Everything a batch run produced, in canonical submission order.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job results, indexed by submission order.
+    pub results: Vec<JobResult>,
+    /// How the pool was split.
+    pub pool: PoolPlan,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Jobs rejected at admission (bounded queue overflow).
+    pub rejected: u64,
+}
+
+impl BatchReport {
+    /// Jobs that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_ok()).count()
+    }
+
+    /// Jobs that failed during execution.
+    pub fn failed(&self) -> usize {
+        self.results.len() - self.completed()
+    }
+
+    /// Total shots sampled across completed jobs.
+    pub fn total_shots_sampled(&self) -> u64 {
+        self.results
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(|a| a.shots_sampled)
+            .sum()
+    }
+
+    /// Completed jobs per wall-clock second.
+    pub fn jobs_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.completed() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Sampled shots per wall-clock second.
+    pub fn shots_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total_shots_sampled() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Registers fleet-level statistics under the `jobs.*` namespace.
+    ///
+    /// These are the schedule's observables — wait and turnaround
+    /// histograms, pool shape, throughput — and are deliberately outside
+    /// the per-job determinism contract (they move with the machine's
+    /// wall clock). Per-job artefacts live in
+    /// [`JobArtifacts::metrics_json`] and are byte-stable.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry) {
+        m.counter("jobs.submitted", self.results.len() as u64);
+        m.counter("jobs.completed", self.completed() as u64);
+        m.counter("jobs.failed", self.failed() as u64);
+        m.counter("jobs.rejected", self.rejected);
+        m.gauge("jobs.queue.depth", self.results.len() as f64);
+        m.gauge("jobs.pool.job_workers", self.pool.job_workers as f64);
+        m.gauge("jobs.pool.shard_threads", self.pool.shard_threads as f64);
+        let mut wait = Histogram::new();
+        let mut turnaround = Histogram::new();
+        for r in &self.results {
+            wait.record(r.wait.as_nanos() as u64);
+            turnaround.record(r.turnaround.as_nanos() as u64);
+        }
+        m.histogram("jobs.wait_ns", &wait);
+        m.histogram("jobs.turnaround_ns", &turnaround);
+        m.gauge("jobs.wall_ns", self.wall.as_nanos() as f64);
+        m.gauge("jobs.throughput.jobs_per_s", self.jobs_per_second());
+        m.gauge("jobs.throughput.shots_per_s", self.shots_per_second());
+        m.counter("jobs.shots_sampled", self.total_shots_sampled());
+    }
+}
+
+/// Runs one job exactly as the fleet does — same config construction,
+/// same workload derivation, same optimizer — so in-fleet and standalone
+/// artefacts are byte-identical by construction. `threads` is the
+/// shot-shard count and never affects the artefacts.
+///
+/// # Errors
+///
+/// Returns [`JobError::Execution`] wrapping the underlying failure.
+pub fn run_standalone(spec: &JobSpec, seed: u64, threads: usize) -> Result<JobArtifacts, JobError> {
+    let fail = |reason: String| JobError::Execution {
+        job: spec.name.clone(),
+        reason,
+    };
+    let mut config = QtenonConfig::table4(spec.n_qubits, spec.core)
+        .map_err(|e| fail(e.to_string()))?
+        .with_sync(spec.sync)
+        .with_transmission(spec.transmission)
+        .with_seed(seed)
+        .with_threads(threads);
+    if let Some(faults) = spec.faults {
+        config = config.with_faults(faults);
+    }
+    let workload =
+        Workload::benchmark(spec.kind, spec.n_qubits, seed).map_err(|e| fail(e.to_string()))?;
+    let mut runner = VqaRunner::new(config, workload).map_err(|e| fail(e.to_string()))?;
+    let mut optimizer = spec.optimizer.build(seed);
+    let report = runner
+        .run(optimizer.as_mut(), spec.iterations, spec.shots)
+        .map_err(|e| fail(e.to_string()))?;
+    let mut m = MetricsRegistry::new();
+    runner.export_metrics(&mut m);
+    let shots_sampled = match m.get("core.parallel.shots_sampled") {
+        Some(MetricValue::Counter(c)) => *c,
+        _ => 0,
+    };
+    Ok(JobArtifacts {
+        report,
+        metrics_json: m.snapshot().to_json(),
+        shots_sampled,
+    })
+}
+
+/// A job admitted into the queue with its seed already fixed.
+#[derive(Debug, Clone)]
+struct QueuedJob {
+    id: usize,
+    seed: u64,
+    spec: JobSpec,
+}
+
+/// The deterministic multi-job batch scheduler: bounded admission, FIFO
+/// + priority ordering, two-level parallel execution, canonical-order
+/// collection.
+#[derive(Debug)]
+pub struct BatchScheduler {
+    fleet_seed: u64,
+    capacity: usize,
+    queue: Vec<QueuedJob>,
+    rejected: u64,
+}
+
+impl BatchScheduler {
+    /// A scheduler with the default queue capacity.
+    pub fn new(fleet_seed: u64) -> Self {
+        BatchScheduler::with_capacity(fleet_seed, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// A scheduler with an explicit bounded-queue capacity (clamped to at
+    /// least 1).
+    pub fn with_capacity(fleet_seed: u64, capacity: usize) -> Self {
+        BatchScheduler {
+            fleet_seed,
+            capacity: capacity.max(1),
+            queue: Vec::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Jobs currently admitted.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no jobs are admitted.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Jobs rejected so far by the bounded queue.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The seed a submitted job will run with.
+    pub fn seed_of(&self, id: JobId) -> Option<u64> {
+        self.queue.get(id.index()).map(|j| j.seed)
+    }
+
+    /// Admits a job, fixing its seed at this moment: the spec's explicit
+    /// seed, else `stream_seed(fleet_seed, submission_index)`. Seeds
+    /// therefore never depend on scheduling or completion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::QueueFull`] when the bounded queue is at
+    /// capacity; the rejection is counted, not fatal.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, JobError> {
+        if self.queue.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(JobError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let id = self.queue.len();
+        let seed = spec
+            .seed
+            .unwrap_or_else(|| stream_seed(self.fleet_seed, id as u64));
+        self.queue.push(QueuedJob { id, seed, spec });
+        Ok(JobId(id))
+    }
+
+    /// The order workers pick jobs up: by descending priority, FIFO
+    /// within a level. Pure data — no clock, no randomness.
+    pub fn schedule_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.queue.len()).collect();
+        order.sort_by_key(|&i| (Reverse(self.queue[i].spec.priority), i));
+        order
+    }
+
+    /// Runs every admitted job over a pool of `threads` threads and
+    /// returns the batch report in canonical submission order.
+    ///
+    /// [`PoolPlan::new`]`(jobs, threads)` decides the split; workers pull
+    /// jobs off the priority order via an atomic cursor, so higher
+    /// priorities start first but nothing about the results depends on
+    /// who finishes when. A failing job yields a [`JobError::Execution`]
+    /// in its slot; the batch keeps going.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::EmptyBatch`] if nothing was admitted.
+    pub fn run(&self, threads: usize) -> Result<BatchReport, JobError> {
+        if self.queue.is_empty() {
+            return Err(JobError::EmptyBatch);
+        }
+        let order = self.schedule_order();
+        let pool = PoolPlan::new(self.queue.len(), threads);
+        let started = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let (order, cursor, queue) = (&order, &cursor, &self.queue);
+
+        let per_worker: Vec<Vec<(usize, JobResult)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..pool.job_workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            if k >= order.len() {
+                                break;
+                            }
+                            let job = &queue[order[k]];
+                            let wait = started.elapsed();
+                            let outcome = run_standalone(&job.spec, job.seed, pool.shard_threads);
+                            mine.push((
+                                job.id,
+                                JobResult {
+                                    id: JobId(job.id),
+                                    name: job.spec.name.clone(),
+                                    seed: job.seed,
+                                    priority: job.spec.priority,
+                                    outcome,
+                                    wait,
+                                    turnaround: started.elapsed(),
+                                },
+                            ));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let wall = started.elapsed();
+
+        // Canonical collection: scatter by submission index, regardless
+        // of which worker finished which job when.
+        let mut slots: Vec<Option<JobResult>> = vec![None; self.queue.len()];
+        for (id, result) in per_worker.into_iter().flatten() {
+            slots[id] = Some(result);
+        }
+        let results: Vec<JobResult> = slots
+            .into_iter()
+            .map(|s| s.expect("every admitted job produces exactly one result"))
+            .collect();
+        Ok(BatchReport {
+            results,
+            pool,
+            wall,
+            rejected: self.rejected,
+        })
+    }
+}
+
+/// A whole batch parsed from a JSON spec file (the `qtenon batch --jobs`
+/// input format).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSpec {
+    /// Fleet seed for jobs without an explicit seed.
+    pub fleet_seed: u64,
+    /// Bounded-queue capacity.
+    pub capacity: usize,
+    /// The jobs, in file order, with seeds already materialised — so
+    /// filtering or reordering the list later cannot change any job's
+    /// seed or artefacts.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl BatchSpec {
+    /// Parses the spec format:
+    ///
+    /// ```json
+    /// {
+    ///   "fleet_seed": 42,
+    ///   "capacity": 16,
+    ///   "jobs": [
+    ///     {"name": "vqe-64", "workload": "vqe", "qubits": 64,
+    ///      "iterations": 2, "shots": 500, "priority": 3,
+    ///      "core": "boom", "optimizer": "gd", "sync": "fence",
+    ///      "transmission": "immediate", "seed": 7,
+    ///      "faults": "all=0.01,max_attempts=8"}
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Everything but `jobs` is optional; unknown keys are rejected so
+    /// typos fail loudly. Each job's seed is materialised here from its
+    /// position in the `jobs` array (`stream_seed(fleet_seed, index)`
+    /// unless explicit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Spec`] for malformed JSON or bad fields, and
+    /// [`JobError::EmptyBatch`] for an empty `jobs` array.
+    pub fn from_json(text: &str) -> Result<Self, JobError> {
+        let root = json::parse(text).map_err(|reason| JobError::Spec { reason })?;
+        let fleet_seed = match root.get("fleet_seed") {
+            Some(v) => field_u64(v, "fleet_seed")?,
+            None => DEFAULT_FLEET_SEED,
+        };
+        let capacity = match root.get("capacity") {
+            Some(v) => field_u64(v, "capacity")? as usize,
+            None => DEFAULT_QUEUE_CAPACITY,
+        };
+        for (key, _) in root.entries().unwrap_or(&[]) {
+            if !matches!(key.as_str(), "fleet_seed" | "capacity" | "jobs") {
+                return Err(JobError::Spec {
+                    reason: format!("unknown top-level key {key:?}"),
+                });
+            }
+        }
+        let jobs_value = root.get("jobs").ok_or_else(|| JobError::Spec {
+            reason: "missing \"jobs\" array".to_string(),
+        })?;
+        let entries = jobs_value.as_arr().ok_or_else(|| JobError::Spec {
+            reason: "\"jobs\" is not an array".to_string(),
+        })?;
+        if entries.is_empty() {
+            return Err(JobError::EmptyBatch);
+        }
+        let mut jobs = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            jobs.push(parse_job(entry, i, fleet_seed)?);
+        }
+        Ok(BatchSpec {
+            fleet_seed,
+            capacity,
+            jobs,
+        })
+    }
+
+    /// Builds a scheduler with every job admitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::QueueFull`] if the spec holds more jobs than
+    /// its own capacity allows.
+    pub fn into_scheduler(self) -> Result<BatchScheduler, JobError> {
+        let mut sched = BatchScheduler::with_capacity(self.fleet_seed, self.capacity);
+        for job in self.jobs {
+            sched.submit(job)?;
+        }
+        Ok(sched)
+    }
+}
+
+fn spec_err(reason: String) -> JobError {
+    JobError::Spec { reason }
+}
+
+fn field_u64(v: &json::Value, key: &str) -> Result<u64, JobError> {
+    v.as_u64()
+        .ok_or_else(|| spec_err(format!("{key:?} must be a non-negative integer")))
+}
+
+fn field_str<'a>(v: &'a json::Value, key: &str) -> Result<&'a str, JobError> {
+    v.as_str()
+        .ok_or_else(|| spec_err(format!("{key:?} must be a string")))
+}
+
+fn parse_job(entry: &json::Value, index: usize, fleet_seed: u64) -> Result<JobSpec, JobError> {
+    let pairs = entry
+        .entries()
+        .ok_or_else(|| spec_err(format!("jobs[{index}] is not an object")))?;
+    let mut spec = JobSpec::new(&format!("job{index}"), WorkloadKind::Qaoa, 8);
+    for (key, value) in pairs {
+        match key.as_str() {
+            "name" => spec.name = field_str(value, key)?.to_string(),
+            "workload" => {
+                spec.kind = match field_str(value, key)?.to_ascii_lowercase().as_str() {
+                    "qaoa" => WorkloadKind::Qaoa,
+                    "vqe" => WorkloadKind::Vqe,
+                    "qnn" => WorkloadKind::Qnn,
+                    other => {
+                        return Err(spec_err(format!(
+                            "jobs[{index}]: unknown workload {other:?} (want qaoa|vqe|qnn)"
+                        )))
+                    }
+                }
+            }
+            "qubits" => spec.n_qubits = field_u64(value, key)? as u32,
+            "core" => {
+                spec.core = match field_str(value, key)?.to_ascii_lowercase().as_str() {
+                    "rocket" => CoreModel::Rocket,
+                    "boom" => CoreModel::BoomLarge,
+                    other => {
+                        return Err(spec_err(format!(
+                            "jobs[{index}]: unknown core {other:?} (want rocket|boom)"
+                        )))
+                    }
+                }
+            }
+            "optimizer" => {
+                spec.optimizer = match field_str(value, key)?.to_ascii_lowercase().as_str() {
+                    "spsa" => JobOptimizer::Spsa,
+                    "gd" => JobOptimizer::Gd,
+                    other => {
+                        return Err(spec_err(format!(
+                            "jobs[{index}]: unknown optimizer {other:?} (want spsa|gd)"
+                        )))
+                    }
+                }
+            }
+            "iterations" => spec.iterations = field_u64(value, key)? as usize,
+            "shots" => spec.shots = field_u64(value, key)?,
+            "priority" => {
+                let p = field_u64(value, key)?;
+                spec.priority = u8::try_from(p)
+                    .map_err(|_| spec_err(format!("jobs[{index}]: priority {p} exceeds 255")))?;
+            }
+            "seed" => spec.seed = Some(field_u64(value, key)?),
+            "sync" => {
+                spec.sync = match field_str(value, key)?.to_ascii_lowercase().as_str() {
+                    "fence" => SyncMode::Fence,
+                    "fine" => SyncMode::FineGrained,
+                    other => {
+                        return Err(spec_err(format!(
+                            "jobs[{index}]: unknown sync {other:?} (want fence|fine)"
+                        )))
+                    }
+                }
+            }
+            "transmission" => {
+                spec.transmission = match field_str(value, key)?.to_ascii_lowercase().as_str() {
+                    "immediate" => TransmissionPolicy::Immediate,
+                    "batched" => TransmissionPolicy::Batched,
+                    other => {
+                        return Err(spec_err(format!(
+                            "jobs[{index}]: unknown transmission {other:?} (want immediate|batched)"
+                        )))
+                    }
+                }
+            }
+            "faults" => {
+                spec.faults = Some(
+                    FaultPlan::parse(field_str(value, key)?)
+                        .map_err(|e| spec_err(format!("jobs[{index}]: bad fault spec: {e}")))?,
+                )
+            }
+            other => {
+                return Err(spec_err(format!("jobs[{index}]: unknown key {other:?}")));
+            }
+        }
+    }
+    // Materialise the seed by file position so later filtering or
+    // reordering cannot change what this job runs with.
+    spec.seed = Some(
+        spec.seed
+            .unwrap_or_else(|| stream_seed(fleet_seed, index as u64)),
+    );
+    Ok(spec)
+}
+
+/// A minimal recursive-descent JSON reader, just enough for batch spec
+/// files (the workspace deliberately has no serde_json dependency — all
+/// JSON output is hand-written too, see `MetricsSnapshot::to_json`).
+/// Supports objects, arrays, strings with simple escapes, numbers,
+/// booleans, and null.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The object's key/value pairs, in file order.
+        pub fn entries(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(pairs) => Some(pairs),
+                _ => None,
+            }
+        }
+
+        /// The array's items.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// String payload.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Non-negative integer payload (rejects fractions).
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses a complete JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected input at byte {}", self.pos)),
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            // The slice is pure ASCII by construction.
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| format!("bad number at byte {start}"))?;
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number {text:?}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out: Vec<u8> = Vec::new();
+            loop {
+                let b = self
+                    .peek()
+                    .ok_or_else(|| "unterminated string".to_string())?;
+                self.pos += 1;
+                match b {
+                    b'"' => {
+                        return String::from_utf8(out)
+                            .map_err(|_| "invalid utf-8 in string".to_string())
+                    }
+                    b'\\' => {
+                        let esc = self
+                            .peek()
+                            .ok_or_else(|| "unterminated escape".to_string())?;
+                        self.pos += 1;
+                        out.push(match esc {
+                            b'"' => b'"',
+                            b'\\' => b'\\',
+                            b'/' => b'/',
+                            b'n' => b'\n',
+                            b't' => b'\t',
+                            b'r' => b'\r',
+                            other => return Err(format!("unsupported escape \\{}", other as char)),
+                        });
+                    }
+                    other => out.push(other),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut pairs = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                let value = self.value()?;
+                pairs.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_plan_splits_threads_across_jobs() {
+        assert_eq!(
+            PoolPlan::new(8, 4),
+            PoolPlan {
+                job_workers: 4,
+                shard_threads: 1
+            }
+        );
+        assert_eq!(
+            PoolPlan::new(2, 8),
+            PoolPlan {
+                job_workers: 2,
+                shard_threads: 4
+            }
+        );
+        assert_eq!(
+            PoolPlan::new(1, 8),
+            PoolPlan {
+                job_workers: 1,
+                shard_threads: 8
+            }
+        );
+        assert_eq!(
+            PoolPlan::new(3, 4),
+            PoolPlan {
+                job_workers: 3,
+                shard_threads: 1
+            }
+        );
+        // Degenerate shapes clamp instead of panicking.
+        assert_eq!(
+            PoolPlan::new(0, 4),
+            PoolPlan {
+                job_workers: 1,
+                shard_threads: 4
+            }
+        );
+        assert_eq!(
+            PoolPlan::new(5, 0),
+            PoolPlan {
+                job_workers: 1,
+                shard_threads: 1
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_order_is_priority_then_fifo() {
+        let mut sched = BatchScheduler::new(1);
+        for (name, priority) in [("a", 0u8), ("b", 5), ("c", 5), ("d", 1)] {
+            sched
+                .submit(JobSpec::new(name, WorkloadKind::Vqe, 8).with_priority(priority))
+                .unwrap();
+        }
+        assert_eq!(sched.schedule_order(), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_with_typed_error() {
+        let mut sched = BatchScheduler::with_capacity(1, 2);
+        sched
+            .submit(JobSpec::new("a", WorkloadKind::Vqe, 8))
+            .unwrap();
+        sched
+            .submit(JobSpec::new("b", WorkloadKind::Vqe, 8))
+            .unwrap();
+        let err = sched
+            .submit(JobSpec::new("c", WorkloadKind::Vqe, 8))
+            .unwrap_err();
+        assert_eq!(err, JobError::QueueFull { capacity: 2 });
+        assert_eq!(sched.rejected(), 1);
+        assert_eq!(sched.len(), 2);
+    }
+
+    #[test]
+    fn seeds_fixed_at_admission() {
+        let mut sched = BatchScheduler::new(0xFEED);
+        let a = sched
+            .submit(JobSpec::new("a", WorkloadKind::Vqe, 8))
+            .unwrap();
+        let b = sched
+            .submit(JobSpec::new("b", WorkloadKind::Vqe, 8).with_seed(7))
+            .unwrap();
+        assert_eq!(sched.seed_of(a), Some(stream_seed(0xFEED, 0)));
+        assert_eq!(sched.seed_of(b), Some(7));
+    }
+
+    #[test]
+    fn empty_batch_is_typed_error() {
+        let sched = BatchScheduler::new(1);
+        assert_eq!(sched.run(4).unwrap_err(), JobError::EmptyBatch);
+    }
+
+    #[test]
+    fn batch_runs_in_canonical_order_with_stable_artifacts() {
+        let mut sched = BatchScheduler::new(42);
+        sched
+            .submit(
+                JobSpec::new("low", WorkloadKind::Vqe, 8)
+                    .with_iterations(1)
+                    .with_shots(24),
+            )
+            .unwrap();
+        sched
+            .submit(
+                JobSpec::new("high", WorkloadKind::Qaoa, 8)
+                    .with_iterations(1)
+                    .with_shots(24)
+                    .with_priority(9),
+            )
+            .unwrap();
+        let batch = sched.run(2).unwrap();
+        // Canonical submission order despite "high" being scheduled first.
+        assert_eq!(batch.results[0].name, "low");
+        assert_eq!(batch.results[1].name, "high");
+        assert_eq!(batch.completed(), 2);
+        assert_eq!(batch.failed(), 0);
+        for result in &batch.results {
+            let standalone =
+                run_standalone(&sched.queue[result.id.index()].spec, result.seed, 1).unwrap();
+            let fleet = result.outcome.as_ref().unwrap();
+            assert_eq!(fleet.report, standalone.report);
+            assert_eq!(fleet.metrics_json, standalone.metrics_json);
+        }
+    }
+
+    #[test]
+    fn failing_job_does_not_poison_the_batch() {
+        let mut sched = BatchScheduler::new(42);
+        // 0 qubits cannot build a layout: execution fails with a typed
+        // error in its slot.
+        sched
+            .submit(JobSpec::new("bad", WorkloadKind::Vqe, 0))
+            .unwrap();
+        sched
+            .submit(
+                JobSpec::new("good", WorkloadKind::Vqe, 8)
+                    .with_iterations(1)
+                    .with_shots(24),
+            )
+            .unwrap();
+        let batch = sched.run(2).unwrap();
+        assert_eq!(batch.completed(), 1);
+        assert_eq!(batch.failed(), 1);
+        assert!(matches!(
+            batch.results[0].outcome,
+            Err(JobError::Execution { .. })
+        ));
+        assert!(batch.results[1].outcome.is_ok());
+    }
+
+    #[test]
+    fn fleet_metrics_live_under_jobs_namespace() {
+        let mut sched = BatchScheduler::new(42);
+        sched
+            .submit(
+                JobSpec::new("a", WorkloadKind::Vqe, 8)
+                    .with_iterations(1)
+                    .with_shots(24),
+            )
+            .unwrap();
+        let batch = sched.run(1).unwrap();
+        let mut m = MetricsRegistry::new();
+        batch.export_metrics(&mut m);
+        assert_eq!(m.get("jobs.submitted"), Some(&MetricValue::Counter(1)));
+        assert_eq!(m.get("jobs.completed"), Some(&MetricValue::Counter(1)));
+        assert_eq!(m.get("jobs.failed"), Some(&MetricValue::Counter(0)));
+        assert!(m.get("jobs.wait_ns").is_some());
+        assert!(m.get("jobs.turnaround_ns").is_some());
+        assert!(m.get("jobs.throughput.jobs_per_s").is_some());
+        assert!(batch.total_shots_sampled() > 0);
+    }
+
+    #[test]
+    fn batch_spec_parses_and_materialises_seeds() {
+        let text = r#"{
+            "fleet_seed": 9,
+            "capacity": 4,
+            "jobs": [
+                {"name": "a", "workload": "vqe", "qubits": 16, "shots": 200,
+                 "priority": 2, "core": "boom", "optimizer": "gd",
+                 "sync": "fence", "transmission": "immediate"},
+                {"workload": "qnn", "qubits": 8, "seed": 77,
+                 "faults": "all=0.01,max_attempts=8"}
+            ]
+        }"#;
+        let spec = BatchSpec::from_json(text).unwrap();
+        assert_eq!(spec.fleet_seed, 9);
+        assert_eq!(spec.capacity, 4);
+        assert_eq!(spec.jobs.len(), 2);
+        let a = &spec.jobs[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.kind, WorkloadKind::Vqe);
+        assert_eq!(a.n_qubits, 16);
+        assert_eq!(a.shots, 200);
+        assert_eq!(a.priority, 2);
+        assert_eq!(a.core, CoreModel::BoomLarge);
+        assert_eq!(a.optimizer, JobOptimizer::Gd);
+        assert_eq!(a.sync, SyncMode::Fence);
+        assert_eq!(a.transmission, TransmissionPolicy::Immediate);
+        assert_eq!(a.seed, Some(stream_seed(9, 0)));
+        let b = &spec.jobs[1];
+        assert_eq!(b.name, "job1");
+        assert_eq!(b.kind, WorkloadKind::Qnn);
+        assert_eq!(b.seed, Some(77));
+        assert!(b.faults.expect("fault plan").is_active());
+    }
+
+    #[test]
+    fn batch_spec_rejects_unknown_keys_and_empty_batches() {
+        let err = BatchSpec::from_json(r#"{"jobs": [{"qubist": 8}]}"#).unwrap_err();
+        assert!(matches!(err, JobError::Spec { ref reason } if reason.contains("qubist")));
+        let err = BatchSpec::from_json(r#"{"jobs": []}"#).unwrap_err();
+        assert_eq!(err, JobError::EmptyBatch);
+        let err = BatchSpec::from_json(r#"{"jobs": "nope"}"#).unwrap_err();
+        assert!(matches!(err, JobError::Spec { .. }));
+        let err = BatchSpec::from_json("{").unwrap_err();
+        assert!(matches!(err, JobError::Spec { .. }));
+    }
+
+    #[test]
+    fn batch_spec_capacity_bounds_into_scheduler() {
+        let text = r#"{"capacity": 1, "jobs": [{"qubits": 8}, {"qubits": 8}]}"#;
+        let spec = BatchSpec::from_json(text).unwrap();
+        let err = spec.into_scheduler().unwrap_err();
+        assert_eq!(err, JobError::QueueFull { capacity: 1 });
+    }
+
+    #[test]
+    fn json_reader_handles_the_basics() {
+        let v = json::parse(r#"{"s": "a\"b", "n": 12, "neg": -3, "arr": [true, false, null]}"#)
+            .unwrap();
+        assert_eq!(v.get("s").and_then(|s| s.as_str()), Some("a\"b"));
+        assert_eq!(v.get("n").and_then(|n| n.as_u64()), Some(12));
+        assert_eq!(v.get("neg").and_then(|n| n.as_u64()), None);
+        assert_eq!(
+            v.get("arr").and_then(|a| a.as_arr()).map(|a| a.len()),
+            Some(3)
+        );
+        assert!(json::parse("[1, 2,]").is_err(), "trailing comma rejected");
+        assert!(json::parse("{\"a\": }").is_err());
+        assert!(json::parse("1 2").is_err());
+    }
+}

@@ -19,6 +19,9 @@
 //! - [`vqa`]: [`VqaRunner`] — full hybrid quantum-classical algorithm
 //!   execution with incremental compilation, overlap scheduling, and
 //!   per-component time accounting;
+//! - [`jobs`]: the deterministic multi-job batch scheduler — bounded
+//!   priority admission of independent VQA jobs over one shared worker
+//!   pool, with per-job artefacts byte-identical to standalone runs;
 //! - [`report`]: the time-breakdown structures every figure is built
 //!   from.
 //!
@@ -39,6 +42,7 @@
 
 pub mod config;
 pub mod host;
+pub mod jobs;
 pub mod parallel;
 pub mod report;
 pub mod schedule;
@@ -48,6 +52,7 @@ pub mod vqa;
 
 pub use config::{CoreModel, QtenonConfig, SyncMode, TransmissionPolicy};
 pub use host::HostCoreModel;
+pub use jobs::{BatchReport, BatchScheduler, BatchSpec, JobError, JobResult, JobSpec, PoolPlan};
 pub use parallel::{Shard, ShardPlan};
 pub use report::{CommBreakdown, ResilienceSummary, RunReport, TimeBreakdown};
 pub use schedule::TransmissionPlan;

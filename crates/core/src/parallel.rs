@@ -84,9 +84,16 @@ impl ShardPlan {
         self.shards.len()
     }
 
-    /// A plan never has zero shards.
+    /// Total shots covered by the plan.
+    pub fn total_shots(&self) -> u64 {
+        self.shards.iter().map(|s| s.shots).sum()
+    }
+
+    /// Whether the plan covers zero shots. A plan always holds at least
+    /// one shard (so the serial path has something to run inline), but a
+    /// zero-shot plan does no sampling work and callers may skip it.
     pub fn is_empty(&self) -> bool {
-        false
+        self.total_shots() == 0
     }
 
     /// Whether the plan degenerates to inline serial execution.
@@ -107,7 +114,10 @@ impl ShardPlan {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker after all workers have stopped.
+/// Re-raises a panic from any worker — with its original payload, via
+/// [`std::panic::resume_unwind`] — after all workers have stopped, so a
+/// failing shard reports the real message and location instead of a
+/// generic join error.
 pub fn run_sharded<T, F>(plan: &ShardPlan, worker: F) -> Vec<T>
 where
     T: Send,
@@ -125,7 +135,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
+            .map(|h| match h.join() {
+                Ok(value) => value,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }
@@ -187,5 +200,33 @@ mod tests {
         let caller = std::thread::current().id();
         let results = run_sharded(&plan, |_| std::thread::current().id());
         assert_eq!(results, vec![caller]);
+    }
+
+    #[test]
+    fn zero_shot_plan_reports_empty() {
+        for threads in [1usize, 2, 8, 64] {
+            let plan = ShardPlan::new(0, threads);
+            assert!(plan.is_empty(), "0-shot plan at {threads} threads");
+            assert_eq!(plan.total_shots(), 0);
+            // The len/is_empty contract: a non-empty plan is never empty.
+            assert!(!ShardPlan::new(100, threads).is_empty());
+            assert_eq!(ShardPlan::new(100, threads).total_shots(), 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard 2 exploded")]
+    fn run_sharded_surfaces_original_panic_payload() {
+        // 4 real shards; shard 2 panics with a distinctive payload that
+        // must survive the join instead of being replaced by a generic
+        // "shard worker panicked" message.
+        let plan = ShardPlan::new(MIN_SHOTS_PER_SHARD * 4, 4);
+        assert_eq!(plan.len(), 4);
+        run_sharded(&plan, |shard| {
+            if shard.index == 2 {
+                panic!("shard {} exploded", shard.index);
+            }
+            shard.shots
+        });
     }
 }

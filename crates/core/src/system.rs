@@ -471,8 +471,9 @@ impl QtenonSystem {
     ///
     /// # Errors
     ///
-    /// Returns [`SystemError::Mem`] if a pulse write fails (cannot happen
-    /// for layout-derived addresses).
+    /// Returns [`SystemError::Controller`] if a work item names a qubit
+    /// outside the layout, and [`SystemError::Mem`] if a pulse write
+    /// fails (cannot happen for layout-derived addresses).
     pub fn q_gen(
         &mut self,
         now: SimTime,
@@ -491,7 +492,7 @@ impl QtenonSystem {
             self.pipeline
                 .process_resilient(now, &work, &mut self.injector)?
         } else {
-            self.pipeline.process(now, &work)
+            self.pipeline.process(now, &work)?
         };
         for (item, pulse) in work.iter().zip(&resolved) {
             if pulse.generated {

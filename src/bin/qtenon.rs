@@ -9,6 +9,9 @@
 //!             [--faults SPEC|FILE] [--fault-seed S]         # fault injection
 //! qtenon disasm <file.qasm>                                 # compiled chunk listing
 //! qtenon trace <file.qasm> [--shots N]                      # Chrome trace JSON to stdout
+//! qtenon batch --jobs <spec.json> [--threads T]             # multi-job fleet
+//!             [--metrics out.json] [--job-metrics DIR]      # fleet + per-job artefacts
+//!             [--only NAME]                                 # run one job standalone
 //! ```
 //!
 //! `--metrics PATH` writes the full metric tree as JSON to `PATH`, a
@@ -25,12 +28,21 @@
 //! `--threads T` fans shot sampling out across `T` worker threads. The
 //! shard merge is bitwise deterministic: any `T` produces results (and
 //! metrics, and fault accounting) identical to `--threads 1`.
+//!
+//! `batch` admits every job in a JSON spec into the deterministic batch
+//! scheduler and runs them over one shared pool of `--threads` threads.
+//! `--job-metrics DIR` writes each job's metrics JSON to
+//! `DIR/<name>.json`; those files are byte-identical at any thread
+//! count, and identical to running the same job alone (e.g. via
+//! `--only NAME --threads 1`). `--metrics` writes the fleet-level
+//! `jobs.*` telemetry (queue, pool, wait/turnaround, throughput).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use qtenon::compiler::QtenonCompiler;
 use qtenon::core::config::{CoreModel, QtenonConfig};
+use qtenon::core::jobs::BatchSpec;
 use qtenon::core::system::QtenonSystem;
 use qtenon::isa::{disasm, QubitId};
 use qtenon::quantum::noise::NoiseModel;
@@ -125,8 +137,132 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: qtenon <run|disasm|trace> <file.qasm> [--shots N] [--seed S] [--threads T] \
-     [--noise] [--metrics out.json] [--trace out.json] [--faults SPEC|FILE] [--fault-seed S]"
+     [--noise] [--metrics out.json] [--trace out.json] [--faults SPEC|FILE] [--fault-seed S]\n\
+     \u{20}      qtenon batch --jobs <spec.json> [--threads T] [--metrics out.json] \
+     [--job-metrics DIR] [--only NAME]"
         .into()
+}
+
+struct BatchArgs {
+    jobs: String,
+    threads: usize,
+    metrics: Option<String>,
+    job_metrics: Option<String>,
+    only: Option<String>,
+}
+
+fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs, String> {
+    let mut jobs = None;
+    let mut threads = 1usize;
+    let mut metrics = None;
+    let mut job_metrics = None;
+    let mut only = None;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--jobs" => jobs = Some(argv.next().ok_or("--jobs needs a path")?),
+            "--threads" => {
+                threads = argv
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--metrics" => metrics = Some(argv.next().ok_or("--metrics needs a path")?),
+            "--job-metrics" => {
+                job_metrics = Some(argv.next().ok_or("--job-metrics needs a directory")?);
+            }
+            "--only" => only = Some(argv.next().ok_or("--only needs a job name")?),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(BatchArgs {
+        jobs: jobs.ok_or_else(|| format!("batch needs --jobs <spec.json>\n{}", usage()))?,
+        threads,
+        metrics,
+        job_metrics,
+        only,
+    })
+}
+
+/// `qtenon batch`: run a JSON-specified fleet of VQA jobs over one
+/// shared worker pool and report per-job plus fleet-level results.
+fn run_batch(argv: impl Iterator<Item = String>) -> Result<(), String> {
+    let args = parse_batch_args(argv)?;
+    let text = std::fs::read_to_string(&args.jobs)
+        .map_err(|e| format!("cannot read {}: {e}", args.jobs))?;
+    let mut spec = BatchSpec::from_json(&text).map_err(|e| e.to_string())?;
+    if let Some(name) = &args.only {
+        // Seeds were materialised at parse time by array position, so
+        // filtering cannot change what the surviving job runs with.
+        spec.jobs.retain(|j| j.name == *name);
+        if spec.jobs.is_empty() {
+            return Err(format!("no job named {name:?} in {}", args.jobs));
+        }
+    }
+    let scheduler = spec.into_scheduler().map_err(|e| e.to_string())?;
+    let batch = scheduler.run(args.threads).map_err(|e| e.to_string())?;
+
+    println!(
+        "fleet: {} jobs over {} job workers x {} shard threads, wall {:.3}s",
+        batch.results.len(),
+        batch.pool.job_workers,
+        batch.pool.shard_threads,
+        batch.wall.as_secs_f64(),
+    );
+    for r in &batch.results {
+        match &r.outcome {
+            Ok(a) => println!(
+                "  [{:>2}] {:<16} seed {:#018x} prio {} ok: {} shots sampled, \
+                 wait {:.3}s, turnaround {:.3}s",
+                r.id.index(),
+                r.name,
+                r.seed,
+                r.priority,
+                a.shots_sampled,
+                r.wait.as_secs_f64(),
+                r.turnaround.as_secs_f64(),
+            ),
+            Err(e) => println!(
+                "  [{:>2}] {:<16} seed {:#018x} prio {} FAILED: {e}",
+                r.id.index(),
+                r.name,
+                r.seed,
+                r.priority,
+            ),
+        }
+    }
+    println!(
+        "throughput: {:.2} jobs/s, {:.0} shots/s ({} completed, {} failed, {} rejected)",
+        batch.jobs_per_second(),
+        batch.shots_per_second(),
+        batch.completed(),
+        batch.failed(),
+        batch.rejected,
+    );
+
+    if let Some(dir) = &args.job_metrics {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        for r in &batch.results {
+            if let Ok(a) = &r.outcome {
+                let path = format!("{dir}/{}.json", r.name);
+                std::fs::write(&path, &a.metrics_json)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+        }
+        println!("per-job metrics written to {dir}/<name>.json");
+    }
+    if let Some(path) = &args.metrics {
+        let mut registry = MetricsRegistry::new();
+        batch.export_metrics(&mut registry);
+        let snapshot = registry.snapshot();
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("fleet metrics written to {path}");
+    }
+    if batch.failed() > 0 {
+        return Err(format!("{} job(s) failed", batch.failed()));
+    }
+    Ok(())
 }
 
 /// Builds the fault plan from `--faults`/`--fault-seed`: the argument is
@@ -166,6 +302,11 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), String> {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("batch") {
+        argv.next();
+        return run_batch(argv);
+    }
     let args = parse_args()?;
     let circuit = load_circuit(&args.file)?;
     let n = circuit.n_qubits();
