@@ -190,6 +190,7 @@ impl BaselineRunner {
             final_cost,
             pulse_reduction: 0.0,
             resilience: Default::default(),
+            phases: Default::default(),
         })
     }
 }

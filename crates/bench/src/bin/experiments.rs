@@ -14,7 +14,10 @@
 //! additionally runs the representative 64-qubit VQE and dumps its full
 //! metric tree to `PATH` (JSON) and `PATH.prom` (Prometheus text format).
 //! Valid ids: `fig1 table1 table2 table4 fig11 fig12 fig13 fig14 table5
-//! fig15 fig16a fig16b fig17 ablation resilience parallel fleet`.
+//! fig15 fig16a fig16b fig17 ablation resilience parallel fleet
+//! breakdown`. Every study is also mirrored to
+//! `target/experiments/<id>.txt` (gitignored), with the path printed
+//! after each table.
 
 use qtenon_bench::experiments::{self, ExperimentScale, OptimizerKind};
 
@@ -68,100 +71,117 @@ fn main() {
 
     if want("fig1") {
         section(
+            "fig1",
             "Fig. 1 — baseline time shares (quantum execution is a minor fraction)",
             experiments::fig1(&scale).to_string(),
         );
     }
     if want("table1") {
         section(
+            "table1",
             "Table 1 — decoupled vs tightly coupled systems",
             experiments::table1(&scale).to_string(),
         );
     }
     if want("table2") {
         section(
+            "table2",
             "Table 2 — quantum controller cache design for 64 qubits",
             experiments::table2().to_string(),
         );
     }
     if want("table4") {
         section(
+            "table4",
             "Table 4 — hardware configuration",
             experiments::table4().to_string(),
         );
     }
     if want("fig11") {
         section(
+            "fig11",
             "Fig. 11 — speedups under Gradient Descent",
             experiments::fig11_12(&scale, OptimizerKind::Gd).to_string(),
         );
     }
     if want("fig12") {
         section(
+            "fig12",
             "Fig. 12 — speedups under SPSA",
             experiments::fig11_12(&scale, OptimizerKind::Spsa).to_string(),
         );
     }
     if want("fig13") {
         section(
+            "fig13",
             "Fig. 13 — 64-qubit VQE (SPSA) end-to-end breakdown",
             experiments::fig13(&scale).to_string(),
         );
     }
     if want("fig14") {
         section(
+            "fig14_gd",
             "Fig. 14 — quantum-host communication (GD)",
             experiments::fig14(&scale, OptimizerKind::Gd).to_string(),
         );
         section(
+            "fig14_spsa",
             "Fig. 14 — quantum-host communication (SPSA)",
             experiments::fig14(&scale, OptimizerKind::Spsa).to_string(),
         );
     }
     if want("table5") {
         section(
+            "table5",
             "Table 5 — pulse generation speedup and computation reduction",
             experiments::table5(&scale).to_string(),
         );
     }
     if want("fig15") {
         section(
+            "fig15",
             "Fig. 15 — host execution time",
             experiments::fig15(&scale).to_string(),
         );
     }
     if want("fig16a") {
         section(
+            "fig16a",
             "Fig. 16a — FENCE vs fine-grained synchronisation",
             experiments::fig16a(&scale).to_string(),
         );
     }
     if want("fig16b") {
         section(
+            "fig16b",
             "Fig. 16b — transmission scheduling (Algorithm 1)",
             experiments::fig16b(&scale).to_string(),
         );
     }
     if want("fig17") {
         section(
+            "fig17",
             "Fig. 17 — scalability",
             experiments::fig17(&scale).to_string(),
         );
     }
     if want("ablation") {
         section(
+            "ablation",
             "Ablation (beyond the paper) — PGU pool width × SLT reuse",
             experiments::ablation(&scale).to_string(),
         );
     }
     if want("resilience") {
         section(
+            "resilience",
             "Resilience (beyond the paper) — 64-qubit VQE under fault injection",
             experiments::resilience(&scale).to_string(),
         );
     }
     if want("parallel") {
         section(
+            "parallel",
             "Parallel (beyond the paper) — shot-sharded wall-clock vs serial, \
              bitwise-determinism checked",
             experiments::parallel(&scale).to_string(),
@@ -169,9 +189,18 @@ fn main() {
     }
     if want("fleet") {
         section(
+            "fleet",
             "Fleet (beyond the paper) — multi-job batch scheduler, jobs x threads sweep, \
              per-job artefacts checked against standalone runs",
             experiments::fleet(&scale).to_string(),
+        );
+    }
+    if want("breakdown") {
+        section(
+            "breakdown",
+            "Breakdown (beyond the paper) — phase-level latency attribution \
+             (deterministic sim time, same rows as `qtenon run --profile`)",
+            experiments::breakdown(&scale).to_string(),
         );
     }
 
@@ -191,7 +220,17 @@ fn main() {
     }
 }
 
-fn section(title: &str, body: String) {
+/// Prints a study and mirrors it to `target/experiments/<id>.txt`
+/// (gitignored), announcing the path so runs leave no stray artefacts
+/// in the repo root.
+fn section(id: &str, title: &str, body: String) {
     println!("## {title}\n");
     println!("{body}");
+    let dir = std::path::Path::new("target").join("experiments");
+    let path = dir.join(format!("{id}.txt"));
+    let contents = format!("## {title}\n\n{body}");
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, contents)) {
+        Ok(()) => println!("[wrote {}]\n", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
 }

@@ -1,0 +1,202 @@
+//! Perf-trajectory tool: distils measurements into `BENCH_<name>.json`
+//! snapshots and gates regressions against a committed baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! qtenon-bench distill --sim <suite> [--out PATH]
+//! qtenon-bench distill --metrics FILE --name NAME [--prefix profile.] [--out PATH]
+//! qtenon-bench distill --criterion DIR --name NAME [--out PATH]
+//! qtenon-bench compare --baseline FILE --current FILE
+//!                      [--threshold 0.15] [--enforce]
+//! ```
+//!
+//! `distill --sim` runs a pinned deterministic suite (`end_to_end` or
+//! `profile_vqe`) and records sim-time medians — the committed-per-PR
+//! path, reproducible bit-for-bit on any machine. `--metrics` distils a
+//! `profile.*` metrics dump, `--criterion` harvests wall-clock medians
+//! from a criterion output tree. `--out` defaults to
+//! `BENCH_<name>.json` in the current directory.
+//!
+//! `compare` prints every tracked median's movement and exits non-zero
+//! on a >threshold regression (or a disappeared entry) only when
+//! `--enforce` is given or `QTENON_BENCH_ENFORCE=1` is set; otherwise
+//! regressions are warnings, so the CI gate can land warn-only first.
+
+use std::path::Path;
+use std::process::exit;
+
+use qtenon_bench::distill::{
+    self, compare, distill_criterion, distill_metrics, distill_sim, BenchSnapshot,
+};
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    match argv.next().as_deref() {
+        Some("distill") => run_distill(argv.collect()),
+        Some("compare") => run_compare(argv.collect()),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("usage: qtenon-bench <distill|compare> [options]");
+            eprintln!("  distill --sim <{}>", distill::SIM_SUITES.join("|"));
+            eprintln!("  distill --metrics FILE --name NAME [--prefix profile.]");
+            eprintln!("  distill --criterion DIR --name NAME");
+            eprintln!("          [--out PATH]   (default BENCH_<name>.json)");
+            eprintln!("  compare --baseline FILE --current FILE [--threshold 0.15] [--enforce]");
+            exit(if std::env::args().len() > 1 { 0 } else { 2 });
+        }
+        Some(other) => die(&format!("unknown command {other:?}")),
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| match args.get(i + 1) {
+            Some(v) => v.clone(),
+            None => die(&format!("{flag} needs a value")),
+        })
+}
+
+fn check_known_flags(args: &[String], known: &[&str]) {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if !known.contains(&a.as_str()) {
+                die(&format!("unknown flag {a:?}"));
+            }
+            // All known flags except --enforce consume a value.
+            if a != "--enforce" {
+                i += 1;
+            }
+        } else {
+            die(&format!("unexpected argument {a:?}"));
+        }
+        i += 1;
+    }
+}
+
+fn run_distill(args: Vec<String>) {
+    check_known_flags(
+        &args,
+        &[
+            "--sim",
+            "--metrics",
+            "--criterion",
+            "--name",
+            "--prefix",
+            "--out",
+        ],
+    );
+    let sim = flag_value(&args, "--sim");
+    let metrics = flag_value(&args, "--metrics");
+    let criterion = flag_value(&args, "--criterion");
+    let sources = [&sim, &metrics, &criterion]
+        .iter()
+        .filter(|s| s.is_some())
+        .count();
+    if sources != 1 {
+        die("distill needs exactly one of --sim, --metrics, --criterion");
+    }
+
+    let snapshot = if let Some(suite) = sim {
+        distill_sim(&suite).unwrap_or_else(|| {
+            die(&format!(
+                "unknown sim suite {suite:?} (known: {})",
+                distill::SIM_SUITES.join(", ")
+            ))
+        })
+    } else if let Some(path) = metrics {
+        let name =
+            flag_value(&args, "--name").unwrap_or_else(|| die("--metrics distill needs --name"));
+        let prefix = flag_value(&args, "--prefix").unwrap_or_else(|| "profile.".to_string());
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        distill_metrics(&text, &name, &prefix)
+            .unwrap_or_else(|e| die(&format!("cannot distill {path}: {e}")))
+    } else {
+        let dir = criterion.unwrap();
+        let name =
+            flag_value(&args, "--name").unwrap_or_else(|| die("--criterion distill needs --name"));
+        distill_criterion(Path::new(&dir), &name)
+            .unwrap_or_else(|e| die(&format!("cannot walk {dir}: {e}")))
+    };
+
+    if snapshot.entries.is_empty() {
+        die(&format!(
+            "snapshot {:?} distilled zero entries",
+            snapshot.name
+        ));
+    }
+    let out = flag_value(&args, "--out").unwrap_or_else(|| format!("BENCH_{}.json", snapshot.name));
+    if let Some(parent) = Path::new(&out)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&out, snapshot.to_json())
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    println!(
+        "wrote {out}: {} entries ({} {})",
+        snapshot.entries.len(),
+        snapshot.kind,
+        snapshot.name
+    );
+}
+
+fn run_compare(args: Vec<String>) {
+    check_known_flags(
+        &args,
+        &["--baseline", "--current", "--threshold", "--enforce"],
+    );
+    let baseline_path =
+        flag_value(&args, "--baseline").unwrap_or_else(|| die("compare needs --baseline"));
+    let current_path =
+        flag_value(&args, "--current").unwrap_or_else(|| die("compare needs --current"));
+    let threshold = match flag_value(&args, "--threshold") {
+        Some(t) => t
+            .parse::<f64>()
+            .ok()
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .unwrap_or_else(|| die("--threshold needs a non-negative number")),
+        None => distill::DEFAULT_THRESHOLD,
+    };
+    let enforce = args.iter().any(|a| a == "--enforce")
+        || std::env::var("QTENON_BENCH_ENFORCE").is_ok_and(|v| v == "1");
+
+    let load = |path: &str| -> BenchSnapshot {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        BenchSnapshot::from_json(&text)
+            .unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
+    };
+    let baseline = load(&baseline_path);
+    let current = load(&current_path);
+    if baseline.name != current.name {
+        eprintln!(
+            "warning: comparing different snapshot families ({:?} vs {:?})",
+            baseline.name, current.name
+        );
+    }
+
+    let report = compare(&baseline, &current, threshold);
+    print!("{}", report.render(threshold));
+    if report.gate_failed() {
+        if enforce {
+            eprintln!("perf gate FAILED ({} vs {})", current_path, baseline_path);
+            exit(1);
+        }
+        println!(
+            "perf gate: regressions found, but enforcement is off \
+             (set QTENON_BENCH_ENFORCE=1 or pass --enforce)"
+        );
+    } else {
+        println!("perf gate OK");
+    }
+}

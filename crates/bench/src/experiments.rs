@@ -935,6 +935,39 @@ pub fn ablation(scale: &ExperimentScale) -> TextTable {
     t
 }
 
+/// Breakdown (beyond the paper): phase-level latency attribution from
+/// the span profiler, per workload. Every column is deterministic sim
+/// time — the same rows `qtenon run --profile` prints and the
+/// `profile_vqe` BENCH suite snapshots.
+pub fn breakdown(scale: &ExperimentScale) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "workload".into(),
+        "phase".into(),
+        "count".into(),
+        "total".into(),
+        "p50".into(),
+        "p99".into(),
+        "share".into(),
+    ]);
+    let n = scale.qubit_sweep.first().copied().unwrap_or(8);
+    for kind in WorkloadKind::ALL {
+        let report = qtenon_default(kind, n, CoreModel::Rocket, OptimizerKind::Spsa, scale);
+        let total = report.phases.total_ns().max(1);
+        for row in &report.phases.rows {
+            t.row(vec![
+                kind.name().into(),
+                row.name.clone(),
+                row.count.to_string(),
+                fmt_dur(SimDuration::from_ns(row.total_ns)),
+                format!("{} ns", row.hist.p50().unwrap_or(0)),
+                format!("{} ns", row.hist.p99().unwrap_or(0)),
+                fmt_pct(row.total_ns as f64 / total as f64),
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,8 +8,17 @@
 //! [`ExperimentScale::paper`] reproduces the full Section 7.1 setup
 //! (500 shots × 10 iterations, 8–64 qubits).
 
+//!
+//! The crate also carries the perf-trajectory tooling: [`distill`]
+//! produces and compares the stable `BENCH_<name>.json` snapshots
+//! (driven by the `qtenon-bench` binary), with [`json`] as its
+//! dependency-free JSON reader.
+
+pub mod distill;
 pub mod experiments;
+pub mod json;
 pub mod table;
 
+pub use distill::{BenchSnapshot, CompareReport};
 pub use experiments::{ExperimentScale, OptimizerKind};
 pub use table::TextTable;

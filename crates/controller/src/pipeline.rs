@@ -68,6 +68,14 @@ pub struct PipelineReport {
     pub generated: u64,
     /// Time stages 1–2 spent stalled on busy PGUs.
     pub stall_time: SimDuration,
+    /// Time from `start` until stages 1–2 handed off the last entry
+    /// (fetch + decode/SLT occupancy, stalls included).
+    #[serde(default)]
+    pub front_time: SimDuration,
+    /// Total PGU busy time summed across dispatches (overlapping units
+    /// accumulate, so this can exceed `total_time`).
+    #[serde(default)]
+    pub pgu_busy: SimDuration,
     /// SLT statistics delta for this run.
     pub slt: SltStats,
 }
@@ -192,6 +200,7 @@ impl PulsePipeline {
         let mut resolved = Vec::with_capacity(items.len());
         let mut generated = 0u64;
         let mut stall_time = SimDuration::ZERO;
+        let mut pgu_busy = SimDuration::ZERO;
         // Time the front of the pipeline (stages 1–2) hands the current
         // entry to stage 3: advances one cycle per entry, plus stalls.
         let mut front = start;
@@ -239,6 +248,7 @@ impl PulsePipeline {
                         stall_time += stall;
                         front += stall; // stages 1–2 stall with us
                     }
+                    pgu_busy += dispatch.done.saturating_since(dispatch.start);
                     // Stage 4: arbiter + writeback, one cycle.
                     let done = dispatch.done + cycle;
                     resolved.push(ResolvedPulse {
@@ -260,6 +270,8 @@ impl PulsePipeline {
             entries: items.len() as u64,
             generated,
             stall_time,
+            front_time: front.saturating_since(start),
+            pgu_busy,
             slt: SltStats {
                 lookups: slt_after.lookups - slt_before.lookups,
                 hits: slt_after.hits - slt_before.hits,
@@ -482,6 +494,22 @@ mod tests {
         // The pipeline stays usable for well-formed work afterwards.
         let (report, _) = p.process(SimTime::ZERO, &[rx(0, 1.0)]).unwrap();
         assert_eq!(report.generated, 1);
+    }
+
+    #[test]
+    fn report_attributes_front_and_pgu_time() {
+        let mut p = pipeline();
+        let (report, _) = p.process(SimTime::ZERO, &[rx(0, 1.0)]).unwrap();
+        // One entry occupies the front for one initiation cycle and the
+        // PGU for its full generation latency.
+        assert_eq!(report.front_time, SimDuration::from_ns(1));
+        assert_eq!(report.pgu_busy, SimDuration::from_ns(1000));
+        // A stalled run charges the stall to the front as well.
+        let mut q = pipeline();
+        let items: Vec<WorkItem> = (0..9).map(|i| rx(0, 0.1 + 0.2 * i as f64)).collect();
+        let (stalled, _) = q.process(SimTime::ZERO, &items).unwrap();
+        assert!(stalled.front_time >= SimDuration::from_ns(9) + stalled.stall_time);
+        assert_eq!(stalled.pgu_busy, SimDuration::from_ns(9 * 1000));
     }
 
     #[test]

@@ -92,6 +92,12 @@ pub struct QtenonConfig {
     /// any metric or report.
     #[serde(default = "default_threads")]
     pub threads: usize,
+    /// Enables wall-clock capture in the latency-attribution profiler.
+    /// Sim-time spans (the phase table and every `profile.*` metric) are
+    /// always collected, so this flag never changes any report or metric
+    /// — it only unlocks the explicitly-unstable wall-time printout.
+    #[serde(default)]
+    pub profile: bool,
 }
 
 fn default_threads() -> usize {
@@ -121,6 +127,7 @@ impl QtenonConfig {
             seed: 0x51,
             faults: FaultPlan::default(),
             threads: 1,
+            profile: false,
         })
     }
 
@@ -152,6 +159,12 @@ impl QtenonConfig {
     /// to 1, i.e. serial).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns a copy with wall-clock profiling enabled or disabled.
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
         self
     }
 }

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use qtenon_controller::SltStats;
-use qtenon_sim_engine::SimDuration;
+use qtenon_sim_engine::{PhaseTable, SimDuration};
 
 /// Busy time per system component over a run. Because Qtenon overlaps
 /// components, the end-to-end wall time is *not* the sum of these.
@@ -196,6 +196,9 @@ pub struct RunReport {
     /// Fault-injection and recovery counters (all zero without faults).
     #[serde(default)]
     pub resilience: ResilienceSummary,
+    /// Per-phase latency attribution (deterministic sim-time spans).
+    #[serde(default)]
+    pub phases: PhaseTable,
 }
 
 impl RunReport {
@@ -282,6 +285,7 @@ impl RunReport {
             0.0
         };
         self.resilience += other.resilience;
+        self.phases.merge(&other.phases);
     }
 }
 
@@ -404,6 +408,7 @@ mod tests {
             final_cost: 0.5,
             pulse_reduction: 0.75, // 25 generated of 100 work items
             resilience: ResilienceSummary::default(),
+            phases: PhaseTable::default(),
         };
         let mut merged = base.clone();
         let mut second = base.clone();

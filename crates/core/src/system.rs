@@ -18,14 +18,17 @@ use qtenon_mem::MemoryHierarchy;
 use qtenon_quantum::sim::Simulator;
 use qtenon_quantum::{BitString, Circuit, CircuitTiming};
 use qtenon_sim_engine::{
-    FaultInjector, FaultSite, Histogram, MetricValue, MetricsRegistry, SimDuration, SimTime,
+    FaultInjector, FaultSite, Histogram, MetricValue, MetricsRegistry, PhaseId, PhaseTable,
+    Profiler, SimDuration, SimTime,
 };
+
+use std::borrow::Cow;
 
 use crate::config::QtenonConfig;
 use crate::host::HostCoreModel;
 use crate::parallel::{self, ShardPlan};
 use crate::report::{CommBreakdown, ResilienceSummary};
-use crate::trace::{Trace, TraceLane};
+use crate::trace::{rbq_flow_name, rbq_issue_name, Trace, TraceLane};
 use crate::SystemError;
 
 /// Result of a `q_run`: the measured shots and timing facts.
@@ -37,6 +40,34 @@ pub struct RunOutcome {
     pub shot_duration: SimDuration,
     /// Completion time of the full run (all shots + interface latency).
     pub complete: SimTime,
+}
+
+/// Pre-interned phase ids for the system-level attribution spans, so the
+/// hot paths record against a [`PhaseId`] without any name lookup.
+struct SystemPhases {
+    bus_transfer: PhaseId,
+    slt_resolve: PhaseId,
+    pgu_dispatch: PhaseId,
+    pgu_stall: PhaseId,
+    host_read: PhaseId,
+    host_write: PhaseId,
+    rbq_wait: PhaseId,
+    chip_execute: PhaseId,
+}
+
+impl SystemPhases {
+    fn intern(profiler: &mut Profiler) -> Self {
+        SystemPhases {
+            bus_transfer: profiler.phase("controller.bus_transfer"),
+            slt_resolve: profiler.phase("controller.slt_resolve"),
+            pgu_dispatch: profiler.phase("controller.pgu_dispatch"),
+            pgu_stall: profiler.phase("controller.pgu_stall"),
+            host_read: profiler.phase("mem.host_read"),
+            host_write: profiler.phase("mem.host_write"),
+            rbq_wait: profiler.phase("controller.rbq_wait"),
+            chip_execute: profiler.phase("chip.execute"),
+        }
+    }
 }
 
 /// The tightly coupled system (Fig. 3).
@@ -74,6 +105,11 @@ pub struct QtenonSystem {
     /// Workers record only per-shot quantities, so the merged registry is
     /// identical at every thread count.
     shard_metrics: MetricsRegistry,
+    /// Latency-attribution profiler: deterministic sim-time spans per
+    /// phase, always collected (the profile flag only gates wall-clock).
+    profiler: Profiler,
+    /// Pre-interned phase ids for the spans this struct records.
+    phases: SystemPhases,
     /// Per-instruction latency distributions, in nanoseconds.
     lat_q_update: Histogram,
     lat_q_set: Histogram,
@@ -99,6 +135,9 @@ impl QtenonSystem {
     ///
     /// Returns [`SystemError`] if any component rejects the configuration.
     pub fn new(config: QtenonConfig) -> Result<Self, SystemError> {
+        let mut profiler = Profiler::new();
+        profiler.set_wall_enabled(config.profile);
+        let phases = SystemPhases::intern(&mut profiler);
         Ok(QtenonSystem {
             config,
             qcc: QuantumControllerCache::new(config.layout),
@@ -122,6 +161,8 @@ impl QtenonSystem {
             rbq_stalls: 0,
             pending_stall: SimDuration::ZERO,
             shard_metrics: MetricsRegistry::new(),
+            profiler,
+            phases,
             lat_q_update: Histogram::new(),
             lat_q_set: Histogram::new(),
             lat_q_acquire: Histogram::new(),
@@ -170,10 +211,23 @@ impl QtenonSystem {
         self.trace.replace(Trace::new())
     }
 
-    fn trace_event(&mut self, name: &str, lane: TraceLane, start: SimTime, duration: SimDuration) {
+    fn trace_event(
+        &mut self,
+        name: impl Into<Cow<'static, str>>,
+        lane: TraceLane,
+        start: SimTime,
+        duration: SimDuration,
+    ) {
         if let Some(trace) = &mut self.trace {
             trace.record(name, lane, start, duration);
         }
+    }
+
+    /// Records a span on the dedicated phase lane of the trace (no-op when
+    /// tracing is off). The VQA runner uses this to paint its iteration
+    /// phases over the component lanes.
+    pub fn trace_phase(&mut self, name: &'static str, start: SimTime, duration: SimDuration) {
+        self.trace_event(name, TraceLane::Phase, start, duration);
     }
 
     /// Whether the RBQ flow protocol runs. Always on when tracing; also on
@@ -186,19 +240,25 @@ impl QtenonSystem {
     /// Consumes any stall owed by RBQ tag exhaustion, shifting `now`.
     /// Zero (and so a no-op) whenever fault injection is inert.
     fn absorb_stall(&mut self, now: SimTime) -> SimTime {
-        now + std::mem::replace(&mut self.pending_stall, SimDuration::ZERO)
+        let stall = std::mem::replace(&mut self.pending_stall, SimDuration::ZERO);
+        if stall > SimDuration::ZERO {
+            self.profiler.record(self.phases.rbq_wait, stall);
+        }
+        now + stall
     }
 
     /// Schedules a bus transfer, routing through the retry-aware path
     /// only when fault injection is live.
     fn bus_transfer(&mut self, now: SimTime, bytes: u64) -> Result<TransferTiming, SystemError> {
-        if self.injector.is_active() {
-            Ok(self
-                .bus
-                .schedule_transfer_resilient(now, bytes, &mut self.injector)?)
+        let timing = if self.injector.is_active() {
+            self.bus
+                .schedule_transfer_resilient(now, bytes, &mut self.injector)?
         } else {
-            Ok(self.bus.schedule_transfer(now, bytes))
-        }
+            self.bus.schedule_transfer(now, bytes)
+        };
+        self.profiler
+            .span(self.phases.bus_transfer, now, timing.complete);
+        Ok(timing)
     }
 
     /// Returns the open flow id, opening one on the Host lane if needed.
@@ -248,10 +308,14 @@ impl QtenonSystem {
         self.flow_seq += 1;
         self.active_flow = Some((flow, tag));
         let issue_cost = self.host.clock().cycles(1);
-        let name = format!("issue rbq:{}", tag.value());
         if let Some(trace) = &mut self.trace {
-            trace.record(&name, TraceLane::Host, now, issue_cost);
-            trace.record_flow_start(format!("rbq:{}", tag.value()), TraceLane::Host, now, flow);
+            trace.record(
+                rbq_issue_name(tag.value()),
+                TraceLane::Host,
+                now,
+                issue_cost,
+            );
+            trace.record_flow_start(rbq_flow_name(tag.value()), TraceLane::Host, now, flow);
         }
         Some(flow)
     }
@@ -263,7 +327,7 @@ impl QtenonSystem {
         };
         let tag = self.active_flow.expect("flow just ensured").1;
         if let Some(trace) = &mut self.trace {
-            trace.record_flow_step(format!("rbq:{}", tag.value()), lane, now, flow);
+            trace.record_flow_step(rbq_flow_name(tag.value()), lane, now, flow);
         }
     }
 
@@ -274,7 +338,7 @@ impl QtenonSystem {
         };
         let (_, tag) = self.active_flow.take().expect("flow just ensured");
         if let Some(trace) = &mut self.trace {
-            trace.record_flow_end(format!("rbq:{}", tag.value()), lane, now, flow);
+            trace.record_flow_end(rbq_flow_name(tag.value()), lane, now, flow);
         }
         if self.injector.is_active() && self.injector.bernoulli(FaultSite::RbqStuck) {
             // The completion response is lost: the tag stays allocated
@@ -290,6 +354,32 @@ impl QtenonSystem {
             // of it, retirement waits until the watchdog frees them.
             while self.rbq.pop_in_order().is_some() {}
         }
+    }
+
+    /// The latency-attribution profiler. Sim-time spans are always
+    /// collected; wall-clock timers run only after
+    /// [`QtenonSystem::set_profiling`]`(true)`.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Mutable profiler access, used by higher layers (the VQA runner) to
+    /// intern and record their own phases into the same table.
+    pub fn profiler_mut(&mut self) -> &mut Profiler {
+        &mut self.profiler
+    }
+
+    /// Snapshot of the per-phase attribution table (deterministic: built
+    /// from sim-time only).
+    pub fn phase_table(&self) -> PhaseTable {
+        self.profiler.table()
+    }
+
+    /// Enables or disables wall-clock capture in the profiler. Sim-time
+    /// spans and every exported metric are unaffected, so snapshots are
+    /// byte-identical whether profiling is on or off.
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profiler.set_wall_enabled(enabled);
     }
 
     /// Cumulative SLT statistics.
@@ -364,6 +454,7 @@ impl QtenonSystem {
         // 9-byte records. The two pipelines overlap, so charge the max.
         let bytes = entries.len() as u64 * 9;
         let read = self.hierarchy.access_range(classical_addr, bytes, false);
+        self.profiler.record(self.phases.host_read, read);
         let transfer = self.bus_transfer(now, bytes)?;
         let complete = (now + read).max(transfer.complete);
         let d = complete.saturating_since(now);
@@ -405,6 +496,7 @@ impl QtenonSystem {
         let bytes = length * 8;
         let transfer = self.bus_transfer(now, bytes)?;
         let write = self.hierarchy.access_range(classical_addr, bytes, true);
+        self.profiler.record(self.phases.host_write, write);
         let mut complete = transfer.complete.max(now + write);
         if self.injector.is_active() {
             let timeouts = self.injector.geometric_failures(FaultSite::ReadoutTimeout);
@@ -488,12 +580,14 @@ impl QtenonSystem {
                 data27,
             })
             .collect();
+        let wall = self.profiler.wall_start();
         let (report, resolved) = if self.injector.is_active() {
             self.pipeline
                 .process_resilient(now, &work, &mut self.injector)?
         } else {
             self.pipeline.process(now, &work)?
         };
+        self.profiler.wall_end(self.phases.pgu_dispatch, wall);
         for (item, pulse) in work.iter().zip(&resolved) {
             if pulse.generated {
                 // Synthetic-but-deterministic pulse payload derived from
@@ -509,9 +603,17 @@ impl QtenonSystem {
         }
         self.dynamic_instructions += 1;
         self.lat_q_gen.record(report.total_time.as_ps() / 1_000);
+        self.profiler
+            .record(self.phases.slt_resolve, report.front_time);
+        self.profiler
+            .record(self.phases.pgu_dispatch, report.pgu_busy);
+        if report.stall_time > SimDuration::ZERO {
+            self.profiler
+                .record(self.phases.pgu_stall, report.stall_time);
+        }
         self.flow_step(TraceLane::PulsePipeline, now);
         self.trace_event(
-            &format!("q_gen[{}]", report.entries),
+            format!("q_gen[{}]", report.entries),
             TraceLane::PulsePipeline,
             now,
             report.total_time,
@@ -545,6 +647,7 @@ impl QtenonSystem {
         let prepared = self.simulator.prepare(circuit)?;
         let base = self.simulator.advance_cursor(shots);
         let plan = ShardPlan::new(shots, self.config.threads);
+        let wall = self.profiler.wall_start();
         let simulator = &self.simulator;
         let shard_outputs = parallel::run_sharded(&plan, |shard| {
             let mut bits = Vec::with_capacity(shard.shots as usize);
@@ -564,6 +667,7 @@ impl QtenonSystem {
             results.extend(bits);
             self.shard_metrics.merge(&worker_metrics);
         }
+        self.profiler.wall_end(self.phases.chip_execute, wall);
         // Pack each shot's bits into consecutive 64-bit measure entries.
         self.measure_cursor = 0;
         let layout = self.config.layout;
@@ -602,9 +706,10 @@ impl QtenonSystem {
         self.dynamic_instructions += 1;
         self.lat_q_run
             .record(complete.saturating_since(now).as_ps() / 1_000);
+        self.profiler.span(self.phases.chip_execute, now, complete);
         self.flow_end(TraceLane::QuantumChip, now);
         self.trace_event(
-            &format!("q_run[{shots}]"),
+            format!("q_run[{shots}]"),
             TraceLane::QuantumChip,
             now,
             complete.saturating_since(now),
@@ -622,6 +727,7 @@ impl QtenonSystem {
     /// Calling this repeatedly overwrites earlier values, so one registry
     /// can track a system across snapshots.
     pub fn export_metrics(&self, m: &mut MetricsRegistry) {
+        self.profiler.export_metrics(m, "profile");
         self.hierarchy.export_metrics(m, "mem");
         self.qcc.export_metrics(m, "mem.qcc");
         self.pipeline.export_metrics(m, "controller");
@@ -682,6 +788,7 @@ impl QtenonSystem {
         self.rbq_stalls = 0;
         self.pending_stall = SimDuration::ZERO;
         self.shard_metrics = MetricsRegistry::new();
+        self.profiler.reset();
         self.lat_q_update.reset();
         self.lat_q_set.reset();
         self.lat_q_acquire.reset();
@@ -998,6 +1105,40 @@ mod tests {
         assert!(a.faults_injected > 0, "no faults fired: {a:?}");
         assert!(a.total_retries() > 0, "no recovery actions: {a:?}");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiler_attributes_system_phases() {
+        let mut sys = system(4);
+        let items = vec![(QubitId::new(0), GateType::Rx, 123u32)];
+        let (_, t) = sys.q_gen(t0(), &items).unwrap();
+        let mut c = Circuit::new(4);
+        c.rx(0, 1.0).measure_all();
+        let out = sys.q_run(t, &c, 3).unwrap();
+        let maddr = sys.config().layout.measure_entry(0).unwrap();
+        sys.q_acquire(out.complete, maddr, 1, 0xA000).unwrap();
+        let table = sys.phase_table();
+        for phase in [
+            "controller.slt_resolve",
+            "controller.pgu_dispatch",
+            "controller.bus_transfer",
+            "mem.host_write",
+            "chip.execute",
+        ] {
+            assert!(table.row(phase).is_some(), "missing phase {phase}");
+        }
+        let mut m = MetricsRegistry::new();
+        sys.export_metrics(&mut m);
+        assert!(m.get("profile.chip.execute.count").is_some());
+        assert!(m.get("profile.chip.execute.sim_ns").is_some());
+        // Enabling wall-clock capture must not change exported metrics.
+        sys.set_profiling(true);
+        let mut m2 = MetricsRegistry::new();
+        sys.export_metrics(&mut m2);
+        assert_eq!(m.snapshot().to_json(), m2.snapshot().to_json());
+        // Accounting reset clears the attribution table.
+        sys.reset_accounting();
+        assert!(sys.phase_table().is_empty());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! across lanes — Perfetto draws these as arrows from the host's issue
 //! slice through communication and pulse generation to the chip.
 
+use std::borrow::Cow;
+
 use qtenon_sim_engine::metrics::json_escape;
 use qtenon_sim_engine::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -26,6 +28,8 @@ pub enum TraceLane {
     PulsePipeline,
     /// The quantum chip.
     QuantumChip,
+    /// VQA phase attribution spans (compile, upload, execute, ...).
+    Phase,
 }
 
 impl TraceLane {
@@ -36,6 +40,7 @@ impl TraceLane {
             TraceLane::Communication => 2,
             TraceLane::PulsePipeline => 3,
             TraceLane::QuantumChip => 4,
+            TraceLane::Phase => 5,
         }
     }
 
@@ -46,7 +51,71 @@ impl TraceLane {
             TraceLane::Communication => "communication",
             TraceLane::PulsePipeline => "pulse-pipeline",
             TraceLane::QuantumChip => "quantum-chip",
+            TraceLane::Phase => "phase",
         }
+    }
+}
+
+/// Pre-interned `rbq:N` flow labels: the flow helpers are on the
+/// per-instruction hot path, and formatting the tag fresh for every
+/// event allocated a `String` per event. Tags beyond the interned range
+/// fall back to an owned allocation.
+static RBQ_NAMES: [&str; 32] = [
+    "rbq:0", "rbq:1", "rbq:2", "rbq:3", "rbq:4", "rbq:5", "rbq:6", "rbq:7", "rbq:8", "rbq:9",
+    "rbq:10", "rbq:11", "rbq:12", "rbq:13", "rbq:14", "rbq:15", "rbq:16", "rbq:17", "rbq:18",
+    "rbq:19", "rbq:20", "rbq:21", "rbq:22", "rbq:23", "rbq:24", "rbq:25", "rbq:26", "rbq:27",
+    "rbq:28", "rbq:29", "rbq:30", "rbq:31",
+];
+
+static RBQ_ISSUE_NAMES: [&str; 32] = [
+    "issue rbq:0",
+    "issue rbq:1",
+    "issue rbq:2",
+    "issue rbq:3",
+    "issue rbq:4",
+    "issue rbq:5",
+    "issue rbq:6",
+    "issue rbq:7",
+    "issue rbq:8",
+    "issue rbq:9",
+    "issue rbq:10",
+    "issue rbq:11",
+    "issue rbq:12",
+    "issue rbq:13",
+    "issue rbq:14",
+    "issue rbq:15",
+    "issue rbq:16",
+    "issue rbq:17",
+    "issue rbq:18",
+    "issue rbq:19",
+    "issue rbq:20",
+    "issue rbq:21",
+    "issue rbq:22",
+    "issue rbq:23",
+    "issue rbq:24",
+    "issue rbq:25",
+    "issue rbq:26",
+    "issue rbq:27",
+    "issue rbq:28",
+    "issue rbq:29",
+    "issue rbq:30",
+    "issue rbq:31",
+];
+
+/// The interned `rbq:N` flow label for `tag` (allocation-free for tags
+/// below the interned range).
+pub fn rbq_flow_name(tag: u8) -> Cow<'static, str> {
+    match RBQ_NAMES.get(tag as usize) {
+        Some(&name) => Cow::Borrowed(name),
+        None => Cow::Owned(format!("rbq:{tag}")),
+    }
+}
+
+/// The interned `issue rbq:N` slice label for `tag`.
+pub fn rbq_issue_name(tag: u8) -> Cow<'static, str> {
+    match RBQ_ISSUE_NAMES.get(tag as usize) {
+        Some(&name) => Cow::Borrowed(name),
+        None => Cow::Owned(format!("issue rbq:{tag}")),
     }
 }
 
@@ -82,8 +151,9 @@ pub enum TraceEventKind {
 /// One traced event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceEvent {
-    /// Event label (e.g. `q_set`, `q_run[500]`).
-    pub name: String,
+    /// Event label (e.g. `q_set`, `q_run[500]`). Static labels are
+    /// borrowed, so the hot path records them without allocating.
+    pub name: Cow<'static, str>,
     /// The component lane.
     pub lane: TraceLane,
     /// Start time.
@@ -106,10 +176,23 @@ impl Trace {
         Trace::default()
     }
 
+    /// Creates an empty trace with room for `capacity` events, so the
+    /// first `capacity` records cannot reallocate.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.events.reserve(additional);
+    }
+
     /// Appends a complete ("X") slice.
     pub fn record(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         lane: TraceLane,
         start: SimTime,
         duration: SimDuration,
@@ -124,7 +207,12 @@ impl Trace {
     }
 
     /// Appends an instant ("i") marker.
-    pub fn record_instant(&mut self, name: impl Into<String>, lane: TraceLane, at: SimTime) {
+    pub fn record_instant(
+        &mut self,
+        name: impl Into<Cow<'static, str>>,
+        lane: TraceLane,
+        at: SimTime,
+    ) {
         self.events.push(TraceEvent {
             name: name.into(),
             lane,
@@ -137,7 +225,7 @@ impl Trace {
     /// Appends a counter ("C") sample.
     pub fn record_counter(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         lane: TraceLane,
         at: SimTime,
         value: f64,
@@ -154,7 +242,7 @@ impl Trace {
     /// Appends a flow-start ("s") event opening flow `flow` on `lane`.
     pub fn record_flow_start(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         lane: TraceLane,
         at: SimTime,
         flow: u64,
@@ -171,7 +259,7 @@ impl Trace {
     /// Appends a flow-step ("t") event continuing flow `flow` on `lane`.
     pub fn record_flow_step(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         lane: TraceLane,
         at: SimTime,
         flow: u64,
@@ -188,7 +276,7 @@ impl Trace {
     /// Appends a flow-end ("f") event closing flow `flow` on `lane`.
     pub fn record_flow_end(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         lane: TraceLane,
         at: SimTime,
         flow: u64,
@@ -407,10 +495,33 @@ mod tests {
             TraceLane::Communication,
             TraceLane::PulsePipeline,
             TraceLane::QuantumChip,
+            TraceLane::Phase,
         ];
         let mut ids: Vec<u32> = lanes.iter().map(|l| l.tid()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 4);
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn rbq_names_are_interned_and_correct() {
+        for tag in 0..40u8 {
+            assert_eq!(rbq_flow_name(tag), format!("rbq:{tag}"));
+            assert_eq!(rbq_issue_name(tag), format!("issue rbq:{tag}"));
+        }
+        // In-range tags borrow a static; out-of-range tags fall back to
+        // an owned allocation.
+        assert!(matches!(rbq_flow_name(31), Cow::Borrowed(_)));
+        assert!(matches!(rbq_flow_name(32), Cow::Owned(_)));
+        assert!(matches!(rbq_issue_name(0), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn static_names_record_without_copying() {
+        let mut t = Trace::with_capacity(2);
+        t.record("static-label", TraceLane::Phase, at(0), SimDuration::ZERO);
+        t.record_counter("depth", TraceLane::Phase, at(1), 2.0);
+        assert!(matches!(t.events()[0].name, Cow::Borrowed("static-label")));
+        assert!(matches!(t.events()[1].name, Cow::Borrowed("depth")));
     }
 }

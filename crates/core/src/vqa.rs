@@ -18,13 +18,15 @@
 use qtenon_compiler::{CompiledProgram, ParameterDiff, QtenonCompiler};
 use qtenon_isa::Instruction;
 use qtenon_quantum::BitString;
-use qtenon_sim_engine::{Histogram, MetricsRegistry, OpClass, OpCounter, SimTime};
+use qtenon_sim_engine::{
+    EventQueue, Histogram, MetricsRegistry, OpClass, OpCounter, PhaseId, Profiler, SimTime,
+};
 use qtenon_workloads::cost::{CostEvaluator, BLOCK_SHOTS};
 use qtenon_workloads::{evaluate_cost, Optimizer, Workload};
 
 use crate::config::{QtenonConfig, SyncMode, TransmissionPolicy};
 use crate::report::{RunReport, TimeBreakdown};
-use crate::schedule::TransmissionPlan;
+use crate::schedule::{TransmissionBatch, TransmissionPlan};
 use crate::system::QtenonSystem;
 use crate::SystemError;
 
@@ -42,6 +44,35 @@ fn batch_overhead_ops(ops: &mut OpCounter) {
     ops.record(OpClass::Branch, 120);
 }
 
+/// Pre-interned phase ids for the iteration-level attribution spans the
+/// runner records into the system's profiler.
+#[derive(Clone, Copy)]
+struct VqaPhases {
+    setup: PhaseId,
+    compile_patch: PhaseId,
+    upload: PhaseId,
+    pulse_gen: PhaseId,
+    quantum_execute: PhaseId,
+    readout_drain: PhaseId,
+    host_post: PhaseId,
+    optimizer_step: PhaseId,
+}
+
+impl VqaPhases {
+    fn intern(profiler: &mut Profiler) -> Self {
+        VqaPhases {
+            setup: profiler.phase("vqa.setup"),
+            compile_patch: profiler.phase("vqa.compile_patch"),
+            upload: profiler.phase("vqa.upload"),
+            pulse_gen: profiler.phase("vqa.pulse_gen"),
+            quantum_execute: profiler.phase("vqa.quantum_execute"),
+            readout_drain: profiler.phase("vqa.readout_drain"),
+            host_post: profiler.phase("vqa.host_post"),
+            optimizer_step: profiler.phase("vqa.optimizer_step"),
+        }
+    }
+}
+
 /// Executes hybrid workloads on a [`QtenonSystem`].
 pub struct VqaRunner {
     system: QtenonSystem,
@@ -52,6 +83,12 @@ pub struct VqaRunner {
     eval_latency: Histogram,
     iter_latency: Histogram,
     final_cost: f64,
+    /// PUT events scheduled on the fine-grained drain queue.
+    des_scheduled: u64,
+    /// PUT events dispatched from the drain queue.
+    des_dispatched: u64,
+    /// Deepest the drain queue has ever been across evaluations.
+    des_high_water: u64,
 }
 
 impl std::fmt::Debug for VqaRunner {
@@ -87,7 +124,16 @@ impl VqaRunner {
             eval_latency: Histogram::new(),
             iter_latency: Histogram::new(),
             final_cost: f64::NAN,
+            des_scheduled: 0,
+            des_dispatched: 0,
+            des_high_water: 0,
         })
+    }
+
+    /// Enables or disables wall-clock capture in the profiler. Sim-time
+    /// spans (and so the phase table) are always collected.
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.system.set_profiling(enabled);
     }
 
     /// The compiled program (for inspection).
@@ -109,6 +155,9 @@ impl VqaRunner {
         m.histogram("core.vqa.eval_latency_ns", &self.eval_latency);
         m.histogram("core.vqa.iteration_latency_ns", &self.iter_latency);
         m.gauge("core.vqa.final_cost", self.final_cost);
+        m.counter("profile.des.puts_scheduled", self.des_scheduled);
+        m.counter("profile.des.puts_dispatched", self.des_dispatched);
+        m.counter("profile.des.put_queue_high_water", self.des_high_water);
     }
 
     /// Static instruction count of the program text: setup instructions
@@ -142,6 +191,10 @@ impl VqaRunner {
         self.eval_latency.reset();
         self.iter_latency.reset();
         self.final_cost = f64::NAN;
+        self.des_scheduled = 0;
+        self.des_dispatched = 0;
+        self.des_high_water = 0;
+        let phases = VqaPhases::intern(self.system.profiler_mut());
         let mut now = SimTime::ZERO;
         let mut breakdown = TimeBreakdown::default();
         let mut host_ops_total = OpCounter::new();
@@ -161,8 +214,10 @@ impl VqaRunner {
             let d = self.system.host().duration_for(&ops);
             host_ops_total += ops;
             breakdown.host += d;
+            self.system.profiler_mut().record(phases.compile_patch, d);
             now += d;
 
+            let upload_start = now;
             let comm_before = self.system.comm().total();
             for (chunk_idx, instr) in self
                 .program
@@ -196,13 +251,24 @@ impl VqaRunner {
                 }
             }
             breakdown.communication += self.system.comm().total() - comm_before;
+            self.system
+                .profiler_mut()
+                .span(phases.upload, upload_start, now);
 
             let items = self.program.work_items(&params)?;
             pulse_work_items += items.len() as u64;
             let (report, gen_done) = self.system.q_gen(now, &items)?;
             pulses_generated += report.generated;
             breakdown.pulse_generation += report.total_time;
+            self.system
+                .profiler_mut()
+                .record(phases.pulse_gen, report.total_time);
             now = gen_done;
+            self.system
+                .profiler_mut()
+                .span(phases.setup, SimTime::ZERO, now);
+            self.system
+                .trace_phase("vqa.setup", SimTime::ZERO, now.elapsed());
         }
 
         // --- Optimisation loop.
@@ -218,6 +284,7 @@ impl VqaRunner {
                     &loaded_params,
                     eval_params,
                     shots,
+                    phases,
                     &mut breakdown,
                     &mut host_ops_total,
                     &mut pulses_generated,
@@ -236,6 +303,8 @@ impl VqaRunner {
             let d = self.system.host().duration_for(&ops);
             host_ops_total += ops;
             breakdown.host += d;
+            self.system.profiler_mut().record(phases.optimizer_step, d);
+            self.system.trace_phase("vqa.optimizer_step", now, d);
             now += d;
             let mean = evals.iter().sum::<f64>() / evals.len().max(1) as f64;
             cost_history.push(mean);
@@ -266,6 +335,7 @@ impl VqaRunner {
                 1.0 - pulses_generated as f64 / pulse_work_items as f64
             },
             resilience: self.system.resilience(),
+            phases: self.system.phase_table(),
         })
     }
 
@@ -279,6 +349,7 @@ impl VqaRunner {
         loaded_params: &[f64],
         eval_params: &[f64],
         shots: u64,
+        phases: VqaPhases,
         breakdown: &mut TimeBreakdown,
         host_ops_total: &mut OpCounter,
         pulses_generated: &mut u64,
@@ -297,13 +368,19 @@ impl VqaRunner {
             let d = self.system.host().duration_for(&ops);
             *host_ops_total += ops;
             breakdown.host += d;
+            self.system.profiler_mut().record(phases.compile_patch, d);
+            self.system.trace_phase("vqa.compile_patch", now, d);
             now += d;
         }
+        let upload_start = now;
         for instr in diff.update_instructions(&self.program) {
             if let Instruction::QUpdate { qaddr, value } = instr {
                 now = self.system.q_update(now, qaddr, value)?;
             }
         }
+        self.system
+            .profiler_mut()
+            .span(phases.upload, upload_start, now);
 
         // 2. Pulse generation: the SLT skips everything unchanged.
         let items = self.program.work_items(eval_params)?;
@@ -311,13 +388,24 @@ impl VqaRunner {
         let (gen_report, gen_done) = self.system.q_gen(now, &items)?;
         *pulses_generated += gen_report.generated;
         breakdown.pulse_generation += gen_report.total_time;
+        self.system
+            .profiler_mut()
+            .record(phases.pulse_gen, gen_report.total_time);
+        self.system
+            .trace_phase("vqa.pulse_gen", now, gen_report.total_time);
         now = gen_done;
 
         // 3. Quantum run.
         let bound = self.workload.circuit.bind(eval_params)?;
         let run_start = now;
         let outcome = self.system.q_run(now, &bound, shots)?;
-        breakdown.quantum += outcome.complete.saturating_since(run_start);
+        let quantum = outcome.complete.saturating_since(run_start);
+        breakdown.quantum += quantum;
+        self.system
+            .profiler_mut()
+            .record(phases.quantum_execute, quantum);
+        self.system
+            .trace_phase("vqa.quantum_execute", run_start, quantum);
 
         let host = self.system.host();
         let h = self.workload.hamiltonian.clone();
@@ -333,12 +421,19 @@ impl VqaRunner {
                     (shots * words_per_shot).min(config.layout.measure_entries()),
                     HOST_RESULT_ADDR,
                 )?;
+                let drain = acq_done.saturating_since(outcome.complete);
+                self.system
+                    .profiler_mut()
+                    .record(phases.readout_drain, drain);
+                self.system
+                    .trace_phase("vqa.readout_drain", outcome.complete, drain);
                 let mut ops = OpCounter::new();
                 let cost = evaluate_cost(&h, &outcome.shots, &mut ops);
                 batch_overhead_ops(&mut ops);
                 let d = host.duration_for(&ops);
                 *host_ops_total += ops;
                 breakdown.host += d;
+                self.system.profiler_mut().record(phases.host_post, d);
                 (cost, acq_done + d)
             }
             SyncMode::FineGrained => {
@@ -360,9 +455,19 @@ impl VqaRunner {
                 let mut addr = HOST_RESULT_ADDR;
                 let mut flushed = 0usize;
                 let mut arrived = 0usize;
+                // The controller's PUTs are discrete events: schedule each
+                // batch at the time its last shot finishes and drain the
+                // queue in timestamp order. Ready times are monotone in
+                // batch order, so the drain is behaviourally identical to
+                // the direct loop while exercising (and instrumenting) the
+                // DES event path.
+                let mut puts: EventQueue<TransmissionBatch> = EventQueue::new();
                 for batch in plan.batches() {
                     let ready =
                         first_shot_at + outcome.shot_duration * (batch.first_shot + batch.shots);
+                    puts.push(ready, *batch);
+                }
+                while let Some((ready, batch)) = puts.pop() {
                     let put_done = self.system.put_results(ready, addr, batch.bytes)?;
                     addr += batch.bytes;
                     // Per-PUT host wake: barrier query + buffer
@@ -378,6 +483,7 @@ impl VqaRunner {
                     let d = host.duration_for(&ops);
                     *host_ops_total += ops;
                     breakdown.host += d;
+                    self.system.profiler_mut().record(phases.host_post, d);
                     if overlap {
                         host_free = host_free.max(put_done) + d;
                     } else {
@@ -386,6 +492,9 @@ impl VqaRunner {
                         host_free = host_free.max(outcome.complete).max(put_done) + d;
                     }
                 }
+                self.des_scheduled += puts.pushed();
+                self.des_dispatched += puts.popped();
+                self.des_high_water = self.des_high_water.max(puts.high_water() as u64);
                 // Tail block after the final PUT.
                 if flushed < arrived {
                     let mut ops = OpCounter::new();
@@ -394,6 +503,7 @@ impl VqaRunner {
                     let d = host.duration_for(&ops);
                     *host_ops_total += ops;
                     breakdown.host += d;
+                    self.system.profiler_mut().record(phases.host_post, d);
                     host_free += d;
                 }
                 let cost = if shots == 0 {
@@ -401,6 +511,14 @@ impl VqaRunner {
                 } else {
                     h.constant() + value_sum / shots as f64
                 };
+                // The exposed drain tail: host consumption that was not
+                // hidden behind quantum execution (zero when overlapped).
+                let drain = host_free.saturating_since(outcome.complete);
+                self.system
+                    .profiler_mut()
+                    .record(phases.readout_drain, drain);
+                self.system
+                    .trace_phase("vqa.readout_drain", outcome.complete, drain);
                 (cost, outcome.complete.max(host_free))
             }
         };
@@ -470,6 +588,29 @@ mod tests {
         assert!(report.pulse_reduction > 0.0 && report.pulse_reduction < 1.0);
         assert!(report.dynamic_instructions > 0);
         assert!(report.static_instructions < report.dynamic_instructions);
+        // The attribution table covers both VQA-level and system-level
+        // phases, and quantum execution dominates it.
+        for phase in [
+            "vqa.setup",
+            "vqa.compile_patch",
+            "vqa.upload",
+            "vqa.pulse_gen",
+            "vqa.quantum_execute",
+            "vqa.readout_drain",
+            "vqa.host_post",
+            "vqa.optimizer_step",
+            "controller.slt_resolve",
+            "chip.execute",
+        ] {
+            assert!(report.phases.row(phase).is_some(), "missing {phase}");
+        }
+        let quantum = report.phases.row("vqa.quantum_execute").unwrap();
+        assert_eq!(quantum.count, 3 * 2); // iterations × SPSA ± evaluations
+        assert_eq!(
+            quantum.total_ns,
+            report.breakdown.quantum.as_ps() / 1_000,
+            "phase table must agree with the breakdown"
+        );
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Differential determinism tests for the latency-attribution profiler.
+//!
+//! The contract (DESIGN.md §10): sim-time spans — the `RunReport` phase
+//! table and every `profile.*` metric — are byte-identical across
+//! `--threads` and across `--profile` on/off, because wall-clock data
+//! lives in a separate, explicitly unstable section that is never
+//! exported. These tests enforce both axes on rendered bytes, not just
+//! parsed values, so `qtenon run --profile` output is covered too.
+
+use qtenon_core::config::{CoreModel, QtenonConfig};
+use qtenon_core::report::RunReport;
+use qtenon_core::vqa::VqaRunner;
+use qtenon_sim_engine::MetricsRegistry;
+use qtenon_workloads::{SpsaOptimizer, Workload, WorkloadKind};
+
+/// Thread count for the sharded leg: `QTENON_THREADS` when set (the CI
+/// matrix pins 1 and 4), otherwise 4.
+fn sharded_threads() -> usize {
+    std::env::var("QTENON_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Runs a small VQE and returns the report, the rendered phase table
+/// (exactly what `qtenon run --profile` prints), and the metrics-JSON
+/// artefact (exactly what `--metrics` writes).
+fn run_at(threads: usize, profile: bool, seed: u64) -> (RunReport, String, String) {
+    let config = QtenonConfig::table4(8, CoreModel::Rocket)
+        .expect("valid config")
+        .with_seed(seed)
+        .with_threads(threads)
+        .with_profile(profile);
+    let workload = Workload::benchmark(WorkloadKind::Vqe, 8, seed).expect("workload");
+    let mut runner = VqaRunner::new(config, workload).expect("runner");
+    let report = runner
+        .run(&mut SpsaOptimizer::new(seed), 2, 96)
+        .expect("run succeeds");
+    let mut m = MetricsRegistry::new();
+    runner.export_metrics(&mut m);
+    let rendered = report.phases.render();
+    (report, rendered, m.snapshot().to_json())
+}
+
+#[test]
+fn phase_table_byte_identical_across_thread_counts() {
+    for seed in [1u64, 42] {
+        let (serial, serial_table, serial_json) = run_at(1, false, seed);
+        let (sharded, sharded_table, sharded_json) = run_at(sharded_threads(), false, seed);
+        assert_eq!(serial_table, sharded_table, "seed {seed}");
+        assert_eq!(serial.phases, sharded.phases, "seed {seed}");
+        assert_eq!(serial_json, sharded_json, "seed {seed}");
+    }
+}
+
+#[test]
+fn profile_flag_never_changes_reports_or_metrics() {
+    let (off_report, off_table, off_json) = run_at(1, false, 42);
+    let (on_report, on_table, on_json) = run_at(1, true, 42);
+    assert_eq!(off_report, on_report);
+    assert_eq!(off_table, on_table);
+    assert_eq!(off_json, on_json);
+    // Both axes at once: threads and profile flipped together.
+    let (both_report, both_table, both_json) = run_at(sharded_threads(), true, 42);
+    assert_eq!(off_report, both_report);
+    assert_eq!(off_table, both_table);
+    assert_eq!(off_json, both_json);
+}
+
+#[test]
+fn phase_attribution_is_consistent_with_the_breakdown() {
+    let (report, rendered, json) = run_at(1, false, 42);
+    assert!(!report.phases.is_empty());
+    // The quantum-execute phase is the breakdown's quantum time,
+    // span-for-span: 2 iterations × 2 SPSA evaluations.
+    let quantum = report.phases.row("vqa.quantum_execute").expect("phase row");
+    assert_eq!(quantum.count, 4);
+    assert_eq!(quantum.total_ns, report.breakdown.quantum.as_ps() / 1_000);
+    // One optimizer step per iteration.
+    assert_eq!(
+        report.phases.row("vqa.optimizer_step").expect("row").count,
+        2
+    );
+    // The rendered table carries every row plus the total line, and the
+    // profile namespace made it into the metrics artefact.
+    assert_eq!(rendered.lines().count(), report.phases.rows.len() + 2);
+    assert!(json.contains("\"profile.vqa.quantum_execute.sim_total_ns\""));
+    assert!(json.contains("\"profile.chip.execute.count\""));
+    // Wall-clock never leaks into stable output.
+    assert!(!json.contains("wall"));
+    assert!(!rendered.contains("wall"));
+}
+
+#[test]
+fn merged_reports_merge_phase_tables() {
+    let (a, _, _) = run_at(1, false, 1);
+    let (b, _, _) = run_at(1, false, 2);
+    let mut merged = a.clone();
+    merged.merge(&b);
+    let row =
+        |r: &RunReport, name: &str| r.phases.row(name).map(|p| (p.count, p.total_ns)).unwrap();
+    let (ca, ta) = row(&a, "vqa.pulse_gen");
+    let (cb, tb) = row(&b, "vqa.pulse_gen");
+    assert_eq!(row(&merged, "vqa.pulse_gen"), (ca + cb, ta + tb));
+}

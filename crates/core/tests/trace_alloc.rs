@@ -1,0 +1,91 @@
+//! Zero-allocation contract for the hot-path trace recorders.
+//!
+//! Every `Trace::record*` helper takes `impl Into<Cow<'static, str>>`,
+//! so a `&'static str` label is borrowed, never copied, and the interned
+//! `rbq_flow_name`/`rbq_issue_name` tables cover the per-tag flow labels
+//! — recording into pre-reserved capacity must therefore perform zero
+//! heap allocations per event. A counting global allocator pins that
+//! down; the file holds a single `#[test]` so no sibling test's
+//! allocations race the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qtenon_core::trace::{rbq_flow_name, rbq_issue_name, Trace, TraceLane};
+use qtenon_sim_engine::{SimDuration, SimTime};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn recording_static_names_into_reserved_capacity_allocates_nothing() {
+    const EVENTS: usize = 256;
+    // 6 recorder calls per loop turn.
+    let mut trace = Trace::with_capacity(6 * EVENTS);
+
+    // The interned tables hand out borrowed labels for tags below their
+    // size; anything beyond falls back to an owned string.
+    assert!(matches!(rbq_flow_name(7), Cow::Borrowed(_)));
+    assert!(matches!(rbq_issue_name(7), Cow::Borrowed(_)));
+    assert!(matches!(rbq_flow_name(200), Cow::Owned(_)));
+
+    let before = allocations();
+    for i in 0..EVENTS {
+        let at = SimTime::ZERO + SimDuration::from_ns(i as u64);
+        let tag = (i % 32) as u8;
+        trace.record("q_run", TraceLane::QuantumChip, at, SimDuration::from_ns(5));
+        trace.record_instant("retry", TraceLane::Host, at);
+        trace.record_counter("rbq_depth", TraceLane::Communication, at, i as f64);
+        trace.record_flow_start(rbq_flow_name(tag), TraceLane::QuantumChip, at, tag as u64);
+        trace.record_flow_step(
+            rbq_issue_name(tag),
+            TraceLane::Communication,
+            at,
+            tag as u64,
+        );
+        trace.record_flow_end(rbq_flow_name(tag), TraceLane::Host, at, tag as u64);
+    }
+    let delta = allocations() - before;
+
+    assert_eq!(trace.len(), 6 * EVENTS);
+    assert_eq!(
+        delta, 0,
+        "hot-path recording allocated {delta} time(s) for {EVENTS} turns"
+    );
+
+    // Growth beyond the reservation is allowed to allocate — but only
+    // for the vector, never per-label.
+    let before = allocations();
+    trace.record(
+        "overflow",
+        TraceLane::QuantumChip,
+        SimTime::ZERO,
+        SimDuration::ZERO,
+    );
+    assert!(allocations() - before <= 1);
+}

@@ -61,6 +61,8 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     now: SimTime,
+    popped: u64,
+    high_water: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -70,6 +72,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            popped: 0,
+            high_water: 0,
         }
     }
 
@@ -85,12 +89,14 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, payload });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, advancing the clock to it.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let ev = self.heap.pop()?;
         self.now = ev.time;
+        self.popped += 1;
         Some((ev.time, ev.payload))
     }
 
@@ -112,6 +118,21 @@ impl<E> EventQueue<E> {
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled on this queue.
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total events dispatched (popped) from this queue.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// The deepest the pending-event queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -169,6 +190,22 @@ mod tests {
         q.push(at(10), ());
         q.pop();
         q.push(at(5), ());
+    }
+
+    #[test]
+    fn dispatch_stats_track_traffic() {
+        let mut q = EventQueue::new();
+        assert_eq!((q.pushed(), q.popped(), q.high_water()), (0, 0, 0));
+        q.push(at(1), ());
+        q.push(at(2), ());
+        q.push(at(3), ());
+        assert_eq!((q.pushed(), q.popped(), q.high_water()), (3, 0, 3));
+        q.pop();
+        q.pop();
+        q.push(at(9), ());
+        // High water remembers the historical peak, not the current depth.
+        assert_eq!((q.pushed(), q.popped(), q.high_water()), (4, 2, 3));
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

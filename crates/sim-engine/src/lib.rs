@@ -16,6 +16,10 @@
 //!   and Prometheus exporters;
 //! - [`opcount`]: the abstract-operation counter that drives the host core
 //!   cost models;
+//! - [`profile`]: span-based latency attribution — deterministic
+//!   sim-time phase spans plus explicitly unstable wall-clock scopes,
+//!   distilled into the `profile.*` metrics namespace and per-run
+//!   [`PhaseTable`]s;
 //! - [`faults`]: deterministic, seeded fault injection ([`FaultPlan`] /
 //!   [`FaultInjector`]) used by the component models to exercise their
 //!   retry/degradation paths reproducibly;
@@ -40,6 +44,7 @@ pub mod event;
 pub mod faults;
 pub mod metrics;
 pub mod opcount;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -49,6 +54,7 @@ pub use event::EventQueue;
 pub use faults::{FaultInjector, FaultPlan, FaultSite};
 pub use metrics::{Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use opcount::{OpClass, OpCounter};
+pub use profile::{PhaseId, PhaseRow, PhaseTable, Profiler};
 pub use rng::{splitmix64, stream_seed, unit};
 pub use stats::{Counter, Tally};
 pub use time::{SimDuration, SimTime};

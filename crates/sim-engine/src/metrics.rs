@@ -444,6 +444,23 @@ impl MetricsSnapshot {
                     out.push_str(&format!("{name} {}\n", json_f64(*v)));
                 }
                 MetricValue::Histogram(h) => {
+                    // Cumulative le-labelled buckets make the exporter
+                    // scrape-compatible with Prometheus histogram
+                    // queries. Empty buckets are skipped (the running
+                    // cumulative count stays correct), and the
+                    // mandatory `+Inf` bucket equals `_count`.
+                    let mut cumulative = 0u64;
+                    for (idx, &c) in h.buckets().iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                            Histogram::bucket_upper_bound(idx)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
                     out.push_str(&format!("{name}_count {}\n", h.count()));
                     out.push_str(&format!("{name}_sum {}\n", h.sum()));
                     for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
@@ -722,6 +739,93 @@ mod tests {
                 "bad name in {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn percentiles_on_empty_single_sample_and_single_bucket() {
+        // Empty: every quantile is None.
+        let empty = Histogram::new();
+        assert_eq!(empty.p50(), None);
+        assert_eq!(empty.p90(), None);
+        assert_eq!(empty.p99(), None);
+        // Single sample: p50 = p90 = p99 = the sample (bucket upper
+        // bound clamped to max).
+        let mut single = Histogram::new();
+        single.record(7);
+        assert_eq!(single.p50(), Some(7));
+        assert_eq!(single.p90(), Some(7));
+        assert_eq!(single.p99(), Some(7));
+        // Single-sample zero lands in bucket 0.
+        let mut zero = Histogram::new();
+        zero.record(0);
+        assert_eq!(zero.p50(), Some(0));
+        assert_eq!(zero.p99(), Some(0));
+        // All samples in one bucket: every percentile is that bucket's
+        // upper bound clamped to the observed max.
+        let mut one_bucket = Histogram::new();
+        for v in [4u64, 5, 6] {
+            one_bucket.record(v);
+        }
+        assert_eq!(one_bucket.p50(), Some(6));
+        assert_eq!(one_bucket.p90(), Some(6));
+        assert_eq!(one_bucket.p99(), Some(6));
+    }
+
+    #[test]
+    fn registry_merge_disjoint_keys_is_union() {
+        let mut a = MetricsRegistry::new();
+        a.counter("left.hits", 1);
+        a.observe("left.lat", 10);
+        let mut b = MetricsRegistry::new();
+        b.counter("right.hits", 2);
+        b.gauge("right.rate", 0.5);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get("left.hits"), Some(&MetricValue::Counter(1)));
+        assert_eq!(a.get("right.hits"), Some(&MetricValue::Counter(2)));
+        assert_eq!(a.get("right.rate"), Some(&MetricValue::Gauge(0.5)));
+    }
+
+    #[test]
+    fn registry_merge_type_collisions_take_incoming_value() {
+        let mut a = MetricsRegistry::new();
+        a.counter("x", 5);
+        a.observe("y", 10);
+        a.gauge("z", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.gauge("x", 0.25); // counter ← gauge
+        b.counter("y", 3); // histogram ← counter
+        b.observe("z", 7); // gauge ← histogram
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(&MetricValue::Gauge(0.25)));
+        assert_eq!(a.get("y"), Some(&MetricValue::Counter(3)));
+        match a.get("z") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count(), 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_at_inf() {
+        let mut m = MetricsRegistry::new();
+        for v in [1u64, 2, 3, 100] {
+            m.observe("lat", v);
+        }
+        let text = m.snapshot().to_prometheus();
+        // 1 → le="1"; 2,3 → le="3"; 100 → le="127"; cumulative counts.
+        assert!(text.contains("lat_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"3\"} 3\n"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"127\"} 4\n"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("lat_count 4\n"));
+        assert!(text.contains("lat_sum 106\n"));
+        // Bucket lines come out in ascending le order and never decrease.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_bucket"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
     }
 
     #[test]

@@ -1,0 +1,579 @@
+//! Span-based latency attribution.
+//!
+//! The Qtenon argument is a latency breakdown: which integration layer
+//! (compile, pulse generation, communication, execution, readout,
+//! classical optimise) eats each nanosecond of a hybrid iteration. This
+//! module is the measurement substrate behind that breakdown: a
+//! [`Profiler`] holding interned phase names and constant-memory
+//! per-phase accumulators (reusing [`Histogram`]), a stack of
+//! deterministic sim-time spans, and optional wall-clock scoped timers.
+//!
+//! # Determinism contract
+//!
+//! Sim-time spans are *always* collected and derive exclusively from
+//! [`SimTime`]/[`SimDuration`] arithmetic, so the phase accumulators —
+//! and everything rendered from them ([`PhaseTable`], the `profile.*`
+//! metrics namespace) — are byte-identical across thread counts and
+//! across profile-on/off runs. Wall-clock timers are the explicitly
+//! unstable section: they are only collected when
+//! [`Profiler::set_wall_enabled`] is on, never enter the metrics
+//! registry, and are rendered separately by
+//! [`Profiler::render_wall_unstable`].
+//!
+//! # Examples
+//!
+//! ```
+//! use qtenon_sim_engine::profile::Profiler;
+//! use qtenon_sim_engine::{SimDuration, SimTime};
+//!
+//! let mut p = Profiler::new();
+//! let compile = p.phase("vqa.compile_patch");
+//! let t0 = SimTime::ZERO;
+//! p.push(compile, t0);
+//! p.pop(t0 + SimDuration::from_ns(120));
+//! let table = p.table();
+//! assert_eq!(table.rows.len(), 1);
+//! assert_eq!(table.rows[0].total_ns, 120);
+//! ```
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::time::{SimDuration, SimTime};
+
+/// An interned phase name: a cheap copyable handle into a [`Profiler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseId(u16);
+
+/// Per-phase constant-memory accumulator.
+#[derive(Debug, Clone)]
+struct PhaseSlot {
+    name: &'static str,
+    count: u64,
+    total: SimDuration,
+    hist: Histogram,
+    wall_count: u64,
+    wall_total_ns: u128,
+}
+
+impl PhaseSlot {
+    fn new(name: &'static str) -> Self {
+        PhaseSlot {
+            name,
+            count: 0,
+            total: SimDuration::ZERO,
+            hist: Histogram::new(),
+            wall_count: 0,
+            wall_total_ns: 0,
+        }
+    }
+}
+
+/// The latency-attribution profiler: interned phases, a stack of open
+/// sim-time spans, and per-phase [`Histogram`] accumulators.
+///
+/// Sim-time recording is unconditional (it is pure `u64` arithmetic and
+/// must stay identical whether or not the user asked for a profile);
+/// wall-clock recording is gated on [`Profiler::set_wall_enabled`].
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    slots: Vec<PhaseSlot>,
+    stack: Vec<(PhaseId, SimTime)>,
+    wall_enabled: bool,
+}
+
+impl Profiler {
+    /// Creates a profiler with no phases and wall-clock timing off.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Enables or disables wall-clock span collection. Sim-time spans
+    /// are unaffected: they are always recorded.
+    pub fn set_wall_enabled(&mut self, enabled: bool) {
+        self.wall_enabled = enabled;
+    }
+
+    /// Whether wall-clock spans are being collected.
+    pub fn wall_enabled(&self) -> bool {
+        self.wall_enabled
+    }
+
+    /// Interns `name`, returning its [`PhaseId`]. Repeated calls with
+    /// the same name return the same id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` distinct phases are interned.
+    pub fn phase(&mut self, name: &'static str) -> PhaseId {
+        if let Some(i) = self.slots.iter().position(|s| s.name == name) {
+            return PhaseId(i as u16);
+        }
+        let id = u16::try_from(self.slots.len()).expect("too many phases");
+        self.slots.push(PhaseSlot::new(name));
+        PhaseId(id)
+    }
+
+    /// The interned name of `id`.
+    pub fn name(&self, id: PhaseId) -> &'static str {
+        self.slots[id.0 as usize].name
+    }
+
+    /// Records one completed sim-time span of duration `d` against `id`.
+    pub fn record(&mut self, id: PhaseId, d: SimDuration) {
+        let slot = &mut self.slots[id.0 as usize];
+        slot.count += 1;
+        slot.total += d;
+        slot.hist.record(d.as_ps() / 1_000);
+    }
+
+    /// Records the sim-time span from `start` to `end` (clamped at zero)
+    /// against `id`.
+    pub fn span(&mut self, id: PhaseId, start: SimTime, end: SimTime) {
+        self.record(id, end.saturating_since(start));
+    }
+
+    /// Opens a sim-time span for `id` starting at `now`.
+    pub fn push(&mut self, id: PhaseId, now: SimTime) {
+        self.stack.push((id, now));
+    }
+
+    /// Closes the innermost open span at `now`, recording its duration.
+    /// Returns the phase and duration, or `None` if no span is open.
+    pub fn pop(&mut self, now: SimTime) -> Option<(PhaseId, SimDuration)> {
+        let (id, start) = self.stack.pop()?;
+        let d = now.saturating_since(start);
+        self.record(id, d);
+        Some((id, d))
+    }
+
+    /// Depth of the open-span stack.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Starts a wall-clock measurement, or returns `None` when wall
+    /// timing is disabled (so the disabled path costs one branch).
+    pub fn wall_start(&self) -> Option<Instant> {
+        self.wall_enabled.then(Instant::now)
+    }
+
+    /// Completes a wall-clock measurement begun by
+    /// [`Profiler::wall_start`]. A `None` start is a no-op.
+    pub fn wall_end(&mut self, id: PhaseId, start: Option<Instant>) {
+        if let Some(start) = start {
+            self.record_wall_ns(id, start.elapsed().as_nanos());
+        }
+    }
+
+    /// Records `ns` nanoseconds of wall time against `id`.
+    pub fn record_wall_ns(&mut self, id: PhaseId, ns: u128) {
+        let slot = &mut self.slots[id.0 as usize];
+        slot.wall_count += 1;
+        slot.wall_total_ns += ns;
+    }
+
+    /// Opens an RAII wall-clock scope: the span is recorded against `id`
+    /// when the guard drops. Sim-time spans are not affected.
+    pub fn wall_scope(&mut self, id: PhaseId) -> WallGuard<'_> {
+        let start = self.wall_start();
+        WallGuard {
+            profiler: self,
+            id,
+            start,
+        }
+    }
+
+    /// Forgets all recorded spans but keeps interned phases, so
+    /// previously returned [`PhaseId`]s stay valid.
+    pub fn reset(&mut self) {
+        for slot in &mut self.slots {
+            let name = slot.name;
+            *slot = PhaseSlot::new(name);
+        }
+        self.stack.clear();
+    }
+
+    /// Exports the deterministic (sim-time) accumulators under
+    /// `<prefix>.<phase>` paths: a `.count` counter, a `.sim_total_ns`
+    /// counter, and a `.sim_ns` latency histogram. Wall-clock values are
+    /// deliberately never exported here — they would break the
+    /// byte-identical metrics contract.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        for slot in &self.slots {
+            if slot.count == 0 {
+                continue;
+            }
+            m.counter(&format!("{prefix}.{}.count", slot.name), slot.count);
+            m.counter(
+                &format!("{prefix}.{}.sim_total_ns", slot.name),
+                slot.total.as_ps() / 1_000,
+            );
+            m.histogram(&format!("{prefix}.{}.sim_ns", slot.name), &slot.hist);
+        }
+    }
+
+    /// Freezes the deterministic accumulators into a [`PhaseTable`]
+    /// (rows sorted by phase name; phases that never fired are omitted).
+    pub fn table(&self) -> PhaseTable {
+        let mut rows: Vec<PhaseRow> = self
+            .slots
+            .iter()
+            .filter(|s| s.count > 0)
+            .map(|s| PhaseRow {
+                name: s.name.to_string(),
+                count: s.count,
+                total_ns: s.total.as_ps() / 1_000,
+                hist: s.hist.clone(),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        PhaseTable { rows }
+    }
+
+    /// Renders the wall-clock section. Wall times vary run to run and
+    /// machine to machine: this output is explicitly unstable and must
+    /// never be diffed or committed.
+    pub fn render_wall_unstable(&self) -> String {
+        let mut rows: Vec<&PhaseSlot> = self.slots.iter().filter(|s| s.wall_count > 0).collect();
+        if rows.is_empty() {
+            return String::new();
+        }
+        rows.sort_by(|a, b| a.name.cmp(b.name));
+        let width = rows.iter().map(|s| s.name.len()).max().unwrap_or(0).max(5);
+        let mut out = String::from("wall-clock (unstable; varies per run/machine)\n");
+        out.push_str(&format!(
+            "{:<width$}  {:>10}  {:>14}  {:>12}\n",
+            "phase", "count", "wall_total_us", "wall_mean_us"
+        ));
+        for s in rows {
+            let total_us = s.wall_total_ns as f64 / 1e3;
+            let mean_us = total_us / s.wall_count as f64;
+            out.push_str(&format!(
+                "{:<width$}  {:>10}  {:>14.1}  {:>12.3}\n",
+                s.name, s.wall_count, total_us, mean_us
+            ));
+        }
+        out
+    }
+}
+
+/// RAII wall-clock scope from [`Profiler::wall_scope`].
+#[derive(Debug)]
+pub struct WallGuard<'a> {
+    profiler: &'a mut Profiler,
+    id: PhaseId,
+    start: Option<Instant>,
+}
+
+impl Drop for WallGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.profiler
+                .record_wall_ns(self.id, start.elapsed().as_nanos());
+        }
+    }
+}
+
+/// One row of a [`PhaseTable`]: a phase's deterministic sim-time
+/// accumulator. The full [`Histogram`] is embedded so tables merge
+/// exactly (bucket-for-bucket), with percentiles derived on render.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseRow {
+    /// Phase name (`vqa.pulse_gen`, `controller.bus_transfer`, ...).
+    pub name: String,
+    /// Completed spans.
+    pub count: u64,
+    /// Total attributed sim time in nanoseconds.
+    pub total_ns: u64,
+    /// Span-duration distribution (nanosecond samples).
+    pub hist: Histogram,
+}
+
+/// The per-run phase attribution table carried in `RunReport`.
+///
+/// Rows are sorted by phase name; sim-time-only, so two runs that
+/// simulate the same timeline produce byte-identical tables regardless
+/// of thread count or whether profiling output was requested.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTable {
+    /// Rows sorted by phase name.
+    pub rows: Vec<PhaseRow>,
+}
+
+impl PhaseTable {
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sum of all attributed sim time in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.rows.iter().map(|r| r.total_ns).sum()
+    }
+
+    /// The row for `name`, if present.
+    pub fn row(&self, name: &str) -> Option<&PhaseRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Folds `other` into this table row-by-row (union of phase names,
+    /// counts and totals summed, histograms bucket-merged). Merging is
+    /// commutative, mirroring [`Histogram::merge`].
+    pub fn merge(&mut self, other: &PhaseTable) {
+        for theirs in &other.rows {
+            match self.rows.iter_mut().find(|r| r.name == theirs.name) {
+                Some(mine) => {
+                    mine.count += theirs.count;
+                    mine.total_ns += theirs.total_ns;
+                    mine.hist.merge(&theirs.hist);
+                }
+                None => self.rows.push(theirs.clone()),
+            }
+        }
+        self.rows.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Renders the table as aligned text: one row per phase with count,
+    /// total, percentile estimates (all integer nanoseconds), and the
+    /// phase's share of the attributed total. Every column derives from
+    /// sim time, so the rendering is byte-stable across thread counts.
+    pub fn render(&self) -> String {
+        if self.rows.is_empty() {
+            return String::from("no phases recorded\n");
+        }
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(5);
+        let grand = self.total_ns();
+        let mut out = format!(
+            "{:<width$}  {:>10}  {:>14}  {:>10}  {:>10}  {:>10}  {:>10}  {:>6}\n",
+            "phase", "count", "sim_total_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns", "share"
+        );
+        for r in &self.rows {
+            let share = if grand == 0 {
+                0
+            } else {
+                // Integer permille, rendered as a percentage with one
+                // decimal: exact arithmetic, so byte-stable.
+                r.total_ns.saturating_mul(1000) / grand
+            };
+            out.push_str(&format!(
+                "{:<width$}  {:>10}  {:>14}  {:>10}  {:>10}  {:>10}  {:>10}  {:>5}.{}%\n",
+                r.name,
+                r.count,
+                r.total_ns,
+                r.hist.p50().unwrap_or(0),
+                r.hist.p90().unwrap_or(0),
+                r.hist.p99().unwrap_or(0),
+                r.hist.max().unwrap_or(0),
+                share / 10,
+                share % 10,
+            ));
+        }
+        out.push_str(&format!(
+            "{:<width$}  {:>10}  {:>14}\n",
+            "total",
+            self.rows.iter().map(|r| r.count).sum::<u64>(),
+            grand
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut p = Profiler::new();
+        let a = p.phase("alpha");
+        let b = p.phase("beta");
+        assert_ne!(a, b);
+        assert_eq!(p.phase("alpha"), a);
+        assert_eq!(p.name(a), "alpha");
+        assert_eq!(p.name(b), "beta");
+    }
+
+    #[test]
+    fn spans_accumulate_into_table() {
+        let mut p = Profiler::new();
+        let a = p.phase("a");
+        let b = p.phase("b");
+        p.push(a, at(0));
+        p.push(b, at(10));
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.pop(at(30)), Some((b, SimDuration::from_ns(20))));
+        assert_eq!(p.pop(at(100)), Some((a, SimDuration::from_ns(100))));
+        assert_eq!(p.pop(at(100)), None);
+        p.record(a, SimDuration::from_ns(50));
+        let t = p.table();
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.row("a").unwrap().count, 2);
+        assert_eq!(t.row("a").unwrap().total_ns, 150);
+        assert_eq!(t.row("b").unwrap().total_ns, 20);
+        assert_eq!(t.total_ns(), 170);
+    }
+
+    #[test]
+    fn table_omits_silent_phases_and_sorts() {
+        let mut p = Profiler::new();
+        let z = p.phase("zz");
+        let _silent = p.phase("mm");
+        let a = p.phase("aa");
+        p.record(z, SimDuration::from_ns(1));
+        p.record(a, SimDuration::from_ns(2));
+        let table = p.table();
+        let names: Vec<&str> = table.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["aa", "zz"]);
+    }
+
+    #[test]
+    fn reset_keeps_ids_valid() {
+        let mut p = Profiler::new();
+        let a = p.phase("a");
+        p.record(a, SimDuration::from_ns(5));
+        p.reset();
+        assert!(p.table().is_empty());
+        p.record(a, SimDuration::from_ns(7));
+        assert_eq!(p.table().row("a").unwrap().total_ns, 7);
+    }
+
+    #[test]
+    fn wall_disabled_records_nothing() {
+        let mut p = Profiler::new();
+        let a = p.phase("a");
+        assert_eq!(p.wall_start(), None);
+        {
+            let _g = p.wall_scope(a);
+        }
+        p.wall_end(a, None);
+        assert!(p.render_wall_unstable().is_empty());
+        // And no sim-time rows either: wall scopes never touch sim time.
+        assert!(p.table().is_empty());
+    }
+
+    #[test]
+    fn wall_enabled_records_scopes() {
+        let mut p = Profiler::new();
+        p.set_wall_enabled(true);
+        let a = p.phase("a");
+        {
+            let _g = p.wall_scope(a);
+        }
+        let start = p.wall_start();
+        assert!(start.is_some());
+        p.wall_end(a, start);
+        let text = p.render_wall_unstable();
+        assert!(text.contains("unstable"));
+        assert!(text.contains('a'));
+        // Wall spans never leak into the deterministic table or metrics.
+        assert!(p.table().is_empty());
+        let mut m = MetricsRegistry::new();
+        p.export_metrics(&mut m, "profile");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn export_metrics_is_sim_only() {
+        let mut p = Profiler::new();
+        p.set_wall_enabled(true);
+        let a = p.phase("vqa.pulse_gen");
+        p.record(a, SimDuration::from_ns(40));
+        p.record_wall_ns(a, 9_999);
+        let mut m = MetricsRegistry::new();
+        p.export_metrics(&mut m, "profile");
+        assert_eq!(
+            m.paths(),
+            vec![
+                "profile.vqa.pulse_gen.count",
+                "profile.vqa.pulse_gen.sim_ns",
+                "profile.vqa.pulse_gen.sim_total_ns",
+            ]
+        );
+        let json = m.snapshot().to_json();
+        assert!(!json.contains("wall"), "wall time leaked into metrics");
+    }
+
+    #[test]
+    fn table_merge_matches_union() {
+        let mut p1 = Profiler::new();
+        let mut p2 = Profiler::new();
+        let mut union = Profiler::new();
+        let a1 = p1.phase("a");
+        let a2 = p2.phase("a");
+        let b2 = p2.phase("b");
+        let ua = union.phase("a");
+        let ub = union.phase("b");
+        for ns in [10, 20, 30] {
+            p1.record(a1, SimDuration::from_ns(ns));
+            union.record(ua, SimDuration::from_ns(ns));
+        }
+        for ns in [5, 1000] {
+            p2.record(a2, SimDuration::from_ns(ns));
+            union.record(ua, SimDuration::from_ns(ns));
+        }
+        p2.record(b2, SimDuration::from_ns(77));
+        union.record(ub, SimDuration::from_ns(77));
+        let mut merged = p1.table();
+        merged.merge(&p2.table());
+        assert_eq!(merged, union.table());
+    }
+
+    #[test]
+    fn render_is_stable_and_shares_sum() {
+        let mut p = Profiler::new();
+        let a = p.phase("long.phase.name");
+        let b = p.phase("b");
+        p.record(a, SimDuration::from_ns(750));
+        p.record(b, SimDuration::from_ns(250));
+        let t = p.table();
+        let r1 = t.render();
+        let r2 = t.render();
+        assert_eq!(r1, r2);
+        assert!(r1.contains("75.0%"));
+        assert!(r1.contains("25.0%"));
+        assert!(r1.lines().last().unwrap().starts_with("total"));
+    }
+
+    #[test]
+    fn empty_table_renders_placeholder() {
+        assert_eq!(PhaseTable::default().render(), "no phases recorded\n");
+    }
+
+    #[test]
+    fn sub_nanosecond_spans_truncate_consistently() {
+        let mut p = Profiler::new();
+        let a = p.phase("a");
+        p.record(a, SimDuration::from_ps(1_500));
+        let t = p.table();
+        // ps→ns truncation: both the total and the histogram sample see 1.
+        assert_eq!(t.row("a").unwrap().total_ns, 1);
+        assert_eq!(t.row("a").unwrap().hist.max(), Some(1));
+    }
+
+    #[test]
+    fn merging_empty_table_is_identity() {
+        let mut p = Profiler::new();
+        let a = p.phase("a");
+        p.record(a, SimDuration::from_ns(42));
+        let t = p.table();
+        let mut merged = t.clone();
+        merged.merge(&PhaseTable::default());
+        assert_eq!(merged, t);
+        let mut from_empty = PhaseTable::default();
+        from_empty.merge(&t);
+        assert_eq!(from_empty, t);
+    }
+}

@@ -64,7 +64,10 @@ mod tests {
         let mut b = 123u64;
         let first = splitmix64(&mut a);
         assert_eq!(first, splitmix64(&mut b));
-        assert_ne!(first, splitmix64(&mut a), "stream must advance");
+        let second = splitmix64(&mut a);
+        assert_ne!(first, second, "stream must advance");
+        // Equally advanced states stay in lockstep.
+        assert_eq!(second, splitmix64(&mut b));
         assert_eq!(a, b);
     }
 

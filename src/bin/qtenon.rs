@@ -7,12 +7,19 @@
 //!             [--threads T]                                 # shot-sharded sampling
 //!             [--metrics out.json] [--trace out.json]       # telemetry export
 //!             [--faults SPEC|FILE] [--fault-seed S]         # fault injection
+//!             [--profile]                                   # phase attribution table
 //! qtenon disasm <file.qasm>                                 # compiled chunk listing
 //! qtenon trace <file.qasm> [--shots N]                      # Chrome trace JSON to stdout
 //! qtenon batch --jobs <spec.json> [--threads T]             # multi-job fleet
 //!             [--metrics out.json] [--job-metrics DIR]      # fleet + per-job artefacts
-//!             [--only NAME]                                 # run one job standalone
+//!             [--only NAME] [--profile]                     # run one job standalone
 //! ```
+//!
+//! `--profile` prints the per-phase latency-attribution table after the
+//! run. The table derives purely from simulated time, so it is
+//! byte-identical at any `--threads` value and whether or not the flag
+//! was passed (the flag only controls printing plus an extra wall-clock
+//! section that is explicitly unstable).
 //!
 //! `--metrics PATH` writes the full metric tree as JSON to `PATH`, a
 //! Prometheus text rendering to `PATH.prom`, and prints a human-readable
@@ -60,6 +67,7 @@ struct Args {
     trace_out: Option<String>,
     faults: Option<String>,
     fault_seed: Option<u64>,
+    profile: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,8 +82,10 @@ fn parse_args() -> Result<Args, String> {
     let mut trace_out = None;
     let mut faults = None;
     let mut fault_seed = None;
+    let mut profile = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
+            "--profile" => profile = true,
             "--shots" => {
                 shots = argv
                     .next()
@@ -132,14 +142,16 @@ fn parse_args() -> Result<Args, String> {
         trace_out,
         faults,
         fault_seed,
+        profile,
     })
 }
 
 fn usage() -> String {
     "usage: qtenon <run|disasm|trace> <file.qasm> [--shots N] [--seed S] [--threads T] \
-     [--noise] [--metrics out.json] [--trace out.json] [--faults SPEC|FILE] [--fault-seed S]\n\
+     [--noise] [--metrics out.json] [--trace out.json] [--faults SPEC|FILE] [--fault-seed S] \
+     [--profile]\n\
      \u{20}      qtenon batch --jobs <spec.json> [--threads T] [--metrics out.json] \
-     [--job-metrics DIR] [--only NAME]"
+     [--job-metrics DIR] [--only NAME] [--profile]"
         .into()
 }
 
@@ -149,6 +161,7 @@ struct BatchArgs {
     metrics: Option<String>,
     job_metrics: Option<String>,
     only: Option<String>,
+    profile: bool,
 }
 
 fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs, String> {
@@ -157,8 +170,10 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
     let mut metrics = None;
     let mut job_metrics = None;
     let mut only = None;
+    let mut profile = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
+            "--profile" => profile = true,
             "--jobs" => jobs = Some(argv.next().ok_or("--jobs needs a path")?),
             "--threads" => {
                 threads = argv
@@ -181,6 +196,7 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
         metrics,
         job_metrics,
         only,
+        profile,
     })
 }
 
@@ -240,6 +256,17 @@ fn run_batch(argv: impl Iterator<Item = String>) -> Result<(), String> {
         batch.rejected,
     );
 
+    if args.profile {
+        for r in &batch.results {
+            if let Ok(a) = &r.outcome {
+                println!(
+                    "\nphase attribution for {} (sim time, deterministic):",
+                    r.name
+                );
+                print!("{}", a.report.phases.render());
+            }
+        }
+    }
     if let Some(dir) = &args.job_metrics {
         std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
         for r in &batch.results {
@@ -315,7 +342,8 @@ fn run() -> Result<(), String> {
         .map_err(|e| e.to_string())?
         .with_seed(args.seed)
         .with_threads(args.threads)
-        .with_faults(plan);
+        .with_faults(plan)
+        .with_profile(args.profile);
     let program = QtenonCompiler::new(config.layout)
         .compile(&circuit)
         .map_err(|e| e.to_string())?;
@@ -415,6 +443,16 @@ fn run() -> Result<(), String> {
                 if args.command == "trace" {
                     println!("{json}");
                     return Ok(());
+                }
+            }
+
+            if args.profile {
+                println!("phase attribution (sim time, deterministic):");
+                print!("{}", system.phase_table().render());
+                let wall = system.profiler().render_wall_unstable();
+                if !wall.is_empty() {
+                    println!();
+                    print!("{wall}");
                 }
             }
 
