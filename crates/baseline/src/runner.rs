@@ -5,7 +5,7 @@ use qtenon_core::report::{CommBreakdown, RunReport, TimeBreakdown};
 use qtenon_core::SystemError;
 use qtenon_quantum::sim::Simulator;
 use qtenon_quantum::{CircuitTiming, GateTimes};
-use qtenon_sim_engine::{OpCounter, SimDuration};
+use qtenon_sim_engine::{CritKind, CritPathTracker, OpCounter, SimDuration, SimTime};
 use qtenon_workloads::{evaluate_cost, Optimizer, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -116,6 +116,17 @@ impl BaselineRunner {
         let mut cost_history = Vec::with_capacity(iterations);
         let bytes_per_shot = (self.workload.n_qubits() as u64).div_ceil(8);
 
+        // Strictly sequential system: every step blocks the next, so the
+        // causal chain is the whole timeline. Node times mirror `total`.
+        let mut critpath = CritPathTracker::new();
+        let compile_edge = critpath.edge("readout->host");
+        let upload_edge = critpath.edge("host->bus");
+        let fpga_edge = critpath.edge("pgu->pipeline");
+        let quantum_edge = critpath.edge("pipeline->chip");
+        let download_edge = critpath.edge("chip->readout");
+        critpath.open_at(SimTime::ZERO);
+        let at = |total: SimDuration| SimTime::ZERO + total;
+
         let mut params = self.workload.initial_params.clone();
         for _iter in 0..iterations {
             let plan = optimizer.iteration_plan(&params);
@@ -127,24 +138,28 @@ impl BaselineRunner {
                 breakdown.host += compiled.compile_time;
                 total += compiled.compile_time;
                 dynamic_instructions += compiled.instruction_count;
+                critpath.advance(compile_edge, at(total), CritKind::Complete);
 
                 // 2. Upload the binary over Ethernet.
                 let upload = cfg.network.message_time(compiled.binary_bytes);
                 comm.q_set += upload;
                 comm.q_set_count += 1;
                 total += upload;
+                critpath.advance(upload_edge, at(total), CritKind::Grant);
 
                 // 3. FPGA pulse generation: every pulse, sequentially.
                 let pg = cfg.fpga_pulse_latency * compiled.pulses_required;
                 breakdown.pulse_generation += pg;
                 pulses_generated += compiled.pulses_required;
                 total += pg;
+                critpath.advance(fpga_edge, at(total), CritKind::Dispatch);
 
                 // 4. Quantum execution behind the ADI.
                 let timing = CircuitTiming::of(&bound, &cfg.gate_times);
                 let q = cfg.adi_latency * 2 + timing.shot_duration * shots;
                 breakdown.quantum += q;
                 total += q;
+                critpath.advance(quantum_edge, at(total), CritKind::Complete);
                 let results = self.simulator.run(&bound, shots)?;
 
                 // 5. Stream per-shot readout packets back to the host.
@@ -152,6 +167,7 @@ impl BaselineRunner {
                 comm.q_acquire += download;
                 comm.q_acquire_count += shots;
                 total += download;
+                critpath.advance(download_edge, at(total), CritKind::Drain);
 
                 // 6. Host post-processing through the software stack.
                 let mut ops = OpCounter::new();
@@ -160,6 +176,7 @@ impl BaselineRunner {
                 host_ops_total += ops;
                 breakdown.host += d;
                 total += d;
+                critpath.advance(compile_edge, at(total), CritKind::Ack);
                 evals.push(cost);
             }
             let mut ops = OpCounter::new();
@@ -168,6 +185,7 @@ impl BaselineRunner {
             host_ops_total += ops;
             breakdown.host += d;
             total += d;
+            critpath.advance(compile_edge, at(total), CritKind::Ack);
             let mean = evals.iter().sum::<f64>() / evals.len().max(1) as f64;
             cost_history.push(mean);
         }
@@ -191,6 +209,7 @@ impl BaselineRunner {
             pulse_reduction: 0.0,
             resilience: Default::default(),
             phases: Default::default(),
+            critpath: critpath.report(),
         })
     }
 }

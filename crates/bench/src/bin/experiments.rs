@@ -15,7 +15,7 @@
 //! metric tree to `PATH` (JSON) and `PATH.prom` (Prometheus text format).
 //! Valid ids: `fig1 table1 table2 table4 fig11 fig12 fig13 fig14 table5
 //! fig15 fig16a fig16b fig17 ablation resilience parallel fleet
-//! breakdown`. Every study is also mirrored to
+//! breakdown critpath`. Every study is also mirrored to
 //! `target/experiments/<id>.txt` (gitignored), with the path printed
 //! after each table.
 
@@ -201,6 +201,14 @@ fn main() {
             "Breakdown (beyond the paper) — phase-level latency attribution \
              (deterministic sim time, same rows as `qtenon run --profile`)",
             experiments::breakdown(&scale).to_string(),
+        );
+    }
+    if want("critpath") {
+        section(
+            "critpath",
+            "Critical path (beyond the paper) — who-blocks-whom causal attribution, \
+             Qtenon vs decoupled baseline (same rows as `qtenon run --critpath`)",
+            experiments::critpath(&scale).to_string(),
         );
     }
 

@@ -27,7 +27,8 @@ use std::path::Path;
 use std::process::exit;
 
 use qtenon_bench::distill::{
-    self, compare, distill_criterion, distill_metrics, distill_sim, BenchSnapshot,
+    self, compare, compare_exit_code, distill_criterion, distill_metrics, distill_sim,
+    enforce_enabled, BenchSnapshot,
 };
 
 fn main() {
@@ -167,8 +168,8 @@ fn run_compare(args: Vec<String>) {
             .unwrap_or_else(|| die("--threshold needs a non-negative number")),
         None => distill::DEFAULT_THRESHOLD,
     };
-    let enforce = args.iter().any(|a| a == "--enforce")
-        || std::env::var("QTENON_BENCH_ENFORCE").is_ok_and(|v| v == "1");
+    let env = std::env::var("QTENON_BENCH_ENFORCE").ok();
+    let enforce = enforce_enabled(&args, env.as_deref());
 
     let load = |path: &str| -> BenchSnapshot {
         let text = std::fs::read_to_string(path)
@@ -187,10 +188,11 @@ fn run_compare(args: Vec<String>) {
 
     let report = compare(&baseline, &current, threshold);
     print!("{}", report.render(threshold));
+    let code = compare_exit_code(&report, enforce);
     if report.gate_failed() {
-        if enforce {
+        if code != 0 {
             eprintln!("perf gate FAILED ({} vs {})", current_path, baseline_path);
-            exit(1);
+            exit(code);
         }
         println!(
             "perf gate: regressions found, but enforcement is off \

@@ -426,6 +426,20 @@ pub fn compare(baseline: &BenchSnapshot, current: &BenchSnapshot, threshold: f64
     report
 }
 
+/// Whether a `compare` run should hard-fail instead of warn: `--enforce`
+/// appears among the CLI args, or the value of `QTENON_BENCH_ENFORCE`
+/// (read by the caller and passed in, so this stays testable without
+/// mutating process state) is exactly `"1"`.
+pub fn enforce_enabled(args: &[String], enforce_env: Option<&str>) -> bool {
+    args.iter().any(|a| a == "--enforce") || enforce_env == Some("1")
+}
+
+/// Process exit code for a `compare` run: 1 when the gate failed under
+/// enforcement, 0 otherwise (regressions downgrade to warnings).
+pub fn compare_exit_code(report: &CompareReport, enforce: bool) -> i32 {
+    i32::from(report.gate_failed() && enforce)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +519,30 @@ mod tests {
         let report = compare(&snap(&[("a", 0.0)]), &snap(&[("a", 1.0)]), 0.15);
         assert_eq!(report.regressions.len(), 1);
         assert!(report.regressions[0].ratio.is_infinite());
+    }
+
+    #[test]
+    fn enforce_gate_exits_nonzero_on_synthetic_regression() {
+        // A synthetic 2x regression must fail the gate, and the exit
+        // code must flip to 1 exactly when enforcement is on — via
+        // --enforce or QTENON_BENCH_ENFORCE=1, never otherwise.
+        let baseline = snap(&[("suite.total", 100.0)]);
+        let regressed = snap(&[("suite.total", 200.0)]);
+        let report = compare(&baseline, &regressed, DEFAULT_THRESHOLD);
+        assert!(report.gate_failed());
+        assert!(enforce_enabled(&["--enforce".to_string()], None));
+        assert!(enforce_enabled(&[], Some("1")));
+        assert!(!enforce_enabled(&[], Some("0")));
+        assert!(!enforce_enabled(&[], None));
+        assert_eq!(compare_exit_code(&report, true), 1);
+        assert_eq!(compare_exit_code(&report, false), 0);
+        // A clean comparison exits 0 even under enforcement.
+        let clean = compare(&baseline, &baseline, DEFAULT_THRESHOLD);
+        assert!(!clean.gate_failed());
+        assert_eq!(compare_exit_code(&clean, true), 0);
+        // A disappeared tracked entry is a gate failure too.
+        let shrunk = compare(&baseline, &snap(&[]), DEFAULT_THRESHOLD);
+        assert_eq!(compare_exit_code(&shrunk, true), 1);
     }
 
     #[test]

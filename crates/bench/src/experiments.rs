@@ -968,6 +968,61 @@ pub fn breakdown(scale: &ExperimentScale) -> TextTable {
     t
 }
 
+/// Critical path (beyond the paper): who-blocks-whom blocking-time
+/// attribution along the causal chain, Qtenon vs the decoupled
+/// baseline. Each row is one provenance edge with its share of the
+/// end-to-end on-path time. The decoupled baseline's chain is dominated
+/// by host<->device communication edges (`host->bus` binary uploads,
+/// `chip->readout` result downloads); Qtenon's shifts on-chip
+/// (`bus->slt`, `slt->pgu`, `pgu->pipeline`, `pipeline->chip`) — the
+/// paper's integration argument restated as causal attribution.
+pub fn critpath(scale: &ExperimentScale) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "system".into(),
+        "edge".into(),
+        "count".into(),
+        "total".into(),
+        "share".into(),
+    ]);
+    let n = scale.qubit_sweep.first().copied().unwrap_or(8);
+    let systems = [
+        (
+            "baseline",
+            baseline_run(WorkloadKind::Vqe, n, OptimizerKind::Spsa, scale),
+        ),
+        (
+            "qtenon",
+            qtenon_default(
+                WorkloadKind::Vqe,
+                n,
+                CoreModel::Rocket,
+                OptimizerKind::Spsa,
+                scale,
+            ),
+        ),
+    ];
+    for (name, report) in &systems {
+        let total = report.critpath.total_ns().max(1);
+        for row in &report.critpath.rows {
+            t.row(vec![
+                (*name).into(),
+                row.name.clone(),
+                row.count.to_string(),
+                fmt_dur(SimDuration::from_ns(row.total_ns)),
+                fmt_pct(row.total_ns as f64 / total as f64),
+            ]);
+        }
+    }
+    t
+}
+
+/// Share of a report's on-path time spent on host<->device
+/// communication edges (uploads plus result downloads).
+fn comm_edge_share(report: &RunReport) -> f64 {
+    let comm = report.critpath.component_ns("bus") + report.critpath.component_ns("readout");
+    comm as f64 / report.critpath.total_ns().max(1) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1013,6 +1068,47 @@ mod tests {
         for row in t.rows() {
             let e2e: f64 = row[4].trim_end_matches('x').parse().unwrap();
             assert!(e2e > 1.0, "Qtenon should win end-to-end: {e2e}");
+        }
+    }
+
+    #[test]
+    fn critpath_contrasts_comm_vs_onchip() {
+        let scale = tiny();
+        let baseline = baseline_run(WorkloadKind::Vqe, 8, OptimizerKind::Spsa, &scale);
+        let qtenon = qtenon_default(
+            WorkloadKind::Vqe,
+            8,
+            CoreModel::Rocket,
+            OptimizerKind::Spsa,
+            &scale,
+        );
+        let b = comm_edge_share(&baseline);
+        let q = comm_edge_share(&qtenon);
+        // The decoupled baseline's causal chain is dominated by
+        // host<->device communication; Qtenon's shifts on-chip.
+        assert!(b > 0.5, "baseline comm share {b}");
+        assert!(q < b, "qtenon comm share {q} vs baseline {b}");
+        assert!(
+            qtenon.critpath.total_ns() > 0,
+            "qtenon records a non-empty causal chain"
+        );
+    }
+
+    #[test]
+    fn critpath_table_lists_both_systems() {
+        let t = critpath(&tiny());
+        let systems: Vec<&str> = t.rows().iter().map(|r| r[0].as_str()).collect();
+        assert!(systems.contains(&"baseline"));
+        assert!(systems.contains(&"qtenon"));
+        // Shares within one system sum to ~100%.
+        for name in ["baseline", "qtenon"] {
+            let sum: f64 = t
+                .rows()
+                .iter()
+                .filter(|r| r[0] == name)
+                .map(|r| r[4].trim_end_matches('%').parse::<f64>().unwrap())
+                .sum();
+            assert!((sum - 100.0).abs() < 1.0, "{name} shares sum to {sum}");
         }
     }
 

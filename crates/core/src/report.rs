@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use qtenon_controller::SltStats;
-use qtenon_sim_engine::{PhaseTable, SimDuration};
+use qtenon_sim_engine::{CritPathReport, PhaseTable, SimDuration};
 
 /// Busy time per system component over a run. Because Qtenon overlaps
 /// components, the end-to-end wall time is *not* the sum of these.
@@ -199,6 +199,10 @@ pub struct RunReport {
     /// Per-phase latency attribution (deterministic sim-time spans).
     #[serde(default)]
     pub phases: PhaseTable,
+    /// Per-edge critical-path attribution (who-blocks-whom blocking
+    /// time along the causal chain).
+    #[serde(default)]
+    pub critpath: CritPathReport,
 }
 
 impl RunReport {
@@ -286,6 +290,7 @@ impl RunReport {
         };
         self.resilience += other.resilience;
         self.phases.merge(&other.phases);
+        self.critpath.merge(&other.critpath);
     }
 }
 
@@ -409,6 +414,7 @@ mod tests {
             pulse_reduction: 0.75, // 25 generated of 100 work items
             resilience: ResilienceSummary::default(),
             phases: PhaseTable::default(),
+            critpath: CritPathReport::default(),
         };
         let mut merged = base.clone();
         let mut second = base.clone();

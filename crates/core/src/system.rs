@@ -18,8 +18,8 @@ use qtenon_mem::MemoryHierarchy;
 use qtenon_quantum::sim::Simulator;
 use qtenon_quantum::{BitString, Circuit, CircuitTiming};
 use qtenon_sim_engine::{
-    FaultInjector, FaultSite, Histogram, MetricValue, MetricsRegistry, PhaseId, PhaseTable,
-    Profiler, SimDuration, SimTime,
+    CritKind, CritPathReport, CritPathTracker, EdgeId, FaultInjector, FaultSite, Histogram,
+    MetricValue, MetricsRegistry, PhaseId, PhaseTable, Profiler, SimDuration, SimTime,
 };
 
 use std::borrow::Cow;
@@ -70,6 +70,35 @@ impl SystemPhases {
     }
 }
 
+/// Pre-interned causal-edge ids for the system's provenance annotations,
+/// so the hot paths record against an [`EdgeId`] without a name lookup.
+/// These are the seven canonical hand-offs of the integrated datapath
+/// (Fig. 3); the VQA runner closes the loop on `readout->host` with the
+/// host's classical segments.
+pub(crate) struct SystemEdges {
+    pub host_bus: EdgeId,
+    pub bus_slt: EdgeId,
+    pub slt_pgu: EdgeId,
+    pub pgu_pipeline: EdgeId,
+    pub pipeline_chip: EdgeId,
+    pub chip_readout: EdgeId,
+    pub readout_host: EdgeId,
+}
+
+impl SystemEdges {
+    pub(crate) fn intern(critpath: &mut CritPathTracker) -> Self {
+        SystemEdges {
+            host_bus: critpath.edge("host->bus"),
+            bus_slt: critpath.edge("bus->slt"),
+            slt_pgu: critpath.edge("slt->pgu"),
+            pgu_pipeline: critpath.edge("pgu->pipeline"),
+            pipeline_chip: critpath.edge("pipeline->chip"),
+            chip_readout: critpath.edge("chip->readout"),
+            readout_host: critpath.edge("readout->host"),
+        }
+    }
+}
+
 /// The tightly coupled system (Fig. 3).
 pub struct QtenonSystem {
     config: QtenonConfig,
@@ -110,6 +139,12 @@ pub struct QtenonSystem {
     profiler: Profiler,
     /// Pre-interned phase ids for the spans this struct records.
     phases: SystemPhases,
+    /// Causal critical-path tracker: a provenance arena linking each
+    /// completed hand-off to the event that enabled it, always
+    /// collected (pure sim-time arithmetic, like the profiler spans).
+    critpath: CritPathTracker,
+    /// Pre-interned causal-edge ids for the hand-offs ops annotate.
+    edges: SystemEdges,
     /// Per-instruction latency distributions, in nanoseconds.
     lat_q_update: Histogram,
     lat_q_set: Histogram,
@@ -138,6 +173,8 @@ impl QtenonSystem {
         let mut profiler = Profiler::new();
         profiler.set_wall_enabled(config.profile);
         let phases = SystemPhases::intern(&mut profiler);
+        let mut critpath = CritPathTracker::new();
+        let edges = SystemEdges::intern(&mut critpath);
         Ok(QtenonSystem {
             config,
             qcc: QuantumControllerCache::new(config.layout),
@@ -163,6 +200,8 @@ impl QtenonSystem {
             shard_metrics: MetricsRegistry::new(),
             profiler,
             phases,
+            critpath,
+            edges,
             lat_q_update: Histogram::new(),
             lat_q_set: Histogram::new(),
             lat_q_acquire: Histogram::new(),
@@ -228,6 +267,35 @@ impl QtenonSystem {
     /// phases over the component lanes.
     pub fn trace_phase(&mut self, name: &'static str, start: SimTime, duration: SimDuration) {
         self.trace_event(name, TraceLane::Phase, start, duration);
+    }
+
+    /// Paints the current causal critical path into the trace as a
+    /// highlighted flow on the dedicated CritPath lane: one flow-start
+    /// at the chain's first hand-off, a step per intermediate edge, and
+    /// a flow-end at the final event. No-op when tracing is off or the
+    /// chain is empty.
+    pub fn trace_critpath(&mut self) {
+        if self.trace.is_none() {
+            return;
+        }
+        let steps = self.critpath.path();
+        let Some(((first_name, _, first_at), rest)) = steps.split_first() else {
+            return;
+        };
+        self.flow_seq += 1;
+        let flow = self.flow_seq;
+        let trace = self.trace.as_mut().expect("tracing checked above");
+        trace.record_flow_start(*first_name, TraceLane::CritPath, *first_at, flow);
+        match rest.split_last() {
+            Some(((last_name, _, last_at), middle)) => {
+                for (name, _, at) in middle {
+                    trace.record_flow_step(*name, TraceLane::CritPath, *at, flow);
+                }
+                trace.record_flow_end(*last_name, TraceLane::CritPath, *last_at, flow);
+            }
+            // A one-step chain still closes its flow so viewers draw it.
+            None => trace.record_flow_end(*first_name, TraceLane::CritPath, *first_at, flow),
+        }
     }
 
     /// Whether the RBQ flow protocol runs. Always on when tracing; also on
@@ -375,6 +443,34 @@ impl QtenonSystem {
         self.profiler.table()
     }
 
+    /// The causal critical-path tracker. Provenance nodes are always
+    /// recorded (pure sim-time arithmetic, byte-identical across thread
+    /// counts).
+    pub fn critpath(&self) -> &CritPathTracker {
+        &self.critpath
+    }
+
+    /// Mutable critpath access, used by higher layers (the VQA runner)
+    /// to root the chain and record host-side classical segments.
+    pub fn critpath_mut(&mut self) -> &mut CritPathTracker {
+        &mut self.critpath
+    }
+
+    /// Freezes the tracker's current chain into a per-edge
+    /// blocking-time [`CritPathReport`].
+    pub fn critpath_report(&self) -> CritPathReport {
+        self.critpath.report()
+    }
+
+    /// Records a host-side classical segment as a `readout->host` chain
+    /// step ending at `at` (the seven canonical edges contain no
+    /// host->host hand-off; the host's classical work closes the loop on
+    /// the edge that delivered it data).
+    pub fn critpath_host_segment(&mut self, at: SimTime) {
+        self.critpath
+            .advance(self.edges.readout_host, at, CritKind::Ack);
+    }
+
     /// Enables or disables wall-clock capture in the profiler. Sim-time
     /// spans and every exported metric are unaffected, so snapshots are
     /// byte-identical whether profiling is on or off.
@@ -428,6 +524,8 @@ impl QtenonSystem {
         self.lat_q_update.record(d.as_ps() / 1_000);
         self.flow_step(TraceLane::Communication, now);
         self.trace_event("q_update", TraceLane::Communication, now, d);
+        self.critpath
+            .advance(self.edges.host_bus, now + d, CritKind::Grant);
         Ok(now + d)
     }
 
@@ -464,6 +562,8 @@ impl QtenonSystem {
         self.lat_q_set.record(d.as_ps() / 1_000);
         self.flow_step(TraceLane::Communication, now);
         self.trace_event("q_set", TraceLane::Communication, now, d);
+        self.critpath
+            .advance(self.edges.host_bus, complete, CritKind::Grant);
         Ok(complete)
     }
 
@@ -528,6 +628,8 @@ impl QtenonSystem {
         self.lat_q_acquire.record(d.as_ps() / 1_000);
         self.flow_step(TraceLane::Communication, now);
         self.trace_event("q_acquire", TraceLane::Communication, now, d);
+        self.critpath
+            .advance(self.edges.chip_readout, complete, CritKind::Drain);
         Ok((data, complete))
     }
 
@@ -555,6 +657,10 @@ impl QtenonSystem {
         self.lat_q_acquire.record(d.as_ps() / 1_000);
         self.flow_step(TraceLane::Communication, now);
         self.trace_event("put", TraceLane::Communication, now, d);
+        // Early batches complete while the chip is still running; the
+        // tracker's monotone clamp charges only the exposed tail.
+        self.critpath
+            .advance(self.edges.chip_readout, transfer.complete, CritKind::Drain);
         Ok(transfer.complete)
     }
 
@@ -618,7 +724,24 @@ impl QtenonSystem {
             now,
             report.total_time,
         );
-        Ok((report, now + report.total_time))
+        // Three chain steps through the pipeline front: the SLT resolve
+        // hands to the PGU, the PGU to the pulse pipeline, the pipeline
+        // finishes at q_gen's completion. Stages overlap in the model,
+        // so intermediate steps are capped at the op's completion time.
+        let gen_done = now + report.total_time;
+        self.critpath.advance(
+            self.edges.bus_slt,
+            (now + report.front_time).min(gen_done),
+            CritKind::Pop,
+        );
+        self.critpath.advance(
+            self.edges.slt_pgu,
+            (now + report.front_time + report.pgu_busy).min(gen_done),
+            CritKind::Dispatch,
+        );
+        self.critpath
+            .advance(self.edges.pgu_pipeline, gen_done, CritKind::Dispatch);
+        Ok((report, gen_done))
     }
 
     /// `q_run`: execute the bound circuit for `shots` repetitions,
@@ -714,6 +837,8 @@ impl QtenonSystem {
             now,
             complete.saturating_since(now),
         );
+        self.critpath
+            .advance(self.edges.pipeline_chip, complete, CritKind::Complete);
         Ok(RunOutcome {
             shots: results,
             shot_duration: timing.shot_duration,
@@ -728,6 +853,7 @@ impl QtenonSystem {
     /// can track a system across snapshots.
     pub fn export_metrics(&self, m: &mut MetricsRegistry) {
         self.profiler.export_metrics(m, "profile");
+        self.critpath.report().export_metrics(m, "critpath.edge");
         self.hierarchy.export_metrics(m, "mem");
         self.qcc.export_metrics(m, "mem.qcc");
         self.pipeline.export_metrics(m, "controller");
@@ -789,6 +915,7 @@ impl QtenonSystem {
         self.pending_stall = SimDuration::ZERO;
         self.shard_metrics = MetricsRegistry::new();
         self.profiler.reset();
+        self.critpath.reset();
         self.lat_q_update.reset();
         self.lat_q_set.reset();
         self.lat_q_acquire.reset();

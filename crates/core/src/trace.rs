@@ -30,6 +30,8 @@ pub enum TraceLane {
     QuantumChip,
     /// VQA phase attribution spans (compile, upload, execute, ...).
     Phase,
+    /// The causal critical path, highlighted as its own flow lane.
+    CritPath,
 }
 
 impl TraceLane {
@@ -41,6 +43,7 @@ impl TraceLane {
             TraceLane::PulsePipeline => 3,
             TraceLane::QuantumChip => 4,
             TraceLane::Phase => 5,
+            TraceLane::CritPath => 6,
         }
     }
 
@@ -52,6 +55,7 @@ impl TraceLane {
             TraceLane::PulsePipeline => "pulse-pipeline",
             TraceLane::QuantumChip => "quantum-chip",
             TraceLane::Phase => "phase",
+            TraceLane::CritPath => "critpath",
         }
     }
 }
@@ -496,11 +500,12 @@ mod tests {
             TraceLane::PulsePipeline,
             TraceLane::QuantumChip,
             TraceLane::Phase,
+            TraceLane::CritPath,
         ];
         let mut ids: Vec<u32> = lanes.iter().map(|l| l.tid()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 5);
+        assert_eq!(ids.len(), 6);
     }
 
     #[test]

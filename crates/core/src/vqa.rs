@@ -158,6 +158,13 @@ impl VqaRunner {
         m.counter("profile.des.puts_scheduled", self.des_scheduled);
         m.counter("profile.des.puts_dispatched", self.des_dispatched);
         m.counter("profile.des.put_queue_high_water", self.des_high_water);
+        // Queue-shape gauges: the registry exports gauges in both JSON
+        // and Prometheus, so scrapers see the DES queue shape directly.
+        m.gauge("profile.des.high_water", self.des_high_water as f64);
+        m.gauge(
+            "profile.des.queue_depth",
+            self.des_scheduled.saturating_sub(self.des_dispatched) as f64,
+        );
     }
 
     /// Static instruction count of the program text: setup instructions
@@ -195,6 +202,9 @@ impl VqaRunner {
         self.des_dispatched = 0;
         self.des_high_water = 0;
         let phases = VqaPhases::intern(self.system.profiler_mut());
+        // Root the causal chain at t=0: every subsequent op hangs its
+        // provenance node off the previous chain head.
+        self.system.critpath_mut().open_at(SimTime::ZERO);
         let mut now = SimTime::ZERO;
         let mut breakdown = TimeBreakdown::default();
         let mut host_ops_total = OpCounter::new();
@@ -216,6 +226,7 @@ impl VqaRunner {
             breakdown.host += d;
             self.system.profiler_mut().record(phases.compile_patch, d);
             now += d;
+            self.system.critpath_host_segment(now);
 
             let upload_start = now;
             let comm_before = self.system.comm().total();
@@ -306,6 +317,7 @@ impl VqaRunner {
             self.system.profiler_mut().record(phases.optimizer_step, d);
             self.system.trace_phase("vqa.optimizer_step", now, d);
             now += d;
+            self.system.critpath_host_segment(now);
             let mean = evals.iter().sum::<f64>() / evals.len().max(1) as f64;
             cost_history.push(mean);
             self.iter_latency
@@ -318,6 +330,8 @@ impl VqaRunner {
         let host_cycles = self.system.host().cycles_for(&host_ops_total);
         let final_cost = cost_history.last().copied().unwrap_or(f64::NAN);
         self.final_cost = final_cost;
+        // Paint the finished chain into the trace (no-op when off).
+        self.system.trace_critpath();
         Ok(RunReport {
             total: now.elapsed(),
             breakdown,
@@ -336,6 +350,7 @@ impl VqaRunner {
             },
             resilience: self.system.resilience(),
             phases: self.system.phase_table(),
+            critpath: self.system.critpath_report(),
         })
     }
 
@@ -371,6 +386,7 @@ impl VqaRunner {
             self.system.profiler_mut().record(phases.compile_patch, d);
             self.system.trace_phase("vqa.compile_patch", now, d);
             now += d;
+            self.system.critpath_host_segment(now);
         }
         let upload_start = now;
         for instr in diff.update_instructions(&self.program) {
@@ -434,6 +450,7 @@ impl VqaRunner {
                 *host_ops_total += ops;
                 breakdown.host += d;
                 self.system.profiler_mut().record(phases.host_post, d);
+                self.system.critpath_host_segment(acq_done + d);
                 (cost, acq_done + d)
             }
             SyncMode::FineGrained => {
@@ -519,6 +536,10 @@ impl VqaRunner {
                     .record(phases.readout_drain, drain);
                 self.system
                     .trace_phase("vqa.readout_drain", outcome.complete, drain);
+                // The host's exposed consumption tail (zero when fully
+                // overlapped — the clamp keeps the chain monotone).
+                self.system
+                    .critpath_host_segment(outcome.complete.max(host_free));
                 (cost, outcome.complete.max(host_free))
             }
         };

@@ -91,6 +91,125 @@ fn phase_attribution_is_consistent_with_the_breakdown() {
     assert!(!rendered.contains("wall"));
 }
 
+/// The DES occupancy gauges reach the Prometheus exporter (not just
+/// the JSON artefact), and every exported histogram's cumulative
+/// `le`-series is internally consistent: the `+Inf` bucket equals
+/// `_count`, and finite cumulative counts never exceed it.
+#[test]
+fn des_gauges_export_to_prometheus_with_cumulative_histograms() {
+    let config = QtenonConfig::table4(8, CoreModel::Rocket)
+        .expect("valid config")
+        .with_seed(42);
+    let workload = Workload::benchmark(WorkloadKind::Vqe, 8, 42).expect("workload");
+    let mut runner = VqaRunner::new(config, workload).expect("runner");
+    runner
+        .run(&mut SpsaOptimizer::new(42), 2, 96)
+        .expect("run succeeds");
+    let mut m = MetricsRegistry::new();
+    runner.export_metrics(&mut m);
+    let snapshot = m.snapshot();
+    let json = snapshot.to_json();
+    let prom = snapshot.to_prometheus();
+    for key in ["profile.des.high_water", "profile.des.queue_depth"] {
+        assert!(
+            json.contains(&format!("\"{key}\"")),
+            "{key} missing from JSON"
+        );
+    }
+    for name in ["profile_des_high_water", "profile_des_queue_depth"] {
+        assert!(
+            prom.lines().any(|l| l.starts_with(&format!("{name} "))),
+            "{name} missing from Prometheus output:\n{prom}"
+        );
+    }
+    // Cumulative-histogram consistency, checked on the exporter's own
+    // output: per metric, finite le-buckets are non-decreasing and the
+    // final +Inf bucket equals the _count sample.
+    let mut inf_counts = std::collections::BTreeMap::new();
+    let mut last_finite = std::collections::BTreeMap::new();
+    let mut counts = std::collections::BTreeMap::new();
+    let mut checked = 0usize;
+    for line in prom.lines() {
+        if let Some((head, v)) = line.rsplit_once(' ') {
+            let v: u64 = match v.parse() {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            if let Some(name) = head.strip_suffix("_bucket{le=\"+Inf\"}") {
+                inf_counts.insert(name.to_string(), v);
+            } else if let Some((name, _)) = head.split_once("_bucket{le=\"") {
+                let prev = last_finite.entry(name.to_string()).or_insert(0u64);
+                assert!(v >= *prev, "non-monotone cumulative bucket: {line}");
+                *prev = v;
+            } else if let Some(name) = head.strip_suffix("_count") {
+                counts.insert(name.to_string(), v);
+            }
+        }
+    }
+    for (name, inf) in &inf_counts {
+        assert_eq!(counts.get(name), Some(inf), "{name}: +Inf != _count");
+        if let Some(finite) = last_finite.get(name) {
+            assert!(
+                finite <= inf,
+                "{name}: finite cumulative {finite} > +Inf {inf}"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked > 0, "no histograms found in Prometheus output");
+}
+
+/// Empty-run guard: zero-iteration and zero-shot runs must not leak
+/// NaN into any rendered table or metrics artefact, and must render
+/// byte-stable output (including the fixed empty-table placeholders).
+#[test]
+fn zero_iteration_and_zero_shot_runs_render_stable_tables() {
+    let run = |iterations: usize, shots: u64| {
+        let config = QtenonConfig::table4(8, CoreModel::Rocket)
+            .expect("valid config")
+            .with_seed(1);
+        let workload = Workload::benchmark(WorkloadKind::Vqe, 8, 1).expect("workload");
+        let mut runner = VqaRunner::new(config, workload).expect("runner");
+        let report = runner
+            .run(&mut SpsaOptimizer::new(1), iterations, shots)
+            .expect("degenerate run still succeeds");
+        let mut m = MetricsRegistry::new();
+        runner.export_metrics(&mut m);
+        let snapshot = m.snapshot();
+        (
+            report.phases.render(),
+            report.critpath.render(),
+            snapshot.to_json(),
+            snapshot.to_prometheus(),
+            snapshot.to_text(),
+        )
+    };
+    for (iters, shots) in [(0usize, 0u64), (0, 16), (1, 0)] {
+        let first = run(iters, shots);
+        let second = run(iters, shots);
+        assert_eq!(first, second, "iterations={iters} shots={shots}");
+        let (phases, critpath, json, prom, text) = first;
+        for artefact in [&phases, &critpath, &json, &prom, &text] {
+            assert!(
+                !artefact.contains("NaN") && !artefact.contains("inf"),
+                "iterations={iters} shots={shots}: non-finite leak in\n{artefact}"
+            );
+        }
+    }
+}
+
+/// Tables with no rows render fixed placeholder bytes, never a bare
+/// header or a NaN-percentile row.
+#[test]
+fn empty_tables_render_fixed_placeholders() {
+    use qtenon_sim_engine::{CritPathReport, PhaseTable};
+    assert_eq!(PhaseTable::default().render(), "no phases recorded\n");
+    assert_eq!(
+        CritPathReport::default().render(),
+        "no critical path recorded\n"
+    );
+}
+
 #[test]
 fn merged_reports_merge_phase_tables() {
     let (a, _, _) = run_at(1, false, 1);

@@ -1,0 +1,676 @@
+//! Causal critical-path analysis.
+//!
+//! The `profile` module answers *where time was spent*; this module
+//! answers *which component was on the blocking chain*. A phase can be
+//! long yet fully overlapped with other work and therefore irrelevant to
+//! end-to-end latency — only the chain of events where each one causally
+//! enabled the next (a bus grant, a PGU dispatch, an RBQ pop, a readout
+//! drain, a host ACK) explains the finish time.
+//!
+//! A [`CritPathTracker`] maintains a compact arena of provenance nodes
+//! `(cause_id, edge, sim_time, kind)` with interned edge labels
+//! (mirroring [`crate::profile::PhaseId`] interning). Components call
+//! [`CritPathTracker::advance`] as their work completes; each call links
+//! a new node to the current chain head. After a run,
+//! [`CritPathTracker::report`] walks backwards from the final event and
+//! aggregates the path into per-edge blocking-time attribution — a
+//! [`CritPathReport`] that merges exactly across shot shards and jobs
+//! and renders byte-stably, like [`crate::profile::PhaseTable`].
+//!
+//! # Determinism contract
+//!
+//! Node times derive exclusively from [`SimTime`] arithmetic and
+//! recording is unconditional, so the arena — and everything distilled
+//! from it (the report, the `critpath.edge.*` metrics namespace, the
+//! rendered table) — is byte-identical across thread counts, across
+//! batch-vs-standalone execution, and under inert fault plans.
+//!
+//! # Monotone-chain invariant
+//!
+//! [`CritPathTracker::advance`] clamps each node's time to be no earlier
+//! than its cause's. When downstream work overlaps the chain (e.g. a
+//! result batch streamed to the host *before* the chip finished its last
+//! shot), only the *exposed* portion — the time past the previous chain
+//! node — is charged to the edge. Overlapped time is attributed to
+//! nothing, which is exactly the point: it was not blocking.
+//!
+//! # Examples
+//!
+//! ```
+//! use qtenon_sim_engine::critpath::CritPathTracker;
+//! use qtenon_sim_engine::{CritKind, SimDuration, SimTime};
+//!
+//! let mut t = CritPathTracker::new();
+//! let upload = t.edge("host->bus");
+//! let execute = t.edge("pipeline->chip");
+//! let t0 = SimTime::ZERO;
+//! t.open_at(t0);
+//! t.advance(upload, t0 + SimDuration::from_ns(40), CritKind::Grant);
+//! t.advance(execute, t0 + SimDuration::from_ns(140), CritKind::Complete);
+//! let report = t.report();
+//! assert_eq!(report.row("pipeline->chip").unwrap().total_ns, 100);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::time::SimTime;
+
+/// An interned causal-edge name: a cheap copyable handle into a
+/// [`CritPathTracker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeId(u16);
+
+/// A node's position in the provenance arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(u32);
+
+/// What kind of causal hand-off a node records. Pure provenance
+/// metadata: it names the mechanism that enabled the event (useful when
+/// inspecting the raw path) and never affects attribution arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CritKind {
+    /// A command was dispatched downstream (PGU dispatch, q_gen issue).
+    Dispatch,
+    /// An arbitration grant (bus grant, channel acquisition).
+    Grant,
+    /// A queue pop released the event (RBQ pop, transmission-queue pop).
+    Pop,
+    /// Buffered data drained to its consumer (readout drain).
+    Drain,
+    /// An acknowledgement closed a round trip (host ACK).
+    Ack,
+    /// A unit of work ran to completion (shot batch, classical segment).
+    Complete,
+}
+
+/// Sentinel cause for root nodes.
+const NO_CAUSE: u32 = u32::MAX;
+/// Sentinel label for root nodes (they have no incoming edge).
+const NO_EDGE: u16 = u16::MAX;
+
+/// One provenance record: the event's cause, the interned edge it
+/// arrived over, its (clamped) sim time, and the hand-off kind.
+#[derive(Debug, Clone, Copy)]
+struct CritNode {
+    cause: u32,
+    edge: u16,
+    at: SimTime,
+    kind: CritKind,
+}
+
+/// The causal critical-path tracker: interned edge labels, a compact
+/// provenance arena, and the current chain head.
+///
+/// The tracker is append-only during a run; [`CritPathTracker::reset`]
+/// clears the arena but keeps interned labels so previously returned
+/// [`EdgeId`]s stay valid (mirroring `Profiler::reset`).
+#[derive(Debug, Clone)]
+pub struct CritPathTracker {
+    labels: Vec<&'static str>,
+    nodes: Vec<CritNode>,
+    head: u32,
+}
+
+impl Default for CritPathTracker {
+    fn default() -> Self {
+        // Not derivable: an empty tracker's head must be the NO_CAUSE
+        // sentinel, not node index 0.
+        CritPathTracker::new()
+    }
+}
+
+impl CritPathTracker {
+    /// Creates a tracker with no edges and an empty arena.
+    pub fn new() -> Self {
+        CritPathTracker {
+            labels: Vec::new(),
+            nodes: Vec::new(),
+            head: NO_CAUSE,
+        }
+    }
+
+    /// Interns `name`, returning its [`EdgeId`]. Repeated calls with the
+    /// same name return the same id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX - 1` distinct edges are interned.
+    pub fn edge(&mut self, name: &'static str) -> EdgeId {
+        if let Some(i) = self.labels.iter().position(|&l| l == name) {
+            return EdgeId(i as u16);
+        }
+        let id = u16::try_from(self.labels.len()).expect("too many edges");
+        assert!(id != NO_EDGE, "too many edges");
+        self.labels.push(name);
+        EdgeId(id)
+    }
+
+    /// The interned name of `id`.
+    pub fn edge_name(&self, id: EdgeId) -> &'static str {
+        self.labels[id.0 as usize]
+    }
+
+    /// Opens a new causal chain rooted at `at`, abandoning any previous
+    /// head. The root carries no incoming edge and contributes no
+    /// attributed time.
+    pub fn open_at(&mut self, at: SimTime) -> NodeId {
+        let id = self.push(CritNode {
+            cause: NO_CAUSE,
+            edge: NO_EDGE,
+            at,
+            kind: CritKind::Dispatch,
+        });
+        self.head = id.0;
+        id
+    }
+
+    /// Appends a node at `at` whose cause is the current chain head and
+    /// advances the head to it. The stored time is clamped to the
+    /// cause's time (the monotone-chain invariant: overlapped work
+    /// charges only its exposed portion). If no chain is open, the node
+    /// auto-roots at `at` first.
+    pub fn advance(&mut self, edge: EdgeId, at: SimTime, kind: CritKind) -> NodeId {
+        if self.head == NO_CAUSE {
+            self.open_at(at);
+        }
+        let cause = self.head;
+        let clamped = at.max(self.nodes[cause as usize].at);
+        let id = self.push(CritNode {
+            cause,
+            edge: edge.0,
+            at: clamped,
+            kind,
+        });
+        self.head = id.0;
+        id
+    }
+
+    fn push(&mut self, node: CritNode) -> NodeId {
+        let id = u32::try_from(self.nodes.len()).expect("provenance arena overflow");
+        assert!(id != NO_CAUSE, "provenance arena overflow");
+        self.nodes.push(node);
+        NodeId(id)
+    }
+
+    /// The current chain head, if a chain is open.
+    pub fn head(&self) -> Option<NodeId> {
+        (self.head != NO_CAUSE).then_some(NodeId(self.head))
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Walks backwards from the chain head to its root and returns the
+    /// path in causal (root-first) order as `(edge_name, kind, at)`
+    /// steps. The root itself is omitted (it has no incoming edge).
+    pub fn path(&self) -> Vec<(&'static str, CritKind, SimTime)> {
+        let mut steps = Vec::new();
+        let mut cursor = self.head;
+        while cursor != NO_CAUSE {
+            let node = &self.nodes[cursor as usize];
+            if node.edge != NO_EDGE {
+                steps.push((self.labels[node.edge as usize], node.kind, node.at));
+            }
+            cursor = node.cause;
+        }
+        steps.reverse();
+        steps
+    }
+
+    /// Extracts the critical path and aggregates it into per-edge
+    /// blocking-time attribution. Each step charges `node.at -
+    /// cause.at` (never negative, by the monotone-chain invariant) to
+    /// its edge.
+    pub fn report(&self) -> CritPathReport {
+        let mut rows: Vec<CritPathRow> = Vec::new();
+        let mut cursor = self.head;
+        while cursor != NO_CAUSE {
+            let node = &self.nodes[cursor as usize];
+            if node.edge != NO_EDGE {
+                let cause_at = self.nodes[node.cause as usize].at;
+                let ns = node.at.saturating_since(cause_at).as_ps() / 1_000;
+                let name = self.labels[node.edge as usize];
+                let row = match rows.iter_mut().find(|r| r.name == name) {
+                    Some(row) => row,
+                    None => {
+                        rows.push(CritPathRow {
+                            name: name.to_string(),
+                            count: 0,
+                            total_ns: 0,
+                            hist: Histogram::new(),
+                        });
+                        rows.last_mut().expect("just pushed")
+                    }
+                };
+                row.count += 1;
+                row.total_ns += ns;
+                row.hist.record(ns);
+            }
+            cursor = node.cause;
+        }
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        CritPathReport { rows }
+    }
+
+    /// Forgets the arena and chain head but keeps interned edges, so
+    /// previously returned [`EdgeId`]s stay valid.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.head = NO_CAUSE;
+    }
+}
+
+/// One row of a [`CritPathReport`]: an edge's on-path blocking-time
+/// accumulator. The full [`Histogram`] is embedded so reports merge
+/// exactly (bucket-for-bucket), with percentiles derived on render.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CritPathRow {
+    /// Causal edge name (`host->bus`, `pipeline->chip`, ...).
+    pub name: String,
+    /// On-path traversals of this edge.
+    pub count: u64,
+    /// Total blocking sim time attributed to this edge, in nanoseconds.
+    pub total_ns: u64,
+    /// Per-traversal blocking-time distribution (nanosecond samples).
+    pub hist: Histogram,
+}
+
+/// The per-run critical-path attribution carried in `RunReport`.
+///
+/// Rows are sorted by edge name; sim-time-only, so two runs that
+/// simulate the same timeline produce byte-identical reports regardless
+/// of thread count or batch-vs-standalone execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CritPathReport {
+    /// Rows sorted by edge name.
+    pub rows: Vec<CritPathRow>,
+}
+
+impl CritPathReport {
+    /// Whether the report has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sum of all on-path blocking time in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.rows.iter().map(|r| r.total_ns).sum()
+    }
+
+    /// The row for `name`, if present.
+    pub fn row(&self, name: &str) -> Option<&CritPathRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Total blocking time attributed to `component` — the sum over
+    /// edges whose destination (the part after `->`) is `component`.
+    pub fn component_ns(&self, component: &str) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| edge_component(&r.name) == component)
+            .map(|r| r.total_ns)
+            .sum()
+    }
+
+    /// Folds `other` into this report row-by-row (union of edge names,
+    /// counts and totals summed, histograms bucket-merged). Merging is
+    /// commutative, mirroring `PhaseTable::merge`.
+    pub fn merge(&mut self, other: &CritPathReport) {
+        for theirs in &other.rows {
+            match self.rows.iter_mut().find(|r| r.name == theirs.name) {
+                Some(mine) => {
+                    mine.count += theirs.count;
+                    mine.total_ns += theirs.total_ns;
+                    mine.hist.merge(&theirs.hist);
+                }
+                None => self.rows.push(theirs.clone()),
+            }
+        }
+        self.rows.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Exports the per-edge accumulators under `<prefix>.<edge>` paths:
+    /// a `.count` counter, a `.sim_total_ns` counter, and a `.sim_ns`
+    /// blocking-time histogram (mirroring `Profiler::export_metrics`).
+    pub fn export_metrics(&self, m: &mut MetricsRegistry, prefix: &str) {
+        for row in &self.rows {
+            if row.count == 0 {
+                continue;
+            }
+            m.counter(&format!("{prefix}.{}.count", row.name), row.count);
+            m.counter(&format!("{prefix}.{}.sim_total_ns", row.name), row.total_ns);
+            m.histogram(&format!("{prefix}.{}.sim_ns", row.name), &row.hist);
+        }
+    }
+
+    /// Renders the who-blocks-whom table as aligned text: one row per
+    /// causal edge with count, total blocking time, percentile estimates
+    /// (all integer nanoseconds), and the edge's share of the on-path
+    /// total — followed by a per-component summary (% of end-to-end
+    /// on-path per blocking component, the destination side of each
+    /// edge). Every column derives from sim time, so the rendering is
+    /// byte-stable across thread counts.
+    pub fn render(&self) -> String {
+        if self.rows.is_empty() {
+            return String::from("no critical path recorded\n");
+        }
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        let grand = self.total_ns();
+        let mut out = format!(
+            "{:<width$}  {:>10}  {:>14}  {:>10}  {:>10}  {:>10}  {:>10}  {:>6}\n",
+            "edge", "count", "sim_total_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns", "share"
+        );
+        for r in &self.rows {
+            let share = permille(r.total_ns, grand);
+            out.push_str(&format!(
+                "{:<width$}  {:>10}  {:>14}  {:>10}  {:>10}  {:>10}  {:>10}  {:>5}.{}%\n",
+                r.name,
+                r.count,
+                r.total_ns,
+                r.hist.p50().unwrap_or(0),
+                r.hist.p90().unwrap_or(0),
+                r.hist.p99().unwrap_or(0),
+                r.hist.max().unwrap_or(0),
+                share / 10,
+                share % 10,
+            ));
+        }
+        out.push_str(&format!(
+            "{:<width$}  {:>10}  {:>14}\n",
+            "total",
+            self.rows.iter().map(|r| r.count).sum::<u64>(),
+            grand
+        ));
+        // Per-component section: who holds the chain, summed over every
+        // edge that hands off *to* that component.
+        let mut components: Vec<(&str, u64)> = Vec::new();
+        for r in &self.rows {
+            let c = edge_component(&r.name);
+            match components.iter_mut().find(|(name, _)| *name == c) {
+                Some((_, ns)) => *ns += r.total_ns,
+                None => components.push((c, r.total_ns)),
+            }
+        }
+        components.sort_by(|a, b| a.0.cmp(b.0));
+        let cwidth = components
+            .iter()
+            .map(|(name, _)| name.len())
+            .max()
+            .unwrap_or(0)
+            .max(9);
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<cwidth$}  {:>14}  {:>6}\n",
+            "component", "sim_total_ns", "share"
+        ));
+        for (name, ns) in components {
+            let share = permille(ns, grand);
+            out.push_str(&format!(
+                "{:<cwidth$}  {:>14}  {:>5}.{}%\n",
+                name,
+                ns,
+                share / 10,
+                share % 10,
+            ));
+        }
+        out
+    }
+}
+
+/// Integer permille of `part` in `whole` — exact arithmetic, so
+/// byte-stable when rendered as a percentage with one decimal.
+fn permille(part: u64, whole: u64) -> u64 {
+    if whole == 0 {
+        0
+    } else {
+        part.saturating_mul(1000) / whole
+    }
+}
+
+/// The component an edge hands off *to*: the substring after `->`, or
+/// the whole name for labels without one.
+fn edge_component(name: &str) -> &str {
+    match name.split_once("->") {
+        Some((_, dst)) => dst,
+        None => name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut t = CritPathTracker::new();
+        let a = t.edge("host->bus");
+        let b = t.edge("bus->slt");
+        assert_ne!(a, b);
+        assert_eq!(t.edge("host->bus"), a);
+        assert_eq!(t.edge_name(a), "host->bus");
+        assert_eq!(t.edge_name(b), "bus->slt");
+    }
+
+    #[test]
+    fn chain_accumulates_edge_durations() {
+        let mut t = CritPathTracker::new();
+        let up = t.edge("host->bus");
+        let run = t.edge("pipeline->chip");
+        t.open_at(at(0));
+        t.advance(up, at(40), CritKind::Grant);
+        t.advance(run, at(140), CritKind::Complete);
+        t.advance(up, at(150), CritKind::Grant);
+        let r = t.report();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.row("host->bus").unwrap().count, 2);
+        assert_eq!(r.row("host->bus").unwrap().total_ns, 50);
+        assert_eq!(r.row("pipeline->chip").unwrap().total_ns, 100);
+        assert_eq!(r.total_ns(), 150);
+    }
+
+    #[test]
+    fn advance_auto_roots_without_open() {
+        let mut t = CritPathTracker::new();
+        let e = t.edge("chip->readout");
+        assert!(t.head().is_none());
+        t.advance(e, at(25), CritKind::Drain);
+        // Auto-root at the same instant: edge fires with zero duration.
+        let r = t.report();
+        assert_eq!(r.row("chip->readout").unwrap().count, 1);
+        assert_eq!(r.row("chip->readout").unwrap().total_ns, 0);
+        assert_eq!(t.len(), 2); // root + one edge node
+    }
+
+    #[test]
+    fn overlapped_events_clamp_to_monotone_chain() {
+        let mut t = CritPathTracker::new();
+        let run = t.edge("pipeline->chip");
+        let drain = t.edge("chip->readout");
+        t.open_at(at(0));
+        t.advance(run, at(100), CritKind::Complete);
+        // A result batch that completed *before* the chip node: fully
+        // overlapped, so the edge charges zero, not negative time.
+        t.advance(drain, at(60), CritKind::Drain);
+        // The next batch lands after the chain: only the exposed 20 ns
+        // past the clamped node is charged.
+        t.advance(drain, at(120), CritKind::Drain);
+        let r = t.report();
+        assert_eq!(r.row("chip->readout").unwrap().count, 2);
+        assert_eq!(r.row("chip->readout").unwrap().total_ns, 20);
+        assert_eq!(r.total_ns(), 120);
+    }
+
+    #[test]
+    fn path_walks_root_first() {
+        let mut t = CritPathTracker::new();
+        let a = t.edge("host->bus");
+        let b = t.edge("bus->slt");
+        t.open_at(at(0));
+        t.advance(a, at(10), CritKind::Grant);
+        t.advance(b, at(30), CritKind::Pop);
+        let path = t.path();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0], ("host->bus", CritKind::Grant, at(10)));
+        assert_eq!(path[1], ("bus->slt", CritKind::Pop, at(30)));
+    }
+
+    #[test]
+    fn reset_keeps_ids_valid() {
+        let mut t = CritPathTracker::new();
+        let e = t.edge("readout->host");
+        t.open_at(at(0));
+        t.advance(e, at(5), CritKind::Ack);
+        t.reset();
+        assert!(t.is_empty());
+        assert!(t.report().is_empty());
+        t.open_at(at(0));
+        t.advance(e, at(7), CritKind::Ack);
+        assert_eq!(t.report().row("readout->host").unwrap().total_ns, 7);
+    }
+
+    #[test]
+    fn report_merge_matches_union() {
+        let mut t1 = CritPathTracker::new();
+        let mut t2 = CritPathTracker::new();
+        let mut union = CritPathTracker::new();
+        let a1 = t1.edge("a->x");
+        let a2 = t2.edge("a->x");
+        let b2 = t2.edge("b->y");
+        let ua = union.edge("a->x");
+        let ub = union.edge("b->y");
+        t1.open_at(at(0));
+        union.open_at(at(0));
+        let mut now = 0;
+        for ns in [10, 20, 30] {
+            now += ns;
+            t1.advance(a1, at(now), CritKind::Complete);
+            union.advance(ua, at(now), CritKind::Complete);
+        }
+        t2.open_at(at(0));
+        t2.advance(a2, at(5), CritKind::Complete);
+        t2.advance(b2, at(82), CritKind::Complete);
+        // The union tracker continues its own chain with the same deltas.
+        union.advance(ua, at(now + 5), CritKind::Complete);
+        union.advance(ub, at(now + 82), CritKind::Complete);
+        let mut merged = t1.report();
+        merged.merge(&t2.report());
+        assert_eq!(merged, union.report());
+    }
+
+    #[test]
+    fn merging_empty_report_is_identity() {
+        let mut t = CritPathTracker::new();
+        let e = t.edge("pgu->pipeline");
+        t.open_at(at(0));
+        t.advance(e, at(42), CritKind::Dispatch);
+        let r = t.report();
+        let mut merged = r.clone();
+        merged.merge(&CritPathReport::default());
+        assert_eq!(merged, r);
+        let mut from_empty = CritPathReport::default();
+        from_empty.merge(&r);
+        assert_eq!(from_empty, r);
+    }
+
+    #[test]
+    fn render_is_stable_and_shares_sum() {
+        let mut t = CritPathTracker::new();
+        let a = t.edge("pipeline->chip");
+        let b = t.edge("readout->host");
+        t.open_at(at(0));
+        t.advance(a, at(750), CritKind::Complete);
+        t.advance(b, at(1000), CritKind::Ack);
+        let r = t.report();
+        let r1 = r.render();
+        let r2 = r.render();
+        assert_eq!(r1, r2);
+        assert!(r1.contains("75.0%"));
+        assert!(r1.contains("25.0%"));
+        assert!(r1.contains("component"));
+        assert!(r1.contains("chip"));
+        assert!(r1.contains("host"));
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        assert_eq!(
+            CritPathReport::default().render(),
+            "no critical path recorded\n"
+        );
+    }
+
+    #[test]
+    fn component_attribution_sums_inbound_edges() {
+        let mut t = CritPathTracker::new();
+        let a = t.edge("chip->readout");
+        let b = t.edge("readout->host");
+        let c = t.edge("host->bus");
+        t.open_at(at(0));
+        t.advance(a, at(10), CritKind::Drain);
+        t.advance(b, at(30), CritKind::Ack);
+        t.advance(c, at(60), CritKind::Grant);
+        t.advance(b, at(100), CritKind::Ack);
+        let r = t.report();
+        assert_eq!(r.component_ns("readout"), 10);
+        assert_eq!(r.component_ns("host"), 60);
+        assert_eq!(r.component_ns("bus"), 30);
+        assert_eq!(r.component_ns("absent"), 0);
+    }
+
+    #[test]
+    fn export_metrics_mirrors_profiler_shape() {
+        let mut t = CritPathTracker::new();
+        let e = t.edge("host->bus");
+        t.open_at(at(0));
+        t.advance(e, at(40), CritKind::Grant);
+        let mut m = MetricsRegistry::new();
+        t.report().export_metrics(&mut m, "critpath.edge");
+        assert_eq!(
+            m.paths(),
+            vec![
+                "critpath.edge.host->bus.count",
+                "critpath.edge.host->bus.sim_ns",
+                "critpath.edge.host->bus.sim_total_ns",
+            ]
+        );
+        // The arrow survives JSON and sanitises in Prometheus.
+        let snap = m.snapshot();
+        assert!(snap.to_json().contains("critpath.edge.host->bus.count"));
+        assert!(snap
+            .to_prometheus()
+            .contains("critpath_edge_host__bus_count 1"));
+    }
+
+    #[test]
+    fn open_at_restarts_the_chain() {
+        let mut t = CritPathTracker::new();
+        let e = t.edge("host->bus");
+        t.open_at(at(0));
+        t.advance(e, at(10), CritKind::Grant);
+        t.open_at(at(100));
+        t.advance(e, at(130), CritKind::Grant);
+        // Both chains' edges aggregate; the gap between chains does not.
+        let r = t.report();
+        assert_eq!(r.row("host->bus").unwrap().count, 1);
+        assert_eq!(r.row("host->bus").unwrap().total_ns, 30);
+    }
+}

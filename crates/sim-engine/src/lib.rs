@@ -20,6 +20,10 @@
 //!   sim-time phase spans plus explicitly unstable wall-clock scopes,
 //!   distilled into the `profile.*` metrics namespace and per-run
 //!   [`PhaseTable`]s;
+//! - [`critpath`]: causal critical-path analysis — a provenance arena of
+//!   who-enabled-whom events walked backwards into per-edge blocking-time
+//!   attribution (the `critpath.edge.*` namespace and per-run
+//!   [`CritPathReport`]s);
 //! - [`faults`]: deterministic, seeded fault injection ([`FaultPlan`] /
 //!   [`FaultInjector`]) used by the component models to exercise their
 //!   retry/degradation paths reproducibly;
@@ -40,6 +44,7 @@
 //! ```
 
 pub mod clock;
+pub mod critpath;
 pub mod event;
 pub mod faults;
 pub mod metrics;
@@ -50,6 +55,7 @@ pub mod stats;
 pub mod time;
 
 pub use clock::ClockDomain;
+pub use critpath::{CritKind, CritPathReport, CritPathRow, CritPathTracker, EdgeId};
 pub use event::EventQueue;
 pub use faults::{FaultInjector, FaultPlan, FaultSite};
 pub use metrics::{Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};

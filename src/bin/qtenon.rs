@@ -8,11 +8,12 @@
 //!             [--metrics out.json] [--trace out.json]       # telemetry export
 //!             [--faults SPEC|FILE] [--fault-seed S]         # fault injection
 //!             [--profile]                                   # phase attribution table
+//!             [--critpath]                                  # who-blocks-whom table
 //! qtenon disasm <file.qasm>                                 # compiled chunk listing
 //! qtenon trace <file.qasm> [--shots N]                      # Chrome trace JSON to stdout
 //! qtenon batch --jobs <spec.json> [--threads T]             # multi-job fleet
 //!             [--metrics out.json] [--job-metrics DIR]      # fleet + per-job artefacts
-//!             [--only NAME] [--profile]                     # run one job standalone
+//!             [--only NAME] [--profile] [--critpath]        # run one job standalone
 //! ```
 //!
 //! `--profile` prints the per-phase latency-attribution table after the
@@ -20,6 +21,13 @@
 //! byte-identical at any `--threads` value and whether or not the flag
 //! was passed (the flag only controls printing plus an extra wall-clock
 //! section that is explicitly unstable).
+//!
+//! `--critpath` prints the causal critical-path table: per-edge
+//! blocking-time attribution (who blocks whom) plus each component's
+//! share of the end-to-end on-path time. Like the phase table it is pure
+//! sim time — byte-identical at any `--threads` value and across
+//! batch-vs-standalone execution. With `--trace`, the path is also
+//! painted into the Chrome trace as a highlighted `critpath` flow lane.
 //!
 //! `--metrics PATH` writes the full metric tree as JSON to `PATH`, a
 //! Prometheus text rendering to `PATH.prom`, and prints a human-readable
@@ -68,6 +76,7 @@ struct Args {
     faults: Option<String>,
     fault_seed: Option<u64>,
     profile: bool,
+    critpath: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -83,9 +92,11 @@ fn parse_args() -> Result<Args, String> {
     let mut faults = None;
     let mut fault_seed = None;
     let mut profile = false;
+    let mut critpath = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--profile" => profile = true,
+            "--critpath" => critpath = true,
             "--shots" => {
                 shots = argv
                     .next()
@@ -143,15 +154,16 @@ fn parse_args() -> Result<Args, String> {
         faults,
         fault_seed,
         profile,
+        critpath,
     })
 }
 
 fn usage() -> String {
     "usage: qtenon <run|disasm|trace> <file.qasm> [--shots N] [--seed S] [--threads T] \
      [--noise] [--metrics out.json] [--trace out.json] [--faults SPEC|FILE] [--fault-seed S] \
-     [--profile]\n\
+     [--profile] [--critpath]\n\
      \u{20}      qtenon batch --jobs <spec.json> [--threads T] [--metrics out.json] \
-     [--job-metrics DIR] [--only NAME] [--profile]"
+     [--job-metrics DIR] [--only NAME] [--profile] [--critpath]"
         .into()
 }
 
@@ -162,6 +174,7 @@ struct BatchArgs {
     job_metrics: Option<String>,
     only: Option<String>,
     profile: bool,
+    critpath: bool,
 }
 
 fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs, String> {
@@ -171,9 +184,11 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
     let mut job_metrics = None;
     let mut only = None;
     let mut profile = false;
+    let mut critpath = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--profile" => profile = true,
+            "--critpath" => critpath = true,
             "--jobs" => jobs = Some(argv.next().ok_or("--jobs needs a path")?),
             "--threads" => {
                 threads = argv
@@ -197,6 +212,7 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
         job_metrics,
         only,
         profile,
+        critpath,
     })
 }
 
@@ -264,6 +280,14 @@ fn run_batch(argv: impl Iterator<Item = String>) -> Result<(), String> {
                     r.name
                 );
                 print!("{}", a.report.phases.render());
+            }
+        }
+    }
+    if args.critpath {
+        for r in &batch.results {
+            if let Ok(a) = &r.outcome {
+                println!("\ncritical path for {} (sim time, deterministic):", r.name);
+                print!("{}", a.report.critpath.render());
             }
         }
     }
@@ -378,6 +402,10 @@ fn run() -> Result<(), String> {
                 eprintln!("note: --noise applies typical superconducting error rates");
             }
             system.set_tracing(tracing);
+            // Root the causal chain at t=0 so the first q_set edge is
+            // charged from program start rather than auto-rooted at its
+            // own completion time.
+            system.critpath_mut().open_at(SimTime::ZERO);
 
             let mut now = SimTime::ZERO;
             for instr in program.load_instructions(0x8000_0000) {
@@ -434,6 +462,7 @@ fn run() -> Result<(), String> {
             }
 
             if tracing {
+                system.trace_critpath();
                 let trace = system.take_trace().expect("tracing enabled");
                 let json = trace.to_chrome_json();
                 if let Some(path) = &args.trace_out {
@@ -454,6 +483,11 @@ fn run() -> Result<(), String> {
                     println!();
                     print!("{wall}");
                 }
+            }
+
+            if args.critpath {
+                println!("critical path (who blocks whom, sim time, deterministic):");
+                print!("{}", system.critpath_report().render());
             }
 
             if plan.is_active() {
