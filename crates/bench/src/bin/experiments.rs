@@ -15,7 +15,7 @@
 //! metric tree to `PATH` (JSON) and `PATH.prom` (Prometheus text format).
 //! Valid ids: `fig1 table1 table2 table4 fig11 fig12 fig13 fig14 table5
 //! fig15 fig16a fig16b fig17 ablation resilience parallel fleet
-//! breakdown critpath`. Every study is also mirrored to
+//! breakdown critpath chaos`. Every study is also mirrored to
 //! `target/experiments/<id>.txt` (gitignored), with the path printed
 //! after each table.
 
@@ -209,6 +209,16 @@ fn main() {
             "Critical path (beyond the paper) — who-blocks-whom causal attribution, \
              Qtenon vs decoupled baseline (same rows as `qtenon run --critpath`)",
             experiments::critpath(&scale).to_string(),
+        );
+    }
+
+    if want("chaos") {
+        section(
+            "chaos",
+            "Chaos (beyond the paper) — fault-rate x retry-budget campaign over a \
+             synthetic fleet; per-cell containment invariants checked \
+             (same harness as `qtenon batch --chaos`)",
+            experiments::chaos(&scale).to_string(),
         );
     }
 

@@ -1,0 +1,417 @@
+//! Chaos-campaign harness: fault-injection rates × retry policies swept
+//! over a synthetic fleet, with per-cell invariant checks.
+//!
+//! A campaign cell runs one fleet — healthy jobs, fault-injected jobs, a
+//! scripted-flaky job, a deadline-bounded job, and (optionally) a
+//! deliberately-panicking job — at every configured pool width, then
+//! asserts the containment contract:
+//!
+//! 1. **No hangs**: every `BatchScheduler::run` returns (the scheduler's
+//!    backoff is admission-order, so an otherwise-idle pool always takes
+//!    the earliest retry instead of stalling);
+//! 2. **Bounded retries**: no job consumes more than `retry_budget + 1`
+//!    attempts;
+//! 3. **Width-invariant ledgers**: the outcome ledger is byte-identical
+//!    at every pool width;
+//! 4. **Survivor byte-identity**: every job that completed inside the
+//!    fleet has artefacts byte-identical to a standalone run of the same
+//!    spec and seed.
+//!
+//! The same [`ChaosCampaign`] drives `qtenon batch --chaos` and the
+//! `experiments chaos` study; CI's `chaos-smoke` job runs a small
+//! campaign at two pool widths and `cmp`s the ledgers.
+
+use qtenon_sim_engine::{stream_seed, FaultPlan, MetricsRegistry, SimDuration};
+use qtenon_workloads::WorkloadKind;
+
+use crate::jobs::{run_standalone, BatchScheduler, JobError, JobOutcome, JobSpec};
+
+/// A fault-rate × retry-budget sweep over a synthetic fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCampaign {
+    /// Fleet seed; every cell derives its job seeds from it.
+    pub fleet_seed: u64,
+    /// Component fault-injection rates to sweep (0.0 cells double as the
+    /// no-fault control).
+    pub rates: Vec<f64>,
+    /// Retry budgets to sweep.
+    pub retry_budgets: Vec<u32>,
+    /// Pool widths every cell is replayed at (ledgers must agree).
+    pub pool_widths: Vec<usize>,
+    /// Optimizer iterations per job.
+    pub iterations: usize,
+    /// Shots per evaluation.
+    pub shots: u64,
+    /// Include the deliberately-panicking synthetic job that pins the
+    /// quarantine path.
+    pub include_panic_job: bool,
+}
+
+impl ChaosCampaign {
+    /// The small default campaign: 3 rates × 2 budgets at widths 1 and 4
+    /// — a few seconds of work, suitable for CI smoke and `--chaos`.
+    pub fn quick() -> Self {
+        ChaosCampaign {
+            fleet_seed: 0xC405,
+            rates: vec![0.0, 0.02, 0.08],
+            retry_budgets: vec![0, 3],
+            pool_widths: vec![1, 4],
+            iterations: 2,
+            shots: 48,
+            include_panic_job: true,
+        }
+    }
+
+    /// Scales the campaign (used by `--full` experiment runs).
+    pub fn with_scale(mut self, iterations: usize, shots: u64) -> Self {
+        self.iterations = iterations;
+        self.shots = shots;
+        self
+    }
+
+    /// Overrides the pool widths.
+    pub fn with_pool_widths(mut self, widths: Vec<usize>) -> Self {
+        self.pool_widths = widths;
+        self
+    }
+
+    /// The synthetic fleet one cell runs. Deterministic in
+    /// (fleet_seed, rate, budget) only — cells never share RNG state.
+    pub fn fleet(&self, rate: f64, budget: u32) -> Vec<JobSpec> {
+        let fault_seed = stream_seed(self.fleet_seed, (rate * 1e6) as u64);
+        let mut jobs = vec![
+            // Healthy control job.
+            JobSpec::new("clean-vqe", WorkloadKind::Vqe, 8)
+                .with_iterations(self.iterations)
+                .with_shots(self.shots)
+                .with_retry_budget(budget),
+            // Component-level fault injection at the swept rate.
+            JobSpec::new("faulty-qaoa", WorkloadKind::Qaoa, 8)
+                .with_iterations(self.iterations)
+                .with_shots(self.shots)
+                .with_retry_budget(budget)
+                .with_faults(plan_at(rate, fault_seed)),
+            // Scripted flake: fails its first attempt, recovers when the
+            // budget allows a second.
+            JobSpec::new("flaky-qnn", WorkloadKind::Qnn, 8)
+                .with_iterations(self.iterations)
+                .with_shots(self.shots)
+                .with_retry_budget(budget)
+                .with_chaos_fail_attempts(1),
+            // Deadline-bounded job: asks for far more iterations than
+            // its budget covers, so it reliably times out with partial
+            // progress (sim-time deadlines are deterministic).
+            JobSpec::new("deadline-qaoa", WorkloadKind::Qaoa, 8)
+                .with_iterations(self.iterations + 6)
+                .with_shots(self.shots)
+                .with_retry_budget(budget)
+                .with_deadline(SimDuration::from_ns(1)),
+        ];
+        if self.include_panic_job {
+            jobs.push(
+                JobSpec::new("panic-vqe", WorkloadKind::Vqe, 8)
+                    .with_retry_budget(budget)
+                    .with_chaos_panic(),
+            );
+        }
+        jobs
+    }
+
+    /// Runs the whole sweep and checks every invariant per cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError`] only for harness-level failures (admission
+    /// overflow, empty fleet) — job failures are the point and land in
+    /// the cells.
+    pub fn run(&self) -> Result<ChaosReport, JobError> {
+        let mut cells = Vec::new();
+        for &rate in &self.rates {
+            for &budget in &self.retry_budgets {
+                cells.push(self.run_cell(rate, budget)?);
+            }
+        }
+        Ok(ChaosReport {
+            cells,
+            pool_widths: self.pool_widths.clone(),
+        })
+    }
+
+    /// Runs one (rate, budget) cell at every pool width.
+    fn run_cell(&self, rate: f64, budget: u32) -> Result<ChaosCell, JobError> {
+        let specs = self.fleet(rate, budget);
+        let mut ledgers = Vec::new();
+        let mut reference = None;
+        for &width in &self.pool_widths {
+            let mut sched = BatchScheduler::new(self.fleet_seed);
+            let mut seeds = Vec::new();
+            for spec in &specs {
+                let id = sched.submit(spec.clone())?;
+                seeds.push(sched.seed_of(id).expect("submitted job has a seed"));
+            }
+            let batch = sched.run(width)?;
+            ledgers.push(batch.ledger());
+            if reference.is_none() {
+                reference = Some((batch, seeds));
+            }
+        }
+        let (batch, seeds) = reference.expect("at least one pool width");
+        let widths_agree = ledgers.windows(2).all(|w| w[0] == w[1]);
+
+        // Bounded retries: budget + 1 attempts at most, per job.
+        let retries_bounded = batch
+            .results
+            .iter()
+            .all(|r| r.outcome.attempts() <= budget + 1);
+
+        // Survivors byte-identical to standalone runs of the same spec
+        // and admission seed (the retry path re-seeds per attempt, so
+        // recovered jobs are checked against their recovery attempt).
+        let mut survivors_match = true;
+        for (result, (spec, seed)) in batch.results.iter().zip(specs.iter().zip(&seeds)) {
+            if let JobOutcome::Completed {
+                artifacts,
+                attempts,
+            } = &result.outcome
+            {
+                let mut bare = spec.clone();
+                bare.chaos_fail_attempts = 0;
+                let reference_seed = crate::jobs::attempt_seed(*seed, attempts - 1);
+                match run_standalone(&bare, reference_seed, 1) {
+                    Ok(standalone) => {
+                        if standalone != *artifacts {
+                            survivors_match = false;
+                        }
+                    }
+                    Err(_) => survivors_match = false,
+                }
+            }
+        }
+
+        Ok(ChaosCell {
+            rate,
+            retry_budget: budget,
+            jobs: batch.results.len(),
+            completed: batch.completed(),
+            timed_out: batch.timed_out(),
+            quarantined: batch.quarantined(),
+            failed: batch.failed() - batch.timed_out() - batch.quarantined(),
+            retries: batch.total_retries(),
+            ledger: ledgers.into_iter().next().expect("at least one ledger"),
+            widths_agree,
+            retries_bounded,
+            survivors_match,
+        })
+    }
+}
+
+/// The per-site fault plan a cell's injected job runs: every site at
+/// `rate`, seeded so different rates draw independent schedules.
+fn plan_at(rate: f64, seed: u64) -> FaultPlan {
+    if rate <= 0.0 {
+        FaultPlan::default().with_seed(seed)
+    } else {
+        FaultPlan::all(rate).with_seed(seed)
+    }
+}
+
+/// One (rate, budget) cell's outcome tallies and invariant verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCell {
+    /// The swept component fault rate.
+    pub rate: f64,
+    /// The swept retry budget.
+    pub retry_budget: u32,
+    /// Fleet size.
+    pub jobs: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs that hit their deadline.
+    pub timed_out: usize,
+    /// Jobs quarantined (panic or budget exhaustion).
+    pub quarantined: usize,
+    /// Jobs that failed outright.
+    pub failed: usize,
+    /// Total retries consumed.
+    pub retries: u64,
+    /// The (width-invariant) outcome ledger.
+    pub ledger: String,
+    /// Ledger byte-identical at every pool width.
+    pub widths_agree: bool,
+    /// No job exceeded `retry_budget + 1` attempts.
+    pub retries_bounded: bool,
+    /// Completed jobs byte-identical to standalone runs.
+    pub survivors_match: bool,
+}
+
+impl ChaosCell {
+    /// All three invariants hold for this cell.
+    pub fn invariants_hold(&self) -> bool {
+        self.widths_agree && self.retries_bounded && self.survivors_match
+    }
+}
+
+/// Every cell of a campaign plus the widths they were replayed at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Cells in sweep order (rates outer, budgets inner).
+    pub cells: Vec<ChaosCell>,
+    /// The pool widths every cell ran at.
+    pub pool_widths: Vec<usize>,
+}
+
+impl ChaosReport {
+    /// True when every cell upheld every invariant.
+    pub fn all_invariants_hold(&self) -> bool {
+        self.cells.iter().all(ChaosCell::invariants_hold)
+    }
+
+    /// Campaign-level aggregates under `resilience.jobs.campaign.*`.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry) {
+        m.counter("resilience.jobs.campaign.cells", self.cells.len() as u64);
+        m.counter(
+            "resilience.jobs.campaign.completed",
+            self.cells.iter().map(|c| c.completed as u64).sum(),
+        );
+        m.counter(
+            "resilience.jobs.campaign.quarantined",
+            self.cells.iter().map(|c| c.quarantined as u64).sum(),
+        );
+        m.counter(
+            "resilience.jobs.campaign.timed_out",
+            self.cells.iter().map(|c| c.timed_out as u64).sum(),
+        );
+        m.counter(
+            "resilience.jobs.campaign.retries",
+            self.cells.iter().map(|c| c.retries).sum(),
+        );
+        m.counter(
+            "resilience.jobs.campaign.invariant_violations",
+            self.cells.iter().filter(|c| !c.invariants_hold()).count() as u64,
+        );
+    }
+
+    /// A deterministic text table (one row per cell) — what
+    /// `experiments chaos` prints and mirrors to disk.
+    pub fn to_table(&self) -> String {
+        let widths = self
+            .pool_widths
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join("/");
+        let mut out = format!(
+            "rate\tbudget\tcompleted\ttimed-out\tquarantined\tfailed\tretries\tinvariants (widths {widths})\n"
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:.2}\t{}\t{}/{}\t{}\t{}\t{}\t{}\t{}\n",
+                c.rate,
+                c.retry_budget,
+                c.completed,
+                c.jobs,
+                c.timed_out,
+                c.quarantined,
+                c.failed,
+                c.retries,
+                if c.invariants_hold() {
+                    "ok"
+                } else {
+                    "VIOLATED"
+                },
+            ));
+        }
+        out
+    }
+
+    /// The concatenated per-cell ledgers — the byte-stable artefact CI
+    /// `cmp`s across pool widths.
+    pub fn ledgers(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            out.push_str(&format!(
+                "# cell rate={:.2} budget={}\n{}",
+                c.rate, c.retry_budget, c.ledger
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ChaosCampaign {
+        ChaosCampaign {
+            fleet_seed: 0xC405,
+            rates: vec![0.0, 0.05],
+            retry_budgets: vec![0, 2],
+            pool_widths: vec![1, 2],
+            iterations: 1,
+            shots: 16,
+            include_panic_job: true,
+        }
+    }
+
+    #[test]
+    fn quick_campaign_upholds_all_invariants() {
+        let report = tiny().run().unwrap();
+        assert_eq!(report.cells.len(), 4);
+        for cell in &report.cells {
+            assert!(cell.widths_agree, "ledger diverged: {:?}", cell);
+            assert!(cell.retries_bounded, "unbounded retries: {:?}", cell);
+            assert!(cell.survivors_match, "survivor drifted: {:?}", cell);
+        }
+        assert!(report.all_invariants_hold());
+    }
+
+    #[test]
+    fn campaign_exercises_the_whole_outcome_machine() {
+        let report = tiny().run().unwrap();
+        // Panic job quarantines in every cell; deadline job times out in
+        // every cell; the clean job always completes.
+        for cell in &report.cells {
+            assert!(cell.quarantined >= 1, "{cell:?}");
+            assert!(cell.timed_out >= 1, "{cell:?}");
+            assert!(cell.completed >= 1, "{cell:?}");
+        }
+        // With a budget, the scripted flake recovers (a retry happened);
+        // without one it fails.
+        let no_budget = &report.cells[0];
+        let with_budget = &report.cells[1];
+        assert_eq!(no_budget.retry_budget, 0);
+        assert!(no_budget.failed >= 1, "{no_budget:?}");
+        assert_eq!(no_budget.retries, 0);
+        assert!(with_budget.retries >= 1, "{with_budget:?}");
+        assert!(with_budget.completed > no_budget.completed);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = tiny().run().unwrap();
+        let b = tiny().run().unwrap();
+        assert_eq!(a.ledgers(), b.ledgers());
+        assert_eq!(a.to_table(), b.to_table());
+    }
+
+    #[test]
+    fn campaign_metrics_land_under_the_resilience_namespace() {
+        use qtenon_sim_engine::MetricValue;
+        let report = tiny().run().unwrap();
+        let mut m = MetricsRegistry::new();
+        report.export_metrics(&mut m);
+        assert_eq!(
+            m.get("resilience.jobs.campaign.cells"),
+            Some(&MetricValue::Counter(4))
+        );
+        assert_eq!(
+            m.get("resilience.jobs.campaign.invariant_violations"),
+            Some(&MetricValue::Counter(0))
+        );
+        match m.get("resilience.jobs.campaign.quarantined") {
+            Some(MetricValue::Counter(c)) => assert!(*c >= 4),
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+}

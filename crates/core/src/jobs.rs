@@ -28,6 +28,21 @@
 //! histograms, throughput gauges) depend on the pool shape — they
 //! describe the schedule, not the jobs.
 //!
+//! # Fault containment
+//!
+//! PR 8 adds the recovery layer: each attempt runs under
+//! `catch_unwind`, so a panicking job becomes a
+//! [`JobOutcome::Quarantined`] line in the ledger instead of killing the
+//! fleet; per-job sim-time deadlines cut the VQA loop at iteration
+//! boundaries into [`JobOutcome::TimedOut`] with partial-progress stats;
+//! and transient execution failures re-enter the queue with a
+//! per-attempt seed from [`stream_seed`]`(job_seed, attempt)` under a
+//! bounded retry budget, after which the job is quarantined. Retry
+//! decisions are [`retry_decision`] — a pure function of (spec, attempt,
+//! outcome) — and backoff is expressed in *admission-order dispatch
+//! slots*, not wall-clock, so every pool width produces the identical
+//! outcome [`BatchReport::ledger`].
+//!
 //! # Examples
 //!
 //! ```
@@ -45,10 +60,14 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use qtenon_sim_engine::{stream_seed, FaultPlan, Histogram, MetricValue, MetricsRegistry};
+use qtenon_sim_engine::{
+    stream_seed, FaultPlan, Histogram, MetricValue, MetricsRegistry, SimDuration,
+};
 use qtenon_workloads::{
     GradientDescentOptimizer, Optimizer, SpsaOptimizer, Workload, WorkloadKind,
 };
@@ -119,6 +138,22 @@ pub struct JobSpec {
     pub transmission: TransmissionPolicy,
     /// Optional fault-injection plan for this job only.
     pub faults: Option<FaultPlan>,
+    /// Transient-failure retry budget: how many times a failed attempt
+    /// re-enters the queue before the job is quarantined. 0 (the
+    /// default) preserves the pre-containment behaviour: one attempt,
+    /// failures surface as [`JobOutcome::Failed`].
+    pub retry_budget: u32,
+    /// Optional per-job sim-time deadline, enforced cooperatively at
+    /// iteration boundaries in the VQA loop. `None` never times out.
+    pub deadline: Option<SimDuration>,
+    /// Chaos hook: panic deliberately at the start of every attempt.
+    /// Exercises the quarantine path end to end (tests, CI, `--chaos`).
+    pub chaos_panic: bool,
+    /// Chaos hook: fail (transiently) every attempt whose index is below
+    /// this count, deterministically. `chaos_fail_attempts: 2` means
+    /// attempts 0 and 1 error and attempt 2 runs normally — the scripted
+    /// recovery the retry path is measured against.
+    pub chaos_fail_attempts: u32,
 }
 
 impl JobSpec {
@@ -138,6 +173,10 @@ impl JobSpec {
             sync: SyncMode::default(),
             transmission: TransmissionPolicy::default(),
             faults: None,
+            retry_budget: 0,
+            deadline: None,
+            chaos_panic: false,
+            chaos_fail_attempts: 0,
         }
     }
 
@@ -193,6 +232,32 @@ impl JobSpec {
     /// Returns a copy with a fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Returns a copy with a transient-failure retry budget.
+    pub fn with_retry_budget(mut self, retries: u32) -> Self {
+        self.retry_budget = retries;
+        self
+    }
+
+    /// Returns a copy with a per-job sim-time deadline.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns a copy that panics deliberately on every attempt (chaos
+    /// hook pinning the quarantine path).
+    pub fn with_chaos_panic(mut self) -> Self {
+        self.chaos_panic = true;
+        self
+    }
+
+    /// Returns a copy whose first `attempts` attempts fail transiently
+    /// (chaos hook pinning the retry path).
+    pub fn with_chaos_fail_attempts(mut self, attempts: u32) -> Self {
+        self.chaos_fail_attempts = attempts;
         self
     }
 }
@@ -293,6 +358,108 @@ pub struct JobArtifacts {
     pub shots_sampled: u64,
 }
 
+/// The terminal state of one job after containment ran its course: the
+/// four-state outcome machine every job ends in exactly once.
+///
+/// `Completed` and `TimedOut` carry artefacts (a timed-out job's report
+/// covers the iterations that did finish); `Failed` and `Quarantined`
+/// carry the attributed cause. `attempts` counts every attempt made,
+/// including the final one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// All requested iterations ran; artefacts are byte-identical to a
+    /// standalone run of the same spec and seed.
+    Completed {
+        /// The byte-stable artefacts.
+        artifacts: JobArtifacts,
+        /// Attempts consumed (1 when no retry was needed).
+        attempts: u32,
+    },
+    /// The job's error was permanent, or transient with no retry budget
+    /// configured.
+    Failed {
+        /// The attributed failure.
+        error: JobError,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// The per-job deadline fired at an iteration boundary; the
+    /// artefacts cover the completed prefix.
+    TimedOut {
+        /// Partial-progress artefacts (a whole number of iterations).
+        artifacts: JobArtifacts,
+        /// Iterations that completed before the deadline.
+        completed_iterations: usize,
+        /// Iterations originally requested.
+        requested_iterations: usize,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// The job panicked, or exhausted its retry budget: it is isolated
+    /// from the fleet with the reason attributed.
+    Quarantined {
+        /// Why the job was quarantined (panic message or last error).
+        reason: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl JobOutcome {
+    /// True only for [`JobOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed { .. })
+    }
+
+    /// The artefacts, when the job produced any (`Completed` and
+    /// `TimedOut`).
+    pub fn artifacts(&self) -> Option<&JobArtifacts> {
+        match self {
+            JobOutcome::Completed { artifacts, .. } | JobOutcome::TimedOut { artifacts, .. } => {
+                Some(artifacts)
+            }
+            _ => None,
+        }
+    }
+
+    /// Attempts consumed reaching this outcome.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            JobOutcome::Completed { attempts, .. }
+            | JobOutcome::Failed { attempts, .. }
+            | JobOutcome::TimedOut { attempts, .. }
+            | JobOutcome::Quarantined { attempts, .. } => *attempts,
+        }
+    }
+
+    /// The stable ledger label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed { .. } => "completed",
+            JobOutcome::Failed { .. } => "failed",
+            JobOutcome::TimedOut { .. } => "timed-out",
+            JobOutcome::Quarantined { .. } => "quarantined",
+        }
+    }
+
+    /// The deterministic ledger detail column: sim-time totals and
+    /// attributed causes only — never wall-clock.
+    pub fn detail(&self) -> String {
+        match self {
+            JobOutcome::Completed { artifacts, .. } => {
+                format!("total_ns={}", artifacts.report.total.as_ps() / 1_000)
+            }
+            JobOutcome::Failed { error, .. } => error.to_string(),
+            JobOutcome::TimedOut {
+                completed_iterations,
+                requested_iterations,
+                ..
+            } => format!("iterations={completed_iterations}/{requested_iterations}"),
+            JobOutcome::Quarantined { reason, .. } => reason.clone(),
+        }
+    }
+}
+
 /// One job's outcome plus its fleet-side timeline.
 #[derive(Debug, Clone)]
 pub struct JobResult {
@@ -304,9 +471,9 @@ pub struct JobResult {
     pub seed: u64,
     /// Admission priority.
     pub priority: u8,
-    /// Artefacts, or a typed failure. One failing job never poisons its
+    /// The job's terminal state. One failing job never poisons its
     /// neighbours.
-    pub outcome: Result<JobArtifacts, JobError>,
+    pub outcome: JobOutcome,
     /// Batch start → job picked up by a worker.
     pub wait: Duration,
     /// Batch start → job finished.
@@ -329,21 +496,79 @@ pub struct BatchReport {
 impl BatchReport {
     /// Jobs that completed successfully.
     pub fn completed(&self) -> usize {
-        self.results.iter().filter(|r| r.outcome.is_ok()).count()
+        self.results
+            .iter()
+            .filter(|r| r.outcome.is_completed())
+            .count()
     }
 
-    /// Jobs that failed during execution.
+    /// Jobs that did not complete (failed, timed out, or quarantined).
     pub fn failed(&self) -> usize {
         self.results.len() - self.completed()
     }
 
-    /// Total shots sampled across completed jobs.
+    /// Jobs that hit their deadline.
+    pub fn timed_out(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, JobOutcome::TimedOut { .. }))
+            .count()
+    }
+
+    /// Jobs quarantined (panicked or retry budget exhausted).
+    pub fn quarantined(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, JobOutcome::Quarantined { .. }))
+            .count()
+    }
+
+    /// Retries across the whole batch: attempts beyond each job's first.
+    pub fn total_retries(&self) -> u64 {
+        self.results
+            .iter()
+            .map(|r| u64::from(r.outcome.attempts().saturating_sub(1)))
+            .sum()
+    }
+
+    /// Total shots sampled across jobs that produced artefacts.
     pub fn total_shots_sampled(&self) -> u64 {
         self.results
             .iter()
-            .filter_map(|r| r.outcome.as_ref().ok())
+            .filter_map(|r| r.outcome.artifacts())
             .map(|a| a.shots_sampled)
             .sum()
+    }
+
+    /// The deterministic outcome ledger: one line per job in submission
+    /// order with seed, priority, outcome, attempts, and a sim-time-only
+    /// detail column. Byte-identical at every pool width (it contains no
+    /// wall-clock observables), which is exactly what the CI chaos-smoke
+    /// job `cmp`s. An empty batch renders a fixed placeholder.
+    pub fn ledger(&self) -> String {
+        if self.results.is_empty() {
+            return Self::empty_ledger();
+        }
+        let mut out = String::from("idx\tname\tseed\tprio\toutcome\tattempts\tdetail\n");
+        for r in &self.results {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                r.id.index(),
+                r.name,
+                r.seed,
+                r.priority,
+                r.outcome.label(),
+                r.outcome.attempts(),
+                r.outcome.detail(),
+            ));
+        }
+        out
+    }
+
+    /// The fixed placeholder an empty (or fully filtered) batch renders —
+    /// never a NaN table.
+    pub fn empty_ledger() -> String {
+        "job ledger: no jobs\n".to_string()
     }
 
     /// Completed jobs per wall-clock second.
@@ -393,24 +618,194 @@ impl BatchReport {
         m.gauge("jobs.throughput.jobs_per_s", self.jobs_per_second());
         m.gauge("jobs.throughput.shots_per_s", self.shots_per_second());
         m.counter("jobs.shots_sampled", self.total_shots_sampled());
+
+        // Containment observables (`resilience.jobs.*`): outcome tallies
+        // and retry pressure are deterministic; the time-to-recovery
+        // histogram is wall-clock and, like `jobs.*`, deliberately
+        // outside the determinism contract.
+        m.counter("resilience.jobs.completed", self.completed() as u64);
+        m.counter(
+            "resilience.jobs.failed",
+            self.results
+                .iter()
+                .filter(|r| matches!(r.outcome, JobOutcome::Failed { .. }))
+                .count() as u64,
+        );
+        m.counter("resilience.jobs.timed_out", self.timed_out() as u64);
+        m.counter("resilience.jobs.quarantined", self.quarantined() as u64);
+        m.counter("resilience.jobs.retries", self.total_retries());
+        m.counter("resilience.jobs.deadline_hits", self.timed_out() as u64);
+        let mut attempts = Histogram::new();
+        let mut recovery = Histogram::new();
+        for r in &self.results {
+            attempts.record(u64::from(r.outcome.attempts()));
+            if r.outcome.is_completed() && r.outcome.attempts() > 1 {
+                recovery.record(r.turnaround.as_nanos() as u64);
+            }
+        }
+        m.histogram("resilience.jobs.attempts", &attempts);
+        m.histogram("resilience.jobs.time_to_recovery_ns", &recovery);
     }
 }
 
-/// Runs one job exactly as the fleet does — same config construction,
-/// same workload derivation, same optimizer — so in-fleet and standalone
-/// artefacts are byte-identical by construction. `threads` is the
-/// shot-shard count and never affects the artefacts.
+/// How one attempt of one job ended, before any retry policy is applied.
+/// [`run_attempt`] produces the first three variants; `Panicked` is
+/// added by [`run_attempt_caught`] when `catch_unwind` traps a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// All requested iterations ran.
+    Completed(JobArtifacts),
+    /// The deadline fired at an iteration boundary.
+    TimedOut {
+        /// Artefacts for the completed prefix.
+        artifacts: JobArtifacts,
+        /// Iterations that completed before the deadline.
+        completed_iterations: usize,
+        /// Iterations originally requested.
+        requested_iterations: usize,
+    },
+    /// The attempt failed with a typed error. `permanent` failures
+    /// (config/workload/system construction) can never succeed on retry;
+    /// execution failures are transient — a retry reruns with a fresh
+    /// per-attempt seed and may draw a survivable fault schedule.
+    Errored {
+        /// The typed failure.
+        error: JobError,
+        /// True when no retry can change the outcome.
+        permanent: bool,
+    },
+    /// The attempt panicked (trapped by `catch_unwind`).
+    Panicked {
+        /// The panic payload, downcast to text when possible.
+        message: String,
+    },
+}
+
+/// What the scheduler does with a finished attempt: record a terminal
+/// [`JobOutcome`], or requeue the job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetryDecision {
+    /// The job is done; record this outcome in its slot.
+    Final(JobOutcome),
+    /// Requeue: run attempt `next_attempt` after `backoff_slots` more
+    /// dispatch slots have been consumed (geometric: `2^attempt`).
+    Retry {
+        /// The attempt index to run next (1-based after the first).
+        next_attempt: u32,
+        /// Admission-order backoff before the retry becomes ready.
+        backoff_slots: u64,
+    },
+}
+
+/// The retry/quarantine policy: a pure function of the spec, the 0-based
+/// index of the attempt that just finished, and its outcome. No clock,
+/// no pool state — which is why every pool width replays the identical
+/// decision sequence and produces the identical ledger.
 ///
-/// # Errors
+/// The state machine:
 ///
-/// Returns [`JobError::Execution`] wrapping the underlying failure.
-pub fn run_standalone(spec: &JobSpec, seed: u64, threads: usize) -> Result<JobArtifacts, JobError> {
+/// - `Completed` / `TimedOut` → final (a deadline is a budget, not a
+///   transient fault — retrying would just burn it again);
+/// - `Panicked` → [`JobOutcome::Quarantined`] immediately (a panic means
+///   broken invariants, not bad luck);
+/// - permanent errors → [`JobOutcome::Failed`] immediately;
+/// - transient errors → retry while `attempt < retry_budget`, with
+///   geometric backoff `2^attempt` dispatch slots; once the budget is
+///   exhausted the job is quarantined (or, with a zero budget, simply
+///   fails — the pre-containment behaviour).
+pub fn retry_decision(spec: &JobSpec, attempt: u32, outcome: AttemptOutcome) -> RetryDecision {
+    let attempts = attempt + 1;
+    match outcome {
+        AttemptOutcome::Completed(artifacts) => RetryDecision::Final(JobOutcome::Completed {
+            artifacts,
+            attempts,
+        }),
+        AttemptOutcome::TimedOut {
+            artifacts,
+            completed_iterations,
+            requested_iterations,
+        } => RetryDecision::Final(JobOutcome::TimedOut {
+            artifacts,
+            completed_iterations,
+            requested_iterations,
+            attempts,
+        }),
+        AttemptOutcome::Panicked { message } => RetryDecision::Final(JobOutcome::Quarantined {
+            reason: format!("panicked: {message}"),
+            attempts,
+        }),
+        AttemptOutcome::Errored { error, permanent } => {
+            if !permanent && attempt < spec.retry_budget {
+                RetryDecision::Retry {
+                    next_attempt: attempt + 1,
+                    backoff_slots: 1u64 << attempt.min(20),
+                }
+            } else if !permanent && spec.retry_budget > 0 {
+                RetryDecision::Final(JobOutcome::Quarantined {
+                    reason: format!(
+                        "retry budget ({}) exhausted; last error: {error}",
+                        spec.retry_budget
+                    ),
+                    attempts,
+                })
+            } else {
+                RetryDecision::Final(JobOutcome::Failed { error, attempts })
+            }
+        }
+    }
+}
+
+/// The seed attempt number `attempt` runs with: the job's admission seed
+/// for the first attempt (so zero-retry batches are byte-identical to
+/// the pre-containment scheduler), then `stream_seed(job_seed, attempt)`
+/// — deterministic, collision-free, and independent of which worker or
+/// pool width executes the retry.
+pub fn attempt_seed(job_seed: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        job_seed
+    } else {
+        stream_seed(job_seed, u64::from(attempt))
+    }
+}
+
+/// Runs one attempt of one job exactly as the fleet does — same config
+/// construction, same workload derivation, same optimizer — so in-fleet
+/// and standalone artefacts are byte-identical by construction.
+/// `threads` is the shot-shard count and never affects the artefacts.
+///
+/// This function may panic (that is the point of the chaos hook, and
+/// nothing stops library code from panicking); schedulers call
+/// [`run_attempt_caught`] instead.
+pub fn run_attempt(spec: &JobSpec, job_seed: u64, attempt: u32, threads: usize) -> AttemptOutcome {
+    if spec.chaos_panic {
+        panic!(
+            "chaos: deliberate panic in job {:?} (attempt {attempt})",
+            spec.name
+        );
+    }
+    if attempt < spec.chaos_fail_attempts {
+        return AttemptOutcome::Errored {
+            error: JobError::Execution {
+                job: spec.name.clone(),
+                reason: format!("chaos: scripted transient failure on attempt {attempt}"),
+            },
+            permanent: false,
+        };
+    }
+    let seed = attempt_seed(job_seed, attempt);
     let fail = |reason: String| JobError::Execution {
         job: spec.name.clone(),
         reason,
     };
-    let mut config = QtenonConfig::table4(spec.n_qubits, spec.core)
-        .map_err(|e| fail(e.to_string()))?
+    let permanent = |error: JobError| AttemptOutcome::Errored {
+        error,
+        permanent: true,
+    };
+    let config = match QtenonConfig::table4(spec.n_qubits, spec.core) {
+        Ok(c) => c,
+        Err(e) => return permanent(fail(e.to_string())),
+    };
+    let mut config = config
         .with_sync(spec.sync)
         .with_transmission(spec.transmission)
         .with_seed(seed)
@@ -418,24 +813,101 @@ pub fn run_standalone(spec: &JobSpec, seed: u64, threads: usize) -> Result<JobAr
     if let Some(faults) = spec.faults {
         config = config.with_faults(faults);
     }
-    let workload =
-        Workload::benchmark(spec.kind, spec.n_qubits, seed).map_err(|e| fail(e.to_string()))?;
-    let mut runner = VqaRunner::new(config, workload).map_err(|e| fail(e.to_string()))?;
+    let workload = match Workload::benchmark(spec.kind, spec.n_qubits, seed) {
+        Ok(w) => w,
+        Err(e) => return permanent(fail(e.to_string())),
+    };
+    let mut runner = match VqaRunner::new(config, workload) {
+        Ok(r) => r,
+        Err(e) => return permanent(fail(e.to_string())),
+    };
     let mut optimizer = spec.optimizer.build(seed);
-    let report = runner
-        .run(optimizer.as_mut(), spec.iterations, spec.shots)
-        .map_err(|e| fail(e.to_string()))?;
+    let (report, status) = match runner.run_with_deadline(
+        optimizer.as_mut(),
+        spec.iterations,
+        spec.shots,
+        spec.deadline,
+    ) {
+        Ok(done) => done,
+        Err(e) => {
+            // Execution failures are transient by classification: a
+            // retry reruns under a fresh seed (different fault
+            // draws), which is exactly the recovery the budget buys.
+            return AttemptOutcome::Errored {
+                error: fail(e.to_string()),
+                permanent: false,
+            };
+        }
+    };
     let mut m = MetricsRegistry::new();
     runner.export_metrics(&mut m);
     let shots_sampled = match m.get("core.parallel.shots_sampled") {
         Some(MetricValue::Counter(c)) => *c,
         _ => 0,
     };
-    Ok(JobArtifacts {
+    let artifacts = JobArtifacts {
         report,
         metrics_json: m.snapshot().to_json(),
         shots_sampled,
-    })
+    };
+    if status.hit {
+        AttemptOutcome::TimedOut {
+            artifacts,
+            completed_iterations: status.completed_iterations,
+            requested_iterations: status.requested_iterations,
+        }
+    } else {
+        AttemptOutcome::Completed(artifacts)
+    }
+}
+
+/// [`run_attempt`] under `catch_unwind`: a panicking job (deliberate or
+/// genuine) becomes [`AttemptOutcome::Panicked`] instead of unwinding
+/// into the worker pool. The payload is downcast to text when it is a
+/// string (which `panic!` payloads are).
+pub fn run_attempt_caught(
+    spec: &JobSpec,
+    job_seed: u64,
+    attempt: u32,
+    threads: usize,
+) -> AttemptOutcome {
+    match catch_unwind(AssertUnwindSafe(|| {
+        run_attempt(spec, job_seed, attempt, threads)
+    })) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            AttemptOutcome::Panicked { message }
+        }
+    }
+}
+
+/// Runs one job standalone (first attempt, no retry) and returns its
+/// artefacts — the byte-identity reference the fleet is checked against.
+/// A deadline-cut run still returns its partial artefacts.
+///
+/// # Errors
+///
+/// Returns [`JobError::Execution`] wrapping the underlying failure.
+pub fn run_standalone(spec: &JobSpec, seed: u64, threads: usize) -> Result<JobArtifacts, JobError> {
+    match run_attempt(spec, seed, 0, threads) {
+        AttemptOutcome::Completed(artifacts) | AttemptOutcome::TimedOut { artifacts, .. } => {
+            Ok(artifacts)
+        }
+        AttemptOutcome::Errored { error, .. } => Err(error),
+        // Unreachable from run_attempt, which panics rather than
+        // reporting Panicked — kept total for completeness.
+        AttemptOutcome::Panicked { message } => Err(JobError::Execution {
+            job: spec.name.clone(),
+            reason: format!("panicked: {message}"),
+        }),
+    }
 }
 
 /// A job admitted into the queue with its seed already fixed.
@@ -529,10 +1001,21 @@ impl BatchScheduler {
     /// returns the batch report in canonical submission order.
     ///
     /// [`PoolPlan::new`]`(jobs, threads)` decides the split; workers pull
-    /// jobs off the priority order via an atomic cursor, so higher
+    /// work off a shared run queue — the priority order first, then any
+    /// retries whose admission-order backoff has elapsed — so higher
     /// priorities start first but nothing about the results depends on
-    /// who finishes when. A failing job yields a [`JobError::Execution`]
-    /// in its slot; the batch keeps going.
+    /// who finishes when. Every attempt runs under `catch_unwind`
+    /// ([`run_attempt_caught`]) and is fed through [`retry_decision`]:
+    /// a panicking or failing job becomes a typed [`JobOutcome`] in its
+    /// slot while the rest of the fleet keeps going.
+    ///
+    /// Backoff is counted in *dispatch slots* (jobs handed to workers),
+    /// not wall-clock: a retry scheduled at slot `s` with backoff `b`
+    /// becomes ready once `s + b` dispatches have happened. When only
+    /// not-yet-ready retries remain and nothing is in flight, the
+    /// earliest one runs immediately — backoff orders work, it never
+    /// stalls the pool. None of this affects outcomes, which are fixed
+    /// by [`attempt_seed`] and [`retry_decision`] alone.
     ///
     /// # Errors
     ///
@@ -544,8 +1027,72 @@ impl BatchScheduler {
         let order = self.schedule_order();
         let pool = PoolPlan::new(self.queue.len(), threads);
         let started = Instant::now();
-        let cursor = AtomicUsize::new(0);
-        let (order, cursor, queue) = (&order, &cursor, &self.queue);
+
+        /// A failed attempt waiting out its backoff.
+        struct Pending {
+            ready_slot: u64,
+            priority: u8,
+            id: usize,
+            attempt: u32,
+        }
+        struct RunQueue {
+            /// First attempts, in schedule (priority, FIFO) order.
+            initial: VecDeque<usize>,
+            /// Retries with their admission-order ready slots.
+            retries: Vec<Pending>,
+            /// Dispatch slots consumed so far (the backoff clock).
+            slot: u64,
+            /// Attempts currently executing on some worker.
+            in_flight: usize,
+        }
+        impl RunQueue {
+            /// Pops the most urgent dispatchable attempt, if any:
+            /// ready retries first (earliest slot, then priority, then
+            /// id), else the schedule-order head, else — when the pool
+            /// has fully drained — the earliest unready retry.
+            fn pop_next(&mut self) -> Option<(usize, u32)> {
+                let min_retry = |retries: &[Pending]| {
+                    retries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, p)| (p.ready_slot, Reverse(p.priority), p.id))
+                        .map(|(i, _)| i)
+                };
+                if let Some(i) = min_retry(&self.retries) {
+                    if self.retries[i].ready_slot <= self.slot {
+                        let p = self.retries.swap_remove(i);
+                        return Some((p.id, p.attempt));
+                    }
+                }
+                if let Some(id) = self.initial.pop_front() {
+                    return Some((id, 0));
+                }
+                if self.in_flight == 0 {
+                    // Only unready retries remain and no completion can
+                    // advance the slot clock: take the earliest rather
+                    // than stall (backoff orders, never hangs).
+                    if let Some(i) = min_retry(&self.retries) {
+                        let p = self.retries.swap_remove(i);
+                        self.slot = self.slot.max(p.ready_slot);
+                        return Some((p.id, p.attempt));
+                    }
+                }
+                None
+            }
+
+            fn drained(&self) -> bool {
+                self.initial.is_empty() && self.retries.is_empty() && self.in_flight == 0
+            }
+        }
+
+        let state = Mutex::new(RunQueue {
+            initial: order.iter().copied().collect(),
+            retries: Vec::new(),
+            slot: 0,
+            in_flight: 0,
+        });
+        let work_ready = Condvar::new();
+        let (state, work_ready, queue) = (&state, &work_ready, &self.queue);
 
         let per_worker: Vec<Vec<(usize, JobResult)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..pool.job_workers)
@@ -553,25 +1100,67 @@ impl BatchScheduler {
                     scope.spawn(move || {
                         let mut mine = Vec::new();
                         loop {
-                            let k = cursor.fetch_add(1, Ordering::Relaxed);
-                            if k >= order.len() {
+                            // Block until an attempt is dispatchable or
+                            // the whole batch has drained.
+                            let dispatched = {
+                                let mut q = state.lock().expect("run queue lock");
+                                loop {
+                                    if let Some((id, attempt)) = q.pop_next() {
+                                        q.slot += 1;
+                                        q.in_flight += 1;
+                                        break Some((id, attempt));
+                                    }
+                                    if q.drained() {
+                                        break None;
+                                    }
+                                    q = work_ready.wait(q).expect("run queue lock");
+                                }
+                            };
+                            let Some((id, attempt)) = dispatched else {
                                 break;
-                            }
-                            let job = &queue[order[k]];
+                            };
+                            let job = &queue[id];
                             let wait = started.elapsed();
-                            let outcome = run_standalone(&job.spec, job.seed, pool.shard_threads);
-                            mine.push((
-                                job.id,
-                                JobResult {
-                                    id: JobId(job.id),
-                                    name: job.spec.name.clone(),
-                                    seed: job.seed,
-                                    priority: job.spec.priority,
-                                    outcome,
-                                    wait,
-                                    turnaround: started.elapsed(),
-                                },
-                            ));
+                            let outcome = run_attempt_caught(
+                                &job.spec,
+                                job.seed,
+                                attempt,
+                                pool.shard_threads,
+                            );
+                            match retry_decision(&job.spec, attempt, outcome) {
+                                RetryDecision::Final(outcome) => {
+                                    mine.push((
+                                        job.id,
+                                        JobResult {
+                                            id: JobId(job.id),
+                                            name: job.spec.name.clone(),
+                                            seed: job.seed,
+                                            priority: job.spec.priority,
+                                            outcome,
+                                            wait,
+                                            turnaround: started.elapsed(),
+                                        },
+                                    ));
+                                    let mut q = state.lock().expect("run queue lock");
+                                    q.in_flight -= 1;
+                                    work_ready.notify_all();
+                                }
+                                RetryDecision::Retry {
+                                    next_attempt,
+                                    backoff_slots,
+                                } => {
+                                    let mut q = state.lock().expect("run queue lock");
+                                    let ready_slot = q.slot.saturating_add(backoff_slots);
+                                    q.retries.push(Pending {
+                                        ready_slot,
+                                        priority: job.spec.priority,
+                                        id,
+                                        attempt: next_attempt,
+                                    });
+                                    q.in_flight -= 1;
+                                    work_ready.notify_all();
+                                }
+                            }
                         }
                         mine
                     })
@@ -580,6 +1169,9 @@ impl BatchScheduler {
             handles
                 .into_iter()
                 .map(|h| match h.join() {
+                    // Job panics are contained by `run_attempt_caught`;
+                    // a worker can only die from a bug in the scheduler
+                    // itself, which is rightly fatal.
                     Ok(v) => v,
                     Err(payload) => std::panic::resume_unwind(payload),
                 })
@@ -614,6 +1206,10 @@ pub struct BatchSpec {
     pub fleet_seed: u64,
     /// Bounded-queue capacity.
     pub capacity: usize,
+    /// Fleet-default retry budget for jobs without their own `retries`.
+    pub retries: u32,
+    /// Fleet-default deadline for jobs without their own `deadline_ns`.
+    pub deadline: Option<SimDuration>,
     /// The jobs, in file order, with seeds already materialised — so
     /// filtering or reordering the list later cannot change any job's
     /// seed or artefacts.
@@ -632,20 +1228,26 @@ impl BatchSpec {
     ///      "iterations": 2, "shots": 500, "priority": 3,
     ///      "core": "boom", "optimizer": "gd", "sync": "fence",
     ///      "transmission": "immediate", "seed": 7,
-    ///      "faults": "all=0.01,max_attempts=8"}
+    ///      "faults": "all=0.01,max_attempts=8",
+    ///      "retries": 3, "deadline_ns": 40000000,
+    ///      "chaos_panic": false, "chaos_fail_attempts": 0}
     ///   ]
     /// }
     /// ```
     ///
     /// Everything but `jobs` is optional; unknown keys are rejected so
-    /// typos fail loudly. Each job's seed is materialised here from its
-    /// position in the `jobs` array (`stream_seed(fleet_seed, index)`
-    /// unless explicit).
+    /// typos fail loudly. Top-level `retries` and `deadline_ns` set
+    /// fleet defaults that per-job fields override. Each job's seed is
+    /// materialised here from its position in the `jobs` array
+    /// (`stream_seed(fleet_seed, index)` unless explicit).
+    ///
+    /// An empty `jobs` array parses successfully — the CLI renders the
+    /// fixed empty ledger and exits 0; only actually *running* an empty
+    /// batch is a [`JobError::EmptyBatch`].
     ///
     /// # Errors
     ///
-    /// Returns [`JobError::Spec`] for malformed JSON or bad fields, and
-    /// [`JobError::EmptyBatch`] for an empty `jobs` array.
+    /// Returns [`JobError::Spec`] for malformed JSON or bad fields.
     pub fn from_json(text: &str) -> Result<Self, JobError> {
         let root = json::parse(text).map_err(|reason| JobError::Spec { reason })?;
         let fleet_seed = match root.get("fleet_seed") {
@@ -656,8 +1258,20 @@ impl BatchSpec {
             Some(v) => field_u64(v, "capacity")? as usize,
             None => DEFAULT_QUEUE_CAPACITY,
         };
+        let retries = match root.get("retries") {
+            Some(v) => u32::try_from(field_u64(v, "retries")?)
+                .map_err(|_| spec_err("\"retries\" exceeds u32".to_string()))?,
+            None => 0,
+        };
+        let deadline = match root.get("deadline_ns") {
+            Some(v) => Some(SimDuration::from_ns(field_u64(v, "deadline_ns")?)),
+            None => None,
+        };
         for (key, _) in root.entries().unwrap_or(&[]) {
-            if !matches!(key.as_str(), "fleet_seed" | "capacity" | "jobs") {
+            if !matches!(
+                key.as_str(),
+                "fleet_seed" | "capacity" | "jobs" | "retries" | "deadline_ns"
+            ) {
                 return Err(JobError::Spec {
                     reason: format!("unknown top-level key {key:?}"),
                 });
@@ -669,16 +1283,16 @@ impl BatchSpec {
         let entries = jobs_value.as_arr().ok_or_else(|| JobError::Spec {
             reason: "\"jobs\" is not an array".to_string(),
         })?;
-        if entries.is_empty() {
-            return Err(JobError::EmptyBatch);
-        }
+        let defaults = JobDefaults { retries, deadline };
         let mut jobs = Vec::with_capacity(entries.len());
         for (i, entry) in entries.iter().enumerate() {
-            jobs.push(parse_job(entry, i, fleet_seed)?);
+            jobs.push(parse_job(entry, i, fleet_seed, defaults)?);
         }
         Ok(BatchSpec {
             fleet_seed,
             capacity,
+            retries,
+            deadline,
             jobs,
         })
     }
@@ -702,6 +1316,14 @@ fn spec_err(reason: String) -> JobError {
     JobError::Spec { reason }
 }
 
+/// Fleet-level containment defaults a job inherits unless it sets its
+/// own `retries` / `deadline_ns`.
+#[derive(Clone, Copy)]
+struct JobDefaults {
+    retries: u32,
+    deadline: Option<SimDuration>,
+}
+
 fn field_u64(v: &json::Value, key: &str) -> Result<u64, JobError> {
     v.as_u64()
         .ok_or_else(|| spec_err(format!("{key:?} must be a non-negative integer")))
@@ -712,11 +1334,18 @@ fn field_str<'a>(v: &'a json::Value, key: &str) -> Result<&'a str, JobError> {
         .ok_or_else(|| spec_err(format!("{key:?} must be a string")))
 }
 
-fn parse_job(entry: &json::Value, index: usize, fleet_seed: u64) -> Result<JobSpec, JobError> {
+fn parse_job(
+    entry: &json::Value,
+    index: usize,
+    fleet_seed: u64,
+    defaults: JobDefaults,
+) -> Result<JobSpec, JobError> {
     let pairs = entry
         .entries()
         .ok_or_else(|| spec_err(format!("jobs[{index}] is not an object")))?;
     let mut spec = JobSpec::new(&format!("job{index}"), WorkloadKind::Qaoa, 8);
+    spec.retry_budget = defaults.retries;
+    spec.deadline = defaults.deadline;
     for (key, value) in pairs {
         match key.as_str() {
             "name" => spec.name = field_str(value, key)?.to_string(),
@@ -791,6 +1420,27 @@ fn parse_job(entry: &json::Value, index: usize, fleet_seed: u64) -> Result<JobSp
                         .map_err(|e| spec_err(format!("jobs[{index}]: bad fault spec: {e}")))?,
                 )
             }
+            "retries" => {
+                let r = field_u64(value, key)?;
+                spec.retry_budget = u32::try_from(r)
+                    .map_err(|_| spec_err(format!("jobs[{index}]: retries {r} exceeds u32")))?;
+            }
+            "deadline_ns" => {
+                spec.deadline = Some(SimDuration::from_ns(field_u64(value, key)?));
+            }
+            "chaos_panic" => {
+                spec.chaos_panic = value.as_bool().ok_or_else(|| {
+                    spec_err(format!("jobs[{index}]: \"chaos_panic\" must be a boolean"))
+                })?;
+            }
+            "chaos_fail_attempts" => {
+                let r = field_u64(value, key)?;
+                spec.chaos_fail_attempts = u32::try_from(r).map_err(|_| {
+                    spec_err(format!(
+                        "jobs[{index}]: chaos_fail_attempts {r} exceeds u32"
+                    ))
+                })?;
+            }
             other => {
                 return Err(spec_err(format!("jobs[{index}]: unknown key {other:?}")));
             }
@@ -851,6 +1501,14 @@ mod json {
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Boolean payload.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
                 _ => None,
             }
         }
@@ -1153,7 +1811,7 @@ mod tests {
         for result in &batch.results {
             let standalone =
                 run_standalone(&sched.queue[result.id.index()].spec, result.seed, 1).unwrap();
-            let fleet = result.outcome.as_ref().unwrap();
+            let fleet = result.outcome.artifacts().unwrap();
             assert_eq!(fleet.report, standalone.report);
             assert_eq!(fleet.metrics_json, standalone.metrics_json);
         }
@@ -1177,11 +1835,263 @@ mod tests {
         let batch = sched.run(2).unwrap();
         assert_eq!(batch.completed(), 1);
         assert_eq!(batch.failed(), 1);
+        // A config failure is permanent: it fails in one attempt even
+        // though nothing forbids a retry budget on the spec.
         assert!(matches!(
             batch.results[0].outcome,
-            Err(JobError::Execution { .. })
+            JobOutcome::Failed {
+                error: JobError::Execution { .. },
+                attempts: 1
+            }
         ));
-        assert!(batch.results[1].outcome.is_ok());
+        assert!(batch.results[1].outcome.is_completed());
+    }
+
+    #[test]
+    fn panicking_job_is_quarantined_not_fatal() {
+        let mut sched = BatchScheduler::new(42);
+        sched
+            .submit(JobSpec::new("poison", WorkloadKind::Vqe, 8).with_chaos_panic())
+            .unwrap();
+        sched
+            .submit(
+                JobSpec::new("healthy", WorkloadKind::Qaoa, 8)
+                    .with_iterations(1)
+                    .with_shots(24),
+            )
+            .unwrap();
+        let batch = sched.run(2).unwrap();
+        assert_eq!(batch.completed(), 1);
+        assert_eq!(batch.quarantined(), 1);
+        match &batch.results[0].outcome {
+            JobOutcome::Quarantined { reason, attempts } => {
+                assert!(reason.contains("panic"), "{reason}");
+                assert!(reason.contains("poison"), "{reason}");
+                assert_eq!(*attempts, 1);
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // The healthy neighbour is byte-identical to standalone.
+        let standalone = run_standalone(&sched.queue[1].spec, batch.results[1].seed, 1).unwrap();
+        assert_eq!(batch.results[1].outcome.artifacts(), Some(&standalone));
+    }
+
+    #[test]
+    fn scripted_transient_failures_recover_within_budget() {
+        let mut sched = BatchScheduler::new(42);
+        sched
+            .submit(
+                JobSpec::new("flaky", WorkloadKind::Qaoa, 8)
+                    .with_iterations(1)
+                    .with_shots(24)
+                    .with_chaos_fail_attempts(2)
+                    .with_retry_budget(3),
+            )
+            .unwrap();
+        let batch = sched.run(1).unwrap();
+        match &batch.results[0].outcome {
+            JobOutcome::Completed { attempts, .. } => assert_eq!(*attempts, 3),
+            other => panic!("expected recovery on attempt 2, got {other:?}"),
+        }
+        assert_eq!(batch.total_retries(), 2);
+        // The recovered attempt ran with the attempt-2 seed stream.
+        let spec = &sched.queue[0].spec;
+        let job_seed = sched.seed_of(JobId::from_index(0)).unwrap();
+        let mut bare = spec.clone();
+        bare.chaos_fail_attempts = 0;
+        let reference = run_standalone(&bare, attempt_seed(job_seed, 2), 1).unwrap();
+        assert_eq!(batch.results[0].outcome.artifacts(), Some(&reference));
+    }
+
+    #[test]
+    fn budget_exhaustion_quarantines_with_attribution() {
+        let mut sched = BatchScheduler::new(42);
+        sched
+            .submit(
+                JobSpec::new("doomed", WorkloadKind::Qaoa, 8)
+                    .with_chaos_fail_attempts(u32::MAX)
+                    .with_retry_budget(2),
+            )
+            .unwrap();
+        let batch = sched.run(4).unwrap();
+        match &batch.results[0].outcome {
+            JobOutcome::Quarantined { reason, attempts } => {
+                assert_eq!(*attempts, 3, "budget 2 = 1 initial + 2 retries");
+                assert!(reason.contains("retry budget"), "{reason}");
+                assert!(reason.contains("doomed"), "{reason}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_decision_is_pure_and_matches_the_state_machine() {
+        let spec = JobSpec::new("j", WorkloadKind::Vqe, 8).with_retry_budget(2);
+        let transient = || AttemptOutcome::Errored {
+            error: JobError::Execution {
+                job: "j".into(),
+                reason: "boom".into(),
+            },
+            permanent: false,
+        };
+        // Transient failures retry with geometric backoff...
+        assert_eq!(
+            retry_decision(&spec, 0, transient()),
+            RetryDecision::Retry {
+                next_attempt: 1,
+                backoff_slots: 1
+            }
+        );
+        assert_eq!(
+            retry_decision(&spec, 1, transient()),
+            RetryDecision::Retry {
+                next_attempt: 2,
+                backoff_slots: 2
+            }
+        );
+        // ...until the budget runs out: quarantined with attribution.
+        assert!(matches!(
+            retry_decision(&spec, 2, transient()),
+            RetryDecision::Final(JobOutcome::Quarantined { attempts: 3, .. })
+        ));
+        // Zero budget keeps the pre-containment shape: Failed, 1 attempt.
+        let legacy = JobSpec::new("j", WorkloadKind::Vqe, 8);
+        assert!(matches!(
+            retry_decision(&legacy, 0, transient()),
+            RetryDecision::Final(JobOutcome::Failed { attempts: 1, .. })
+        ));
+        // Permanent errors never retry, budget or not.
+        assert!(matches!(
+            retry_decision(
+                &spec,
+                0,
+                AttemptOutcome::Errored {
+                    error: JobError::Execution {
+                        job: "j".into(),
+                        reason: "bad config".into()
+                    },
+                    permanent: true
+                }
+            ),
+            RetryDecision::Final(JobOutcome::Failed { attempts: 1, .. })
+        ));
+        // Panics quarantine immediately.
+        assert!(matches!(
+            retry_decision(
+                &spec,
+                0,
+                AttemptOutcome::Panicked {
+                    message: "ouch".into()
+                }
+            ),
+            RetryDecision::Final(JobOutcome::Quarantined { attempts: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn attempt_seed_is_admission_seed_first_then_streamed() {
+        assert_eq!(attempt_seed(0xABCD, 0), 0xABCD);
+        assert_eq!(attempt_seed(0xABCD, 1), stream_seed(0xABCD, 1));
+        assert_eq!(attempt_seed(0xABCD, 3), stream_seed(0xABCD, 3));
+        assert_ne!(attempt_seed(0xABCD, 1), attempt_seed(0xABCD, 2));
+    }
+
+    #[test]
+    fn ledger_is_deterministic_across_pool_widths() {
+        let fleet = || {
+            let mut sched = BatchScheduler::new(7);
+            sched
+                .submit(
+                    JobSpec::new("a", WorkloadKind::Vqe, 8)
+                        .with_iterations(1)
+                        .with_shots(24),
+                )
+                .unwrap();
+            sched
+                .submit(JobSpec::new("b", WorkloadKind::Qaoa, 8).with_chaos_panic())
+                .unwrap();
+            sched
+                .submit(
+                    JobSpec::new("c", WorkloadKind::Qnn, 8)
+                        .with_iterations(1)
+                        .with_shots(24)
+                        .with_chaos_fail_attempts(1)
+                        .with_retry_budget(2)
+                        .with_priority(5),
+                )
+                .unwrap();
+            sched
+        };
+        let serial = fleet().run(1).unwrap().ledger();
+        let pooled = fleet().run(4).unwrap().ledger();
+        assert_eq!(serial, pooled, "ledger must not depend on pool width");
+        assert!(serial.contains("quarantined"));
+        assert!(serial.contains("completed"));
+    }
+
+    #[test]
+    fn empty_report_renders_fixed_placeholder_ledger() {
+        let report = BatchReport {
+            results: Vec::new(),
+            pool: PoolPlan::new(0, 1),
+            wall: Duration::ZERO,
+            rejected: 0,
+        };
+        assert_eq!(report.ledger(), BatchReport::empty_ledger());
+        assert_eq!(report.ledger(), "job ledger: no jobs\n");
+        // Throughput of an empty batch is 0, never NaN.
+        assert_eq!(report.jobs_per_second(), 0.0);
+    }
+
+    #[test]
+    fn resilience_metrics_cover_the_outcome_machine() {
+        let mut sched = BatchScheduler::new(42);
+        sched
+            .submit(
+                JobSpec::new("ok", WorkloadKind::Vqe, 8)
+                    .with_iterations(1)
+                    .with_shots(24),
+            )
+            .unwrap();
+        sched
+            .submit(JobSpec::new("panic", WorkloadKind::Vqe, 8).with_chaos_panic())
+            .unwrap();
+        sched
+            .submit(
+                JobSpec::new("flaky", WorkloadKind::Qaoa, 8)
+                    .with_iterations(1)
+                    .with_shots(24)
+                    .with_chaos_fail_attempts(1)
+                    .with_retry_budget(1),
+            )
+            .unwrap();
+        let batch = sched.run(2).unwrap();
+        let mut m = MetricsRegistry::new();
+        batch.export_metrics(&mut m);
+        assert_eq!(
+            m.get("resilience.jobs.completed"),
+            Some(&MetricValue::Counter(2))
+        );
+        assert_eq!(
+            m.get("resilience.jobs.quarantined"),
+            Some(&MetricValue::Counter(1))
+        );
+        assert_eq!(
+            m.get("resilience.jobs.retries"),
+            Some(&MetricValue::Counter(1))
+        );
+        assert_eq!(
+            m.get("resilience.jobs.timed_out"),
+            Some(&MetricValue::Counter(0))
+        );
+        match m.get("resilience.jobs.attempts") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count(), 3),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        match m.get("resilience.jobs.time_to_recovery_ns") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count(), 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1242,15 +2152,50 @@ mod tests {
     }
 
     #[test]
-    fn batch_spec_rejects_unknown_keys_and_empty_batches() {
+    fn batch_spec_rejects_unknown_keys_but_allows_empty_batches() {
         let err = BatchSpec::from_json(r#"{"jobs": [{"qubist": 8}]}"#).unwrap_err();
         assert!(matches!(err, JobError::Spec { ref reason } if reason.contains("qubist")));
-        let err = BatchSpec::from_json(r#"{"jobs": []}"#).unwrap_err();
+        // An empty jobs array is a valid (vacuous) spec: the CLI renders
+        // the fixed placeholder ledger and exits 0.
+        let empty = BatchSpec::from_json(r#"{"jobs": []}"#).unwrap();
+        assert!(empty.jobs.is_empty());
+        // Only running it is an error.
+        let err = empty.into_scheduler().unwrap().run(2).unwrap_err();
         assert_eq!(err, JobError::EmptyBatch);
         let err = BatchSpec::from_json(r#"{"jobs": "nope"}"#).unwrap_err();
         assert!(matches!(err, JobError::Spec { .. }));
         let err = BatchSpec::from_json("{").unwrap_err();
         assert!(matches!(err, JobError::Spec { .. }));
+    }
+
+    #[test]
+    fn batch_spec_parses_containment_fields_with_fleet_defaults() {
+        let text = r#"{
+            "retries": 2,
+            "deadline_ns": 500000,
+            "jobs": [
+                {"name": "inherits", "qubits": 8},
+                {"name": "overrides", "qubits": 8, "retries": 5,
+                 "deadline_ns": 9000, "chaos_panic": true,
+                 "chaos_fail_attempts": 1}
+            ]
+        }"#;
+        let spec = BatchSpec::from_json(text).unwrap();
+        assert_eq!(spec.retries, 2);
+        assert_eq!(spec.deadline, Some(SimDuration::from_ns(500_000)));
+        let inherits = &spec.jobs[0];
+        assert_eq!(inherits.retry_budget, 2);
+        assert_eq!(inherits.deadline, Some(SimDuration::from_ns(500_000)));
+        assert!(!inherits.chaos_panic);
+        assert_eq!(inherits.chaos_fail_attempts, 0);
+        let overrides = &spec.jobs[1];
+        assert_eq!(overrides.retry_budget, 5);
+        assert_eq!(overrides.deadline, Some(SimDuration::from_ns(9_000)));
+        assert!(overrides.chaos_panic);
+        assert_eq!(overrides.chaos_fail_attempts, 1);
+        // Bad types fail loudly.
+        let err = BatchSpec::from_json(r#"{"jobs": [{"chaos_panic": "yes"}]}"#).unwrap_err();
+        assert!(matches!(err, JobError::Spec { ref reason } if reason.contains("chaos_panic")));
     }
 
     #[test]

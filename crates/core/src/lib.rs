@@ -21,7 +21,12 @@
 //!   per-component time accounting;
 //! - [`jobs`]: the deterministic multi-job batch scheduler — bounded
 //!   priority admission of independent VQA jobs over one shared worker
-//!   pool, with per-job artefacts byte-identical to standalone runs;
+//!   pool, with per-job artefacts byte-identical to standalone runs,
+//!   plus the fault-containment layer: panic quarantine, per-job
+//!   sim-time deadlines, and deterministic retry with bounded backoff;
+//! - [`chaos`]: the chaos-campaign harness — fault-rate × retry-policy
+//!   sweeps over a fleet with per-cell invariant checks (no hangs,
+//!   bounded retries, survivor artefacts byte-identical to standalone);
 //! - [`report`]: the time-breakdown structures every figure is built
 //!   from.
 //!
@@ -40,6 +45,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod chaos;
 pub mod config;
 pub mod host;
 pub mod jobs;
@@ -50,14 +56,17 @@ pub mod system;
 pub mod trace;
 pub mod vqa;
 
+pub use chaos::{ChaosCampaign, ChaosCell, ChaosReport};
 pub use config::{CoreModel, QtenonConfig, SyncMode, TransmissionPolicy};
 pub use host::HostCoreModel;
-pub use jobs::{BatchReport, BatchScheduler, BatchSpec, JobError, JobResult, JobSpec, PoolPlan};
+pub use jobs::{
+    BatchReport, BatchScheduler, BatchSpec, JobError, JobOutcome, JobResult, JobSpec, PoolPlan,
+};
 pub use parallel::{Shard, ShardPlan};
 pub use report::{CommBreakdown, ResilienceSummary, RunReport, TimeBreakdown};
 pub use schedule::TransmissionPlan;
 pub use system::QtenonSystem;
-pub use vqa::VqaRunner;
+pub use vqa::{DeadlineStatus, VqaRunner};
 
 use std::fmt;
 

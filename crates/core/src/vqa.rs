@@ -19,7 +19,8 @@ use qtenon_compiler::{CompiledProgram, ParameterDiff, QtenonCompiler};
 use qtenon_isa::Instruction;
 use qtenon_quantum::BitString;
 use qtenon_sim_engine::{
-    EventQueue, Histogram, MetricsRegistry, OpClass, OpCounter, PhaseId, Profiler, SimTime,
+    EventQueue, Histogram, MetricsRegistry, OpClass, OpCounter, PhaseId, Profiler, SimDuration,
+    SimTime,
 };
 use qtenon_workloads::cost::{CostEvaluator, BLOCK_SHOTS};
 use qtenon_workloads::{evaluate_cost, Optimizer, Workload};
@@ -69,6 +70,36 @@ impl VqaPhases {
             readout_drain: profiler.phase("vqa.readout_drain"),
             host_post: profiler.phase("vqa.host_post"),
             optimizer_step: profiler.phase("vqa.optimizer_step"),
+        }
+    }
+}
+
+/// Where a cooperatively-enforced deadline left a run: either it never
+/// fired (`hit == false`, all requested iterations ran) or the loop
+/// stopped at an iteration boundary with partial progress.
+///
+/// Deadlines are *sim-time* budgets checked between iterations, so a
+/// deadline can only cut the loop at a boundary — mid-iteration state is
+/// never torn, and the partial report is exactly the report a shorter
+/// run would have produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlineStatus {
+    /// True when the deadline fired before all iterations completed.
+    pub hit: bool,
+    /// Iterations that fully completed before the loop stopped.
+    pub completed_iterations: usize,
+    /// Iterations originally requested.
+    pub requested_iterations: usize,
+}
+
+impl DeadlineStatus {
+    /// A status for a run that was never given a deadline (or finished
+    /// inside it).
+    pub fn completed(iterations: usize) -> Self {
+        DeadlineStatus {
+            hit: false,
+            completed_iterations: iterations,
+            requested_iterations: iterations,
         }
     }
 }
@@ -191,6 +222,29 @@ impl VqaRunner {
         iterations: usize,
         shots: u64,
     ) -> Result<RunReport, SystemError> {
+        self.run_with_deadline(optimizer, iterations, shots, None)
+            .map(|(report, _)| report)
+    }
+
+    /// Like [`run`](Self::run), but stops the optimisation loop at the
+    /// first iteration boundary at or past `deadline` (a sim-time budget
+    /// measured from the run's t=0, setup included). Returns the report
+    /// for the iterations that did complete plus a [`DeadlineStatus`]
+    /// saying whether — and how far in — the deadline fired.
+    ///
+    /// With `deadline == None` this is byte-identical to `run`: the
+    /// check never executes and no state differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] for any component failure.
+    pub fn run_with_deadline(
+        &mut self,
+        optimizer: &mut dyn Optimizer,
+        iterations: usize,
+        shots: u64,
+        deadline: Option<SimDuration>,
+    ) -> Result<(RunReport, DeadlineStatus), SystemError> {
         let config = *self.system.config();
         self.system.cold_reset();
         self.evaluations = 0;
@@ -284,7 +338,17 @@ impl VqaRunner {
 
         // --- Optimisation loop.
         let mut loaded_params = params.clone();
+        let mut deadline_hit = false;
         for _iter in 0..iterations {
+            // Cooperative deadline: checked only at iteration boundaries,
+            // so partial progress is always a whole number of iterations
+            // and the surviving report is the one a shorter run yields.
+            if let Some(budget) = deadline {
+                if now.elapsed() >= budget {
+                    deadline_hit = true;
+                    break;
+                }
+            }
             let iter_start = now;
             let plan = optimizer.iteration_plan(&params);
             let mut evals = Vec::with_capacity(plan.len());
@@ -332,7 +396,12 @@ impl VqaRunner {
         self.final_cost = final_cost;
         // Paint the finished chain into the trace (no-op when off).
         self.system.trace_critpath();
-        Ok(RunReport {
+        let status = DeadlineStatus {
+            hit: deadline_hit,
+            completed_iterations: self.iterations as usize,
+            requested_iterations: iterations,
+        };
+        let report = RunReport {
             total: now.elapsed(),
             breakdown,
             comm,
@@ -351,7 +420,8 @@ impl VqaRunner {
             resilience: self.system.resilience(),
             phases: self.system.phase_table(),
             critpath: self.system.critpath_report(),
-        })
+        };
+        Ok((report, status))
     }
 
     /// One circuit evaluation: incremental update → pulse generation →
@@ -799,6 +869,69 @@ mod tests {
         // Same seed, same plan → bit-identical outcome.
         let b = run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deadline_cuts_the_loop_at_an_iteration_boundary() {
+        // Measure a full run, then re-run with a budget that only covers
+        // part of it: the truncated run must equal a shorter run exactly.
+        let mut probe = runner(8, qtenon_workloads::WorkloadKind::Qaoa);
+        let full = probe.run(&mut SpsaOptimizer::new(5), 4, 100).unwrap();
+        assert_eq!(full.cost_history.len(), 4);
+
+        // Budget past iteration 2 but short of iteration 4.
+        let two_iters = {
+            let mut r = runner(8, qtenon_workloads::WorkloadKind::Qaoa);
+            r.run(&mut SpsaOptimizer::new(5), 2, 100).unwrap()
+        };
+        let budget = SimDuration::from_ns(two_iters.total.as_ps() / 1_000 + 1);
+        assert!(budget < full.total);
+        let mut r = runner(8, qtenon_workloads::WorkloadKind::Qaoa);
+        let (partial, status) = r
+            .run_with_deadline(&mut SpsaOptimizer::new(5), 4, 100, Some(budget))
+            .unwrap();
+        assert!(status.hit);
+        assert_eq!(status.requested_iterations, 4);
+        assert!(
+            status.completed_iterations >= 1 && status.completed_iterations < 4,
+            "{status:?}"
+        );
+        assert_eq!(partial.cost_history.len(), status.completed_iterations);
+        // The partial report is exactly what a shorter run produces —
+        // the deadline never tears an iteration.
+        let mut short = runner(8, qtenon_workloads::WorkloadKind::Qaoa);
+        let reference = short
+            .run(&mut SpsaOptimizer::new(5), status.completed_iterations, 100)
+            .unwrap();
+        assert_eq!(partial, reference);
+    }
+
+    #[test]
+    fn no_deadline_is_byte_identical_to_run() {
+        let mut a = runner(8, qtenon_workloads::WorkloadKind::Vqe);
+        let ra = a.run(&mut SpsaOptimizer::new(3), 2, 50).unwrap();
+        let mut b = runner(8, qtenon_workloads::WorkloadKind::Vqe);
+        let (rb, status) = b
+            .run_with_deadline(&mut SpsaOptimizer::new(3), 2, 50, None)
+            .unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(status, DeadlineStatus::completed(2));
+    }
+
+    #[test]
+    fn generous_deadline_never_fires() {
+        let mut r = runner(8, qtenon_workloads::WorkloadKind::Qaoa);
+        let (report, status) = r
+            .run_with_deadline(
+                &mut SpsaOptimizer::new(3),
+                2,
+                50,
+                Some(SimDuration::from_ns(u64::MAX / 10_000)),
+            )
+            .unwrap();
+        assert!(!status.hit);
+        assert_eq!(status.completed_iterations, 2);
+        assert_eq!(report.cost_history.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Differential determinism tests for the fault-containment layer: the
+//! same fleet — including an actively fault-injected job, a scripted
+//! flake, a deliberately-panicking job, and a deadline-bounded job —
+//! must produce a byte-identical outcome ledger at pool widths 1, 2,
+//! and 8, for every retry budget. With zero retries and no deadlines
+//! the new machinery must be invisible: artefacts byte-identical to
+//! plain completed runs.
+
+use qtenon_core::jobs::{attempt_seed, run_standalone, BatchScheduler, JobId, JobOutcome, JobSpec};
+use qtenon_sim_engine::{FaultPlan, SimDuration};
+use qtenon_workloads::WorkloadKind;
+
+/// A fleet that exercises every arm of the outcome machine.
+fn chaos_fleet(budget: u32) -> Vec<JobSpec> {
+    vec![
+        JobSpec::new("clean-vqe", WorkloadKind::Vqe, 8)
+            .with_iterations(2)
+            .with_shots(48)
+            .with_retry_budget(budget),
+        JobSpec::new("faulty-qaoa", WorkloadKind::Qaoa, 8)
+            .with_iterations(2)
+            .with_shots(48)
+            .with_priority(5)
+            .with_retry_budget(budget)
+            .with_faults(FaultPlan::all(0.02).with_seed(0xFA17)),
+        JobSpec::new("flaky-qnn", WorkloadKind::Qnn, 8)
+            .with_iterations(1)
+            .with_shots(48)
+            .with_retry_budget(budget)
+            .with_chaos_fail_attempts(1),
+        JobSpec::new("panic-vqe", WorkloadKind::Vqe, 8)
+            .with_retry_budget(budget)
+            .with_chaos_panic(),
+        JobSpec::new("deadline-qaoa", WorkloadKind::Qaoa, 8)
+            .with_iterations(8)
+            .with_shots(48)
+            .with_retry_budget(budget)
+            .with_deadline(SimDuration::from_ns(1)),
+    ]
+}
+
+fn scheduler(jobs: &[JobSpec]) -> BatchScheduler {
+    let mut sched = BatchScheduler::new(42);
+    for job in jobs {
+        sched.submit(job.clone()).expect("fleet fits the queue");
+    }
+    sched
+}
+
+#[test]
+fn ledger_is_byte_identical_at_widths_1_2_8_for_every_budget() {
+    for budget in [0u32, 3] {
+        let sched = scheduler(&chaos_fleet(budget));
+        let ledgers: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| sched.run(w).expect("batch run succeeds").ledger())
+            .collect();
+        assert_eq!(
+            ledgers[0], ledgers[1],
+            "budget {budget}: width 2 ledger diverged from width 1"
+        );
+        assert_eq!(
+            ledgers[0], ledgers[2],
+            "budget {budget}: width 8 ledger diverged from width 1"
+        );
+    }
+}
+
+#[test]
+fn batch_with_panicking_and_deadline_jobs_attributes_both_and_keeps_survivors_exact() {
+    let jobs = chaos_fleet(3);
+    let sched = scheduler(&jobs);
+    for width in [1usize, 8] {
+        let batch = sched.run(width).expect("panics are contained");
+        assert_eq!(batch.results.len(), jobs.len());
+        // Both failures are attributed, not fatal.
+        assert!(
+            matches!(&batch.results[3].outcome, JobOutcome::Quarantined { reason, .. }
+                if reason.contains("panicked")),
+            "width {width}: {:?}",
+            batch.results[3].outcome
+        );
+        assert!(
+            matches!(
+                &batch.results[4].outcome,
+                JobOutcome::TimedOut {
+                    completed_iterations,
+                    requested_iterations: 8,
+                    ..
+                } if *completed_iterations < 8
+            ),
+            "width {width}: {:?}",
+            batch.results[4].outcome
+        );
+        assert_eq!(batch.completed(), 3, "width {width}");
+        // Healthy jobs' artefacts are byte-identical to standalone runs
+        // of the same spec at the attempt that produced them.
+        for idx in [0usize, 1, 2] {
+            let seed = sched.seed_of(JobId::from_index(idx)).expect("admitted");
+            let (artifacts, attempts) = match &batch.results[idx].outcome {
+                JobOutcome::Completed {
+                    artifacts,
+                    attempts,
+                } => (artifacts, *attempts),
+                other => panic!("job {idx} should complete, got {other:?}"),
+            };
+            let mut bare = jobs[idx].clone();
+            bare.chaos_fail_attempts = 0;
+            let reference = run_standalone(&bare, attempt_seed(seed, attempts - 1), 1)
+                .expect("standalone run succeeds");
+            assert_eq!(
+                artifacts.report, reference.report,
+                "width {width} job {idx}"
+            );
+            assert_eq!(
+                artifacts.metrics_json, reference.metrics_json,
+                "width {width} job {idx}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_retry_zero_deadline_fleet_is_byte_identical_to_the_plain_path() {
+    // Strip every containment knob: the fleet must behave exactly like
+    // the pre-containment scheduler — all jobs complete on attempt 1
+    // with artefacts equal to standalone runs at the admission seed.
+    let jobs: Vec<JobSpec> = vec![
+        JobSpec::new("vqe-base", WorkloadKind::Vqe, 8)
+            .with_iterations(2)
+            .with_shots(48),
+        JobSpec::new("qaoa-faulty", WorkloadKind::Qaoa, 8)
+            .with_iterations(2)
+            .with_shots(48)
+            .with_faults(FaultPlan::all(0.02).with_seed(0xFA17)),
+        JobSpec::new("qnn-tail", WorkloadKind::Qnn, 8)
+            .with_iterations(1)
+            .with_shots(48)
+            .with_priority(2),
+    ];
+    for job in &jobs {
+        assert_eq!(job.retry_budget, 0);
+        assert!(job.deadline.is_none());
+    }
+    let sched = scheduler(&jobs);
+    for width in [1usize, 2, 8] {
+        let batch = sched.run(width).expect("batch run succeeds");
+        for (i, result) in batch.results.iter().enumerate() {
+            let seed = sched.seed_of(JobId::from_index(i)).expect("admitted");
+            // Attempt 0 uses the admission seed directly, so the plain
+            // path is bit-for-bit what it was before containment.
+            assert_eq!(attempt_seed(seed, 0), seed);
+            match &result.outcome {
+                JobOutcome::Completed {
+                    artifacts,
+                    attempts: 1,
+                } => {
+                    let reference =
+                        run_standalone(&jobs[i], seed, 1).expect("standalone run succeeds");
+                    assert_eq!(artifacts.report, reference.report, "width {width} job {i}");
+                    assert_eq!(
+                        artifacts.metrics_json, reference.metrics_json,
+                        "width {width} job {i}"
+                    );
+                }
+                other => panic!("width {width} job {i}: expected 1-attempt completion, {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn retry_budget_changes_recovery_but_never_survivor_artifacts() {
+    // The flake fails its first attempt. With budget 0 it fails for
+    // good; with budget 3 it recovers on attempt 2 — and the healthy
+    // jobs' artefacts are identical in both worlds.
+    let no_budget = scheduler(&chaos_fleet(0)).run(4).expect("runs");
+    let budgeted = scheduler(&chaos_fleet(3)).run(4).expect("runs");
+
+    match &no_budget.results[2].outcome {
+        JobOutcome::Failed { attempts: 1, .. } => {}
+        other => panic!("budget 0 flake: {other:?}"),
+    }
+    match &budgeted.results[2].outcome {
+        JobOutcome::Completed { attempts: 2, .. } => {}
+        other => panic!("budget 3 flake: {other:?}"),
+    }
+    assert_eq!(no_budget.total_retries(), 0);
+    assert!(budgeted.total_retries() >= 1);
+    for idx in [0usize, 1] {
+        assert_eq!(
+            no_budget.results[idx].outcome.artifacts().expect("clean"),
+            budgeted.results[idx].outcome.artifacts().expect("clean"),
+            "budget must not perturb healthy job {idx}"
+        );
+    }
+}

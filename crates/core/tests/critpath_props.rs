@@ -117,7 +117,7 @@ fn batch_and_standalone_jobs_agree_on_the_critpath() {
     for threads in [1usize, 4] {
         let batch = sched.run(threads).expect("batch run succeeds");
         for (i, result) in batch.results.iter().enumerate() {
-            let artefacts = result.outcome.as_ref().expect("job completed");
+            let artefacts = result.outcome.artifacts().expect("job completed");
             assert_eq!(
                 artefacts.report.critpath, references[i].report.critpath,
                 "job {} critpath differs from standalone at pool width {threads}",

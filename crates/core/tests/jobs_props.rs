@@ -73,7 +73,7 @@ fn fleet_results_match_standalone_at_any_pool_width() {
             // Canonical submission order regardless of priorities.
             assert_eq!(result.id.index(), i);
             assert_eq!(result.name, jobs[i].name);
-            let artefacts = result.outcome.as_ref().expect("job completed");
+            let artefacts = result.outcome.artifacts().expect("job completed");
             assert_eq!(
                 artefacts.report, references[i].report,
                 "job {} report differs from standalone at pool width {threads}",
@@ -102,7 +102,10 @@ fn faulty_job_recovers_identically_in_and_out_of_fleet() {
         "fault plan must actually fire for the comparison to mean anything"
     );
     let batch = sched.run(8).expect("batch run succeeds");
-    let in_fleet = batch.results[faulty].outcome.as_ref().expect("completed");
+    let in_fleet = batch.results[faulty]
+        .outcome
+        .artifacts()
+        .expect("completed");
     assert_eq!(in_fleet.report.resilience, standalone.report.resilience);
     assert_eq!(in_fleet.metrics_json, standalone.metrics_json);
 }

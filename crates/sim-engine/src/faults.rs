@@ -43,6 +43,83 @@ use crate::metrics::MetricsRegistry;
 use crate::rng::{splitmix64, stream_seed, unit};
 use crate::time::SimDuration;
 
+/// A malformed fault spec, carrying the exact offending token so callers
+/// can point at the bad entry instead of echoing the whole spec back.
+///
+/// Every variant names the token it tripped over; [`std::fmt::Display`]
+/// renders the same one-line messages the old stringly-typed parser
+/// produced, so `map_err(|e| format!(...))` call sites keep working.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultSpecError {
+    /// The spec contained no `key=value` pairs at all (empty string,
+    /// only separators, or only comments).
+    Empty,
+    /// An entry without an `=`, e.g. `bus_drop` or `0.1`.
+    NotKeyValue {
+        /// The entry as written.
+        token: String,
+    },
+    /// A key naming neither an injection site nor a policy knob.
+    UnknownKey {
+        /// The unrecognised key.
+        token: String,
+    },
+    /// A policy-knob value that is not an unsigned integer.
+    BadInt {
+        /// The knob name.
+        key: String,
+        /// The value as written.
+        token: String,
+    },
+    /// A rate value that is not a number at all.
+    BadRate {
+        /// The site (or `all`) name.
+        key: String,
+        /// The value as written.
+        token: String,
+    },
+    /// A numeric rate outside `[0, 1)` — negative, `>= 1`, or NaN.
+    RateOutOfRange {
+        /// The site name the rate was destined for.
+        site: &'static str,
+        /// The offending rate.
+        rate: f64,
+    },
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpecError::Empty => {
+                write!(f, "fault spec is empty: expected key=value pairs")
+            }
+            FaultSpecError::NotKeyValue { token } => {
+                write!(f, "fault spec entry {token:?} is not key=value")
+            }
+            FaultSpecError::UnknownKey { token } => {
+                write!(f, "unknown fault spec key {token:?}")
+            }
+            FaultSpecError::BadInt { key, token } => {
+                write!(
+                    f,
+                    "bad {key} in fault spec: {token:?} is not an unsigned integer"
+                )
+            }
+            FaultSpecError::BadRate { key, token } => {
+                write!(
+                    f,
+                    "bad rate for {key} in fault spec: {token:?} is not a number"
+                )
+            }
+            FaultSpecError::RateOutOfRange { site, rate } => {
+                write!(f, "fault rate for {site} must be in [0, 1): got {rate}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// A component boundary where faults can be injected.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FaultSite {
@@ -191,15 +268,16 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a message if `rate` is not a finite probability in `[0, 1)`
-    /// (1.0 is excluded: a certain fault would make geometric retry counts
-    /// unbounded).
-    pub fn set_rate(&mut self, site: FaultSite, rate: f64) -> Result<(), String> {
+    /// Returns [`FaultSpecError::RateOutOfRange`] if `rate` is not a
+    /// finite probability in `[0, 1)` (1.0 is excluded: a certain fault
+    /// would make geometric retry counts unbounded; NaN fails both
+    /// bounds checks).
+    pub fn set_rate(&mut self, site: FaultSite, rate: f64) -> Result<(), FaultSpecError> {
         if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
-            return Err(format!(
-                "fault rate for {} must be in [0, 1): got {rate}",
-                site.name()
-            ));
+            return Err(FaultSpecError::RateOutOfRange {
+                site: site.name(),
+                rate,
+            });
         }
         let slot = match site {
             FaultSite::BusDrop => &mut self.bus_drop,
@@ -264,10 +342,14 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending pair on unknown keys,
-    /// malformed numbers, or out-of-range rates.
-    pub fn parse(spec: &str) -> Result<Self, String> {
+    /// Returns a [`FaultSpecError`] naming the offending token on unknown
+    /// keys, malformed numbers, or out-of-range rates, and
+    /// [`FaultSpecError::Empty`] when the spec contains no pairs at all —
+    /// an empty `--faults` argument or plan file is always a mistake, not
+    /// a request for the default plan.
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
         let mut plan = FaultPlan::default();
+        let mut pairs = 0usize;
         for raw_line in spec.lines() {
             let line = raw_line.split('#').next().unwrap_or("");
             for pair in line.split(',') {
@@ -275,19 +357,24 @@ impl FaultPlan {
                 if pair.is_empty() {
                     continue;
                 }
-                let (key, value) = pair
-                    .split_once('=')
-                    .ok_or_else(|| format!("fault spec entry {pair:?} is not key=value"))?;
+                pairs += 1;
+                let (key, value) =
+                    pair.split_once('=')
+                        .ok_or_else(|| FaultSpecError::NotKeyValue {
+                            token: pair.to_string(),
+                        })?;
                 let (key, value) = (key.trim(), value.trim());
-                let int = |what: &str| -> Result<u64, String> {
-                    value
-                        .parse::<u64>()
-                        .map_err(|e| format!("bad {what} in fault spec: {e}"))
+                let int = |what: &str| -> Result<u64, FaultSpecError> {
+                    value.parse::<u64>().map_err(|_| FaultSpecError::BadInt {
+                        key: what.to_string(),
+                        token: value.to_string(),
+                    })
                 };
-                let rate = || -> Result<f64, String> {
-                    value
-                        .parse::<f64>()
-                        .map_err(|e| format!("bad rate for {key} in fault spec: {e}"))
+                let rate = || -> Result<f64, FaultSpecError> {
+                    value.parse::<f64>().map_err(|_| FaultSpecError::BadRate {
+                        key: key.to_string(),
+                        token: value.to_string(),
+                    })
                 };
                 match key {
                     "seed" => plan.seed = int("seed")?,
@@ -306,11 +393,16 @@ impl FaultPlan {
                         let site = FaultSite::ALL
                             .into_iter()
                             .find(|s| s.name() == key)
-                            .ok_or_else(|| format!("unknown fault spec key {key:?}"))?;
+                            .ok_or_else(|| FaultSpecError::UnknownKey {
+                                token: key.to_string(),
+                            })?;
                         plan.set_rate(site, rate()?)?;
                     }
                 }
             }
+        }
+        if pairs == 0 {
+            return Err(FaultSpecError::Empty);
         }
         Ok(plan)
     }
@@ -548,13 +640,87 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_bad_specs() {
-        assert!(FaultPlan::parse("bus_drop").is_err());
-        assert!(FaultPlan::parse("no_such_site=0.1").is_err());
-        assert!(FaultPlan::parse("bus_drop=1.5").is_err());
-        assert!(FaultPlan::parse("bus_drop=-0.1").is_err());
-        assert!(FaultPlan::parse("bus_drop=1.0").is_err());
-        assert!(FaultPlan::parse("seed=abc").is_err());
+    fn parse_rejects_bad_specs_with_typed_errors() {
+        assert_eq!(
+            FaultPlan::parse("bus_drop"),
+            Err(FaultSpecError::NotKeyValue {
+                token: "bus_drop".into()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("no_such_site=0.1"),
+            Err(FaultSpecError::UnknownKey {
+                token: "no_such_site".into()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("bus_drop=1.5"),
+            Err(FaultSpecError::RateOutOfRange {
+                site: "bus_drop",
+                rate: 1.5
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("bus_drop=-0.1"),
+            Err(FaultSpecError::RateOutOfRange {
+                site: "bus_drop",
+                rate: -0.1
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("bus_drop=1.0"),
+            Err(FaultSpecError::RateOutOfRange {
+                site: "bus_drop",
+                rate: 1.0
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("seed=abc"),
+            Err(FaultSpecError::BadInt {
+                key: "seed".into(),
+                token: "abc".into()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("bus_drop=zero"),
+            Err(FaultSpecError::BadRate {
+                key: "bus_drop".into(),
+                token: "zero".into()
+            })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_nan_rates() {
+        // NaN parses as a valid f64, so it must be caught by the range
+        // check — and the error must carry the site it was destined for.
+        match FaultPlan::parse("readout_timeout=NaN") {
+            Err(FaultSpecError::RateOutOfRange { site, rate }) => {
+                assert_eq!(site, "readout_timeout");
+                assert!(rate.is_nan());
+            }
+            other => panic!("expected RateOutOfRange, got {other:?}"),
+        }
+        assert!(matches!(
+            FaultPlan::parse("all=nan"),
+            Err(FaultSpecError::RateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_empty_specs() {
+        assert_eq!(FaultPlan::parse(""), Err(FaultSpecError::Empty));
+        assert_eq!(FaultPlan::parse("  , ,\n"), Err(FaultSpecError::Empty));
+        assert_eq!(
+            FaultPlan::parse("# just a comment\n"),
+            Err(FaultSpecError::Empty)
+        );
+        // The offending token survives into the rendered message so CLI
+        // users see which entry to fix.
+        let msg = FaultPlan::parse("bus_drop = 0.1, oops")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("oops"), "message must name the token: {msg}");
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod time;
 pub use clock::ClockDomain;
 pub use critpath::{CritKind, CritPathReport, CritPathRow, CritPathTracker, EdgeId};
 pub use event::EventQueue;
-pub use faults::{FaultInjector, FaultPlan, FaultSite};
+pub use faults::{FaultInjector, FaultPlan, FaultSite, FaultSpecError};
 pub use metrics::{Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use opcount::{OpClass, OpCounter};
 pub use profile::{PhaseId, PhaseRow, PhaseTable, Profiler};

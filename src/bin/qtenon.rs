@@ -14,6 +14,10 @@
 //! qtenon batch --jobs <spec.json> [--threads T]             # multi-job fleet
 //!             [--metrics out.json] [--job-metrics DIR]      # fleet + per-job artefacts
 //!             [--only NAME] [--profile] [--critpath]        # run one job standalone
+//!             [--retries N] [--deadline NS]                 # containment overrides
+//!             [--ledger PATH]                               # width-invariant ledger
+//! qtenon batch --chaos [--threads T] [--ledger PATH]        # chaos campaign
+//!             [--metrics out.json]                          # resilience telemetry
 //! ```
 //!
 //! `--profile` prints the per-phase latency-attribution table after the
@@ -50,19 +54,42 @@
 //! `DIR/<name>.json`; those files are byte-identical at any thread
 //! count, and identical to running the same job alone (e.g. via
 //! `--only NAME --threads 1`). `--metrics` writes the fleet-level
-//! `jobs.*` telemetry (queue, pool, wait/turnaround, throughput).
+//! `jobs.*` and `resilience.jobs.*` telemetry to `PATH` (JSON) and
+//! `PATH.prom` (Prometheus text format).
+//!
+//! Jobs are fault-contained: a panicking job is quarantined, a job past
+//! its sim-time deadline is cut at the next iteration boundary, and
+//! transient failures retry deterministically within the spec's budget.
+//! `--retries N` / `--deadline NS` override the budget and deadline for
+//! every job in the fleet. `--ledger PATH` writes the outcome ledger —
+//! one tab-separated row per job with outcome, attempts, and failure
+//! attribution — which is byte-identical at any `--threads` value. An
+//! empty fleet (empty `jobs` array, or `--only` matching nothing)
+//! renders a fixed placeholder ledger and exits 0; any failed,
+//! timed-out, or quarantined job makes the exit code nonzero after a
+//! per-job failure table.
+//!
+//! `batch --chaos` ignores `--jobs` and instead sweeps fault-injection
+//! rates × retry budgets over a synthetic fleet (healthy, faulty,
+//! flaky, deadline-bounded, and deliberately-panicking jobs), replaying
+//! every cell at pool widths 1 and `--threads` and checking the
+//! containment invariants per cell: ledgers byte-identical across
+//! widths, retries bounded by budget, and survivors' artefacts
+//! byte-identical to standalone runs. Exit is nonzero if any cell
+//! violates an invariant.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use qtenon::compiler::QtenonCompiler;
+use qtenon::core::chaos::ChaosCampaign;
 use qtenon::core::config::{CoreModel, QtenonConfig};
-use qtenon::core::jobs::BatchSpec;
+use qtenon::core::jobs::{BatchReport, BatchSpec};
 use qtenon::core::system::QtenonSystem;
 use qtenon::isa::{disasm, QubitId};
 use qtenon::quantum::noise::NoiseModel;
 use qtenon::quantum::{qasm, transpile, Circuit};
-use qtenon::sim_engine::{FaultPlan, MetricsRegistry, SimTime};
+use qtenon::sim_engine::{FaultPlan, MetricsRegistry, SimDuration, SimTime};
 
 struct Args {
     command: String,
@@ -163,18 +190,24 @@ fn usage() -> String {
      [--noise] [--metrics out.json] [--trace out.json] [--faults SPEC|FILE] [--fault-seed S] \
      [--profile] [--critpath]\n\
      \u{20}      qtenon batch --jobs <spec.json> [--threads T] [--metrics out.json] \
-     [--job-metrics DIR] [--only NAME] [--profile] [--critpath]"
+     [--job-metrics DIR] [--only NAME] [--profile] [--critpath] \
+     [--retries N] [--deadline NS] [--ledger PATH]\n\
+     \u{20}      qtenon batch --chaos [--threads T] [--metrics out.json] [--ledger PATH]"
         .into()
 }
 
 struct BatchArgs {
-    jobs: String,
+    jobs: Option<String>,
     threads: usize,
     metrics: Option<String>,
     job_metrics: Option<String>,
     only: Option<String>,
     profile: bool,
     critpath: bool,
+    retries: Option<u32>,
+    deadline_ns: Option<u64>,
+    ledger: Option<String>,
+    chaos: bool,
 }
 
 fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs, String> {
@@ -185,10 +218,15 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
     let mut only = None;
     let mut profile = false;
     let mut critpath = false;
+    let mut retries = None;
+    let mut deadline_ns = None;
+    let mut ledger = None;
+    let mut chaos = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--profile" => profile = true,
             "--critpath" => critpath = true,
+            "--chaos" => chaos = true,
             "--jobs" => jobs = Some(argv.next().ok_or("--jobs needs a path")?),
             "--threads" => {
                 threads = argv
@@ -202,17 +240,41 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
                 job_metrics = Some(argv.next().ok_or("--job-metrics needs a directory")?);
             }
             "--only" => only = Some(argv.next().ok_or("--only needs a job name")?),
+            "--retries" => {
+                retries = Some(
+                    argv.next()
+                        .ok_or("--retries needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --retries: {e}"))?,
+                );
+            }
+            "--deadline" => {
+                deadline_ns = Some(
+                    argv.next()
+                        .ok_or("--deadline needs a sim-time value in ns")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline: {e}"))?,
+                );
+            }
+            "--ledger" => ledger = Some(argv.next().ok_or("--ledger needs a path")?),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
+    if jobs.is_none() && !chaos {
+        return Err(format!("batch needs --jobs <spec.json>\n{}", usage()));
+    }
     Ok(BatchArgs {
-        jobs: jobs.ok_or_else(|| format!("batch needs --jobs <spec.json>\n{}", usage()))?,
+        jobs,
         threads,
         metrics,
         job_metrics,
         only,
         profile,
         critpath,
+        retries,
+        deadline_ns,
+        ledger,
+        chaos,
     })
 }
 
@@ -220,16 +282,37 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
 /// shared worker pool and report per-job plus fleet-level results.
 fn run_batch(argv: impl Iterator<Item = String>) -> Result<(), String> {
     let args = parse_batch_args(argv)?;
-    let text = std::fs::read_to_string(&args.jobs)
-        .map_err(|e| format!("cannot read {}: {e}", args.jobs))?;
+    if args.chaos {
+        return run_chaos(&args);
+    }
+    let jobs_path = args.jobs.as_deref().expect("parse_batch_args requires it");
+    let text =
+        std::fs::read_to_string(jobs_path).map_err(|e| format!("cannot read {jobs_path}: {e}"))?;
     let mut spec = BatchSpec::from_json(&text).map_err(|e| e.to_string())?;
     if let Some(name) = &args.only {
         // Seeds were materialised at parse time by array position, so
         // filtering cannot change what the surviving job runs with.
         spec.jobs.retain(|j| j.name == *name);
-        if spec.jobs.is_empty() {
-            return Err(format!("no job named {name:?} in {}", args.jobs));
+    }
+    if let Some(retries) = args.retries {
+        for job in &mut spec.jobs {
+            job.retry_budget = retries;
         }
+    }
+    if let Some(ns) = args.deadline_ns {
+        for job in &mut spec.jobs {
+            job.deadline = Some(SimDuration::from_ns(ns));
+        }
+    }
+    if spec.jobs.is_empty() {
+        // An empty fleet (empty `jobs` array, or `--only` that matched
+        // nothing) is a healthy no-op: fixed placeholder ledger, exit 0.
+        print!("{}", BatchReport::empty_ledger());
+        if let Some(path) = &args.ledger {
+            std::fs::write(path, BatchReport::empty_ledger())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        return Ok(());
     }
     let scheduler = spec.into_scheduler().map_err(|e| e.to_string())?;
     let batch = scheduler.run(args.threads).map_err(|e| e.to_string())?;
@@ -242,39 +325,36 @@ fn run_batch(argv: impl Iterator<Item = String>) -> Result<(), String> {
         batch.wall.as_secs_f64(),
     );
     for r in &batch.results {
-        match &r.outcome {
-            Ok(a) => println!(
-                "  [{:>2}] {:<16} seed {:#018x} prio {} ok: {} shots sampled, \
-                 wait {:.3}s, turnaround {:.3}s",
-                r.id.index(),
-                r.name,
-                r.seed,
-                r.priority,
-                a.shots_sampled,
-                r.wait.as_secs_f64(),
-                r.turnaround.as_secs_f64(),
-            ),
-            Err(e) => println!(
-                "  [{:>2}] {:<16} seed {:#018x} prio {} FAILED: {e}",
-                r.id.index(),
-                r.name,
-                r.seed,
-                r.priority,
-            ),
-        }
+        println!(
+            "  [{:>2}] {:<16} seed {:#018x} prio {} {}: {} (attempts {}), \
+             wait {:.3}s, turnaround {:.3}s",
+            r.id.index(),
+            r.name,
+            r.seed,
+            r.priority,
+            r.outcome.label(),
+            r.outcome.detail(),
+            r.outcome.attempts(),
+            r.wait.as_secs_f64(),
+            r.turnaround.as_secs_f64(),
+        );
     }
     println!(
-        "throughput: {:.2} jobs/s, {:.0} shots/s ({} completed, {} failed, {} rejected)",
+        "throughput: {:.2} jobs/s, {:.0} shots/s ({} completed, {} timed-out, \
+         {} quarantined, {} failed, {} retries, {} rejected)",
         batch.jobs_per_second(),
         batch.shots_per_second(),
         batch.completed(),
-        batch.failed(),
+        batch.timed_out(),
+        batch.quarantined(),
+        batch.failed() - batch.timed_out() - batch.quarantined(),
+        batch.total_retries(),
         batch.rejected,
     );
 
     if args.profile {
         for r in &batch.results {
-            if let Ok(a) = &r.outcome {
+            if let Some(a) = r.outcome.artifacts() {
                 println!(
                     "\nphase attribution for {} (sim time, deterministic):",
                     r.name
@@ -285,7 +365,7 @@ fn run_batch(argv: impl Iterator<Item = String>) -> Result<(), String> {
     }
     if args.critpath {
         for r in &batch.results {
-            if let Ok(a) = &r.outcome {
+            if let Some(a) = r.outcome.artifacts() {
                 println!("\ncritical path for {} (sim time, deterministic):", r.name);
                 print!("{}", a.report.critpath.render());
             }
@@ -294,7 +374,7 @@ fn run_batch(argv: impl Iterator<Item = String>) -> Result<(), String> {
     if let Some(dir) = &args.job_metrics {
         std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
         for r in &batch.results {
-            if let Ok(a) = &r.outcome {
+            if let Some(a) = r.outcome.artifacts() {
                 let path = format!("{dir}/{}.json", r.name);
                 std::fs::write(&path, &a.metrics_json)
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -302,17 +382,73 @@ fn run_batch(argv: impl Iterator<Item = String>) -> Result<(), String> {
         }
         println!("per-job metrics written to {dir}/<name>.json");
     }
+    if let Some(path) = &args.ledger {
+        std::fs::write(path, batch.ledger()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("job ledger written to {path}");
+    }
     if let Some(path) = &args.metrics {
-        let mut registry = MetricsRegistry::new();
-        batch.export_metrics(&mut registry);
-        let snapshot = registry.snapshot();
-        std::fs::write(path, snapshot.to_json())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
-        println!("fleet metrics written to {path}");
+        write_metrics_pair(path, |registry| batch.export_metrics(registry))?;
+        println!("fleet metrics written to {path} (JSON) and {path}.prom (Prometheus)");
     }
     if batch.failed() > 0 {
-        return Err(format!("{} job(s) failed", batch.failed()));
+        // Per-job failure table with attribution, then a nonzero exit.
+        eprintln!("failed jobs:");
+        eprintln!("idx\tname\toutcome\tattempts\tdetail");
+        for r in batch.results.iter().filter(|r| !r.outcome.is_completed()) {
+            eprintln!(
+                "{}\t{}\t{}\t{}\t{}",
+                r.id.index(),
+                r.name,
+                r.outcome.label(),
+                r.outcome.attempts(),
+                r.outcome.detail(),
+            );
+        }
+        return Err(format!(
+            "{} of {} job(s) did not complete ({} timed-out, {} quarantined, {} failed)",
+            batch.failed(),
+            batch.results.len(),
+            batch.timed_out(),
+            batch.quarantined(),
+            batch.failed() - batch.timed_out() - batch.quarantined(),
+        ));
     }
+    Ok(())
+}
+
+/// `qtenon batch --chaos`: sweep fault rates × retry budgets over the
+/// synthetic chaos fleet, checking the containment invariants per cell.
+fn run_chaos(args: &BatchArgs) -> Result<(), String> {
+    let campaign = ChaosCampaign::quick().with_pool_widths(vec![1, args.threads.max(2)]);
+    let report = campaign.run().map_err(|e| e.to_string())?;
+    print!("{}", report.to_table());
+    if let Some(path) = &args.ledger {
+        std::fs::write(path, report.ledgers()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("campaign ledgers written to {path}");
+    }
+    if let Some(path) = &args.metrics {
+        write_metrics_pair(path, |registry| report.export_metrics(registry))?;
+        println!("campaign metrics written to {path} (JSON) and {path}.prom (Prometheus)");
+    }
+    if !report.all_invariants_hold() {
+        return Err("chaos campaign violated a containment invariant (see table)".into());
+    }
+    println!(
+        "all containment invariants hold across {} cells",
+        report.cells.len()
+    );
+    Ok(())
+}
+
+/// Exports a metric tree to `PATH` (JSON) and `PATH.prom` (Prometheus).
+fn write_metrics_pair(path: &str, export: impl FnOnce(&mut MetricsRegistry)) -> Result<(), String> {
+    let mut registry = MetricsRegistry::new();
+    export(&mut registry);
+    let snapshot = registry.snapshot();
+    std::fs::write(path, snapshot.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let prom_path = format!("{path}.prom");
+    std::fs::write(&prom_path, snapshot.to_prometheus())
+        .map_err(|e| format!("cannot write {prom_path}: {e}"))?;
     Ok(())
 }
 
