@@ -1,0 +1,158 @@
+//! Per-kernel-class wall-clock for the statevector kernel layer.
+//!
+//! Measures ns/amplitude-pair at 16 qubits (65 536 amplitudes, the
+//! largest width `Simulator::auto` still runs exactly in a bench budget)
+//! for each specialized kernel against its scanning reference, plus a
+//! fused five-kernel run against the equivalent sequential sweeps — the
+//! criterion comparison IS the fusion speedup, since fused and unfused
+//! execution are bitwise identical (DESIGN.md §13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qtenon_quantum::fuse::{plan, ExecPlan, PlanOp};
+use qtenon_quantum::kernels::{mat_ry, mat_rz, Kernel1Q};
+use qtenon_quantum::{Circuit, FuseStats, StateVector};
+
+const N_QUBITS: u32 = 16;
+const TARGET: u32 = 7; // mid-register qubit: strided, cache-unfriendly
+
+/// A non-trivial normalized state to sweep: a layer of RY rotations.
+fn loaded_state() -> StateVector {
+    let mut c = Circuit::new(N_QUBITS);
+    for q in 0..N_QUBITS {
+        c.ry(q, 0.3 + 0.1 * f64::from(q));
+    }
+    let mut sv = StateVector::new(N_QUBITS).expect("state");
+    sv.apply_circuit(&c).expect("native circuit");
+    sv
+}
+
+fn single_kernels(c: &mut Criterion) {
+    let base = loaded_state();
+    let mut group = c.benchmark_group("gate_kernels");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.bench_function("diag_rz", |b| {
+        b.iter(|| {
+            let mut sv = base.clone();
+            sv.apply_rz(TARGET, 0.7);
+            black_box(sv.amplitude(1))
+        })
+    });
+    group.bench_function("general_ry", |b| {
+        b.iter(|| {
+            let mut sv = base.clone();
+            sv.apply_ry(TARGET, 0.7);
+            black_box(sv.amplitude(1))
+        })
+    });
+    group.bench_function("general_reference_ry", |b| {
+        b.iter(|| {
+            let mut sv = base.clone();
+            sv.apply_matrix2_reference(TARGET, mat_ry(0.7));
+            black_box(sv.amplitude(1))
+        })
+    });
+    group.bench_function("cz", |b| {
+        b.iter(|| {
+            let mut sv = base.clone();
+            sv.apply_cz(TARGET, TARGET + 1);
+            black_box(sv.amplitude(1))
+        })
+    });
+    group.bench_function("cz_reference", |b| {
+        b.iter(|| {
+            let mut sv = base.clone();
+            sv.apply_cz_reference(TARGET, TARGET + 1);
+            black_box(sv.amplitude(1))
+        })
+    });
+    group.finish();
+}
+
+fn fused_runs(c: &mut Criterion) {
+    // The shape QAOA leaves on a CX target between two CZs: five
+    // same-qubit rotations, one memory sweep fused vs five unfused.
+    let kernels: Vec<Kernel1Q> = [
+        mat_rz(std::f64::consts::PI),
+        mat_ry(std::f64::consts::FRAC_PI_2),
+        mat_rz(0.37),
+        mat_rz(std::f64::consts::PI),
+        mat_ry(std::f64::consts::FRAC_PI_2),
+    ]
+    .iter()
+    .map(|m| Kernel1Q::from_matrix(*m))
+    .collect();
+    let fused_plan = ExecPlan {
+        ops: vec![PlanOp::Run {
+            qubit: TARGET,
+            kernels: kernels.clone(),
+        }],
+        stats: FuseStats::default(),
+    };
+    let sequential_plan = ExecPlan {
+        ops: kernels
+            .iter()
+            .map(|k| PlanOp::Run {
+                qubit: TARGET,
+                kernels: vec![*k],
+            })
+            .collect(),
+        stats: FuseStats::default(),
+    };
+    let base = loaded_state();
+    let mut group = c.benchmark_group("gate_kernel_fusion");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.bench_function("five_rotation_run_fused", |b| {
+        b.iter(|| {
+            let mut sv = base.clone();
+            sv.apply_plan(&fused_plan);
+            black_box(sv.amplitude(1))
+        })
+    });
+    group.bench_function("five_rotation_run_sequential", |b| {
+        b.iter(|| {
+            let mut sv = base.clone();
+            sv.apply_plan(&sequential_plan);
+            black_box(sv.amplitude(1))
+        })
+    });
+    group.finish();
+}
+
+fn whole_circuit_fusion(c: &mut Criterion) {
+    // End-to-end plan execution on the transpiled 16q QAOA ansatz,
+    // fusion on vs off — the circuit the `experiments kernels` study
+    // times.
+    let workload =
+        qtenon_workloads::Workload::benchmark(qtenon_workloads::WorkloadKind::Qaoa, N_QUBITS, 42)
+            .expect("workload");
+    let circuit = workload
+        .circuit
+        .bind(&workload.initial_params)
+        .expect("bound circuit");
+    let mut group = c.benchmark_group("gate_kernel_circuit");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for fuse in [true, false] {
+        let p = plan(&circuit, fuse).expect("plan");
+        group.bench_function(if fuse { "qaoa_fused" } else { "qaoa_unfused" }, |b| {
+            b.iter(|| {
+                let mut sv = StateVector::new(N_QUBITS).expect("state");
+                sv.apply_plan(&p);
+                black_box(sv.amplitude(1))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_kernels, fused_runs, whole_circuit_fusion);
+criterion_main!(benches);

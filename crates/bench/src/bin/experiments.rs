@@ -15,7 +15,7 @@
 //! metric tree to `PATH` (JSON) and `PATH.prom` (Prometheus text format).
 //! Valid ids: `fig1 table1 table2 table4 fig11 fig12 fig13 fig14 table5
 //! fig15 fig16a fig16b fig17 ablation resilience parallel fleet
-//! breakdown critpath chaos`. Every study is also mirrored to
+//! breakdown critpath chaos kernels`. Every study is also mirrored to
 //! `target/experiments/<id>.txt` (gitignored), with the path printed
 //! after each table.
 
@@ -219,6 +219,15 @@ fn main() {
              synthetic fleet; per-cell containment invariants checked \
              (same harness as `qtenon batch --chaos`)",
             experiments::chaos(&scale).to_string(),
+        );
+    }
+
+    if want("kernels") {
+        section(
+            "kernels",
+            "Kernels (beyond the paper) — reference vs unfused vs fused statevector \
+             execution on transpiled QAOA, bitwise-identity checked per width",
+            experiments::kernels(&scale).to_string(),
         );
     }
 

@@ -628,6 +628,144 @@ pub fn telemetry_snapshot(scale: &ExperimentScale) -> MetricsSnapshot {
     registry.snapshot()
 }
 
+/// Like [`telemetry_snapshot`] but running 8-qubit QAOA, where the exact
+/// statevector backend — and therefore the kernel/fusion layer — is on
+/// the execution path, with gate fusion toggleable. QAOA (rather than
+/// VQE) because its transpiled circuit has real same-qubit runs for the
+/// planner to fuse: every `H` lowers to `RZ(π)·RY(π/2)` and each
+/// `CX·RZ·CX` cost term leaves a five-rotation run on the target qubit.
+/// Returns the metric tree together with the run report so callers can
+/// check that fusion is artefact-invariant: everything except the
+/// `quantum.fuse.*` accounting counters must be byte-identical across
+/// `fuse` settings (DESIGN.md §13).
+///
+/// # Panics
+///
+/// Panics if construction or execution fails (the configuration is
+/// known-valid).
+pub fn telemetry_snapshot_exact(
+    scale: &ExperimentScale,
+    fuse: bool,
+) -> (MetricsSnapshot, RunReport) {
+    let config = QtenonConfig::table4(8, CoreModel::Rocket)
+        .expect("valid config")
+        .with_seed(scale.seed)
+        .with_threads(scale.threads)
+        .with_fuse(fuse);
+    let workload = Workload::benchmark(WorkloadKind::Qaoa, 8, scale.seed).expect("valid workload");
+    let mut runner = VqaRunner::new(config, workload).expect("runner builds");
+    let mut optimizer = OptimizerKind::Spsa.build(scale.seed);
+    let report = runner
+        .run(optimizer.as_mut(), scale.iterations, scale.shots)
+        .expect("run succeeds");
+    let mut registry = MetricsRegistry::new();
+    runner.export_metrics(&mut registry);
+    (registry.snapshot(), report)
+}
+
+/// Statevector kernel study (beyond the paper): naive-reference vs
+/// unfused-kernel vs fused-kernel wall-clock for the transpiled QAOA
+/// circuit at exact widths, with the fusion plan's gate accounting and a
+/// live bitwise-identity check per row — `fused` and `unfused` amplitudes
+/// are compared bit-for-bit (zero signs included), the reference after
+/// canonicalizing IEEE signed zeros (DESIGN.md §13).
+///
+/// # Panics
+///
+/// Panics if construction or execution fails (the configurations are
+/// known-valid).
+pub fn kernels(scale: &ExperimentScale) -> TextTable {
+    use qtenon_quantum::fuse::plan;
+    use qtenon_quantum::kernels::{mat_rx, mat_ry, mat_rz};
+    use qtenon_quantum::{Angle, Gate, StateVector};
+    use std::time::Instant;
+
+    let canonical_bits = |sv: &StateVector| -> Vec<(u64, u64)> {
+        let canon = |x: f64| {
+            if x == 0.0 {
+                0.0f64.to_bits()
+            } else {
+                x.to_bits()
+            }
+        };
+        (0..1usize << sv.n_qubits())
+            .map(|i| {
+                let a = sv.amplitude(i);
+                (canon(a.re), canon(a.im))
+            })
+            .collect()
+    };
+    let raw_bits = |sv: &StateVector| -> Vec<(u64, u64)> {
+        (0..1usize << sv.n_qubits())
+            .map(|i| {
+                let a = sv.amplitude(i);
+                (a.re.to_bits(), a.im.to_bits())
+            })
+            .collect()
+    };
+
+    let mut t = TextTable::new(vec![
+        "qubits".into(),
+        "native gates".into(),
+        "runs".into(),
+        "fused runs".into(),
+        "reference wall".into(),
+        "unfused wall".into(),
+        "fused wall".into(),
+        "fused speedup".into(),
+        "bitwise identical".into(),
+    ]);
+    for n in [8u32, 12, 16] {
+        let workload = Workload::benchmark(WorkloadKind::Qaoa, n, scale.seed).expect("workload");
+        let circuit = workload
+            .circuit
+            .bind(&workload.initial_params)
+            .expect("bound circuit");
+
+        let start = Instant::now();
+        let mut reference = StateVector::new(n).expect("state");
+        for op in circuit.operations() {
+            match op.gate {
+                Gate::Rx(Angle::Value(v)) => reference.apply_matrix2_reference(op.qubit, mat_rx(v)),
+                Gate::Ry(Angle::Value(v)) => reference.apply_matrix2_reference(op.qubit, mat_ry(v)),
+                Gate::Rz(Angle::Value(v)) => reference.apply_matrix2_reference(op.qubit, mat_rz(v)),
+                Gate::Cz => reference.apply_cz_reference(op.qubit, op.qubit2.expect("CZ operands")),
+                Gate::Measure => {}
+                ref g => panic!("non-native gate {g:?} after transpile"),
+            }
+        }
+        let reference_wall = start.elapsed();
+
+        let unfused_plan = plan(&circuit, false).expect("plan");
+        let start = Instant::now();
+        let mut unfused = StateVector::new(n).expect("state");
+        unfused.apply_plan(&unfused_plan);
+        let unfused_wall = start.elapsed();
+
+        let fused_plan = plan(&circuit, true).expect("plan");
+        let start = Instant::now();
+        let mut fused = StateVector::new(n).expect("state");
+        fused.apply_plan(&fused_plan);
+        let fused_wall = start.elapsed();
+
+        let identical = raw_bits(&fused) == raw_bits(&unfused)
+            && canonical_bits(&reference) == canonical_bits(&fused);
+        let speedup = unfused_wall.as_secs_f64() / fused_wall.as_secs_f64().max(1e-12);
+        t.row(vec![
+            n.to_string(),
+            fused_plan.stats.gates_in.to_string(),
+            fused_plan.stats.runs.to_string(),
+            fused_plan.stats.fused_runs.to_string(),
+            format!("{reference_wall:.2?}"),
+            format!("{unfused_wall:.2?}"),
+            format!("{fused_wall:.2?}"),
+            format!("{speedup:.2}x"),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Shot-sharded parallel execution study (beyond the paper): serial vs
 /// multi-threaded wall-clock on the largest qubit-sweep size across the
 /// three VQA workloads, with a live bitwise-determinism check per cell —

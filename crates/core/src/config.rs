@@ -98,10 +98,21 @@ pub struct QtenonConfig {
     /// — it only unlocks the explicitly-unstable wall-time printout.
     #[serde(default)]
     pub profile: bool,
+    /// Enables gate fusion in the exact statevector backend: runs of
+    /// adjacent same-qubit gates execute in one memory sweep. Fused and
+    /// unfused execution are bitwise interchangeable (DESIGN.md §13), so
+    /// like `threads` this is purely a wall-clock knob; `--no-fuse` is
+    /// the CLI escape hatch.
+    #[serde(default = "default_fuse")]
+    pub fuse: bool,
 }
 
 fn default_threads() -> usize {
     1
+}
+
+fn default_fuse() -> bool {
+    true
 }
 
 impl QtenonConfig {
@@ -128,6 +139,7 @@ impl QtenonConfig {
             faults: FaultPlan::default(),
             threads: 1,
             profile: false,
+            fuse: true,
         })
     }
 
@@ -165,6 +177,12 @@ impl QtenonConfig {
     /// Returns a copy with wall-clock profiling enabled or disabled.
     pub fn with_profile(mut self, profile: bool) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Returns a copy with gate fusion enabled or disabled.
+    pub fn with_fuse(mut self, fuse: bool) -> Self {
+        self.fuse = fuse;
         self
     }
 }
@@ -217,6 +235,13 @@ mod tests {
         assert_eq!(cfg.threads, 1);
         assert_eq!(cfg.with_threads(4).threads, 4);
         assert_eq!(cfg.with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn fuse_defaults_on_and_builder_toggles_off() {
+        let cfg = QtenonConfig::table4(8, CoreModel::Rocket).unwrap();
+        assert!(cfg.fuse);
+        assert!(!cfg.with_fuse(false).fuse);
     }
 
     #[test]

@@ -154,6 +154,11 @@ pub struct JobSpec {
     /// attempts 0 and 1 error and attempt 2 runs normally — the scripted
     /// recovery the retry path is measured against.
     pub chaos_fail_attempts: u32,
+    /// Gate fusion in the exact statevector backend (default on). A pure
+    /// performance toggle — fused and unfused execution are bitwise
+    /// interchangeable — surfaced so `batch --no-fuse` can flip a whole
+    /// fleet for the differential artefact checks.
+    pub fuse: bool,
 }
 
 impl JobSpec {
@@ -177,6 +182,7 @@ impl JobSpec {
             deadline: None,
             chaos_panic: false,
             chaos_fail_attempts: 0,
+            fuse: true,
         }
     }
 
@@ -258,6 +264,12 @@ impl JobSpec {
     /// (chaos hook pinning the retry path).
     pub fn with_chaos_fail_attempts(mut self, attempts: u32) -> Self {
         self.chaos_fail_attempts = attempts;
+        self
+    }
+
+    /// Returns a copy with gate fusion enabled or disabled.
+    pub fn with_fuse(mut self, fuse: bool) -> Self {
+        self.fuse = fuse;
         self
     }
 }
@@ -809,7 +821,8 @@ pub fn run_attempt(spec: &JobSpec, job_seed: u64, attempt: u32, threads: usize) 
         .with_sync(spec.sync)
         .with_transmission(spec.transmission)
         .with_seed(seed)
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_fuse(spec.fuse);
     if let Some(faults) = spec.faults {
         config = config.with_faults(faults);
     }
@@ -1230,7 +1243,7 @@ impl BatchSpec {
     ///      "transmission": "immediate", "seed": 7,
     ///      "faults": "all=0.01,max_attempts=8",
     ///      "retries": 3, "deadline_ns": 40000000,
-    ///      "chaos_panic": false, "chaos_fail_attempts": 0}
+    ///      "chaos_panic": false, "chaos_fail_attempts": 0, "fuse": true}
     ///   ]
     /// }
     /// ```
@@ -1439,6 +1452,11 @@ fn parse_job(
                     spec_err(format!(
                         "jobs[{index}]: chaos_fail_attempts {r} exceeds u32"
                     ))
+                })?;
+            }
+            "fuse" => {
+                spec.fuse = value.as_bool().ok_or_else(|| {
+                    spec_err(format!("jobs[{index}]: \"fuse\" must be a boolean"))
                 })?;
             }
             other => {

@@ -16,7 +16,7 @@ use qtenon_isa::{GateType, ProgramEntry, QAddress, QubitId};
 use qtenon_mem::qcc::{AccessPort, QuantumControllerCache};
 use qtenon_mem::MemoryHierarchy;
 use qtenon_quantum::sim::Simulator;
-use qtenon_quantum::{BitString, Circuit, CircuitTiming};
+use qtenon_quantum::{BitString, Circuit, CircuitTiming, FuseStats};
 use qtenon_sim_engine::{
     CritKind, CritPathReport, CritPathTracker, EdgeId, FaultInjector, FaultSite, Histogram,
     MetricValue, MetricsRegistry, PhaseId, PhaseTable, Profiler, SimDuration, SimTime,
@@ -53,6 +53,12 @@ struct SystemPhases {
     host_write: PhaseId,
     rbq_wait: PhaseId,
     chip_execute: PhaseId,
+    /// Wall-clock-only phase around statevector preparation (plan +
+    /// kernel execution). It never records a sim-time span — preparation
+    /// is outside the timing model — so it can never appear in the phase
+    /// table or the `profile.*` metrics, only in the explicitly-unstable
+    /// wall printout under `--profile`.
+    kernel_prepare: PhaseId,
 }
 
 impl SystemPhases {
@@ -66,6 +72,7 @@ impl SystemPhases {
             host_write: profiler.phase("mem.host_write"),
             rbq_wait: profiler.phase("controller.rbq_wait"),
             chip_execute: profiler.phase("chip.execute"),
+            kernel_prepare: profiler.phase("kernel.prepare"),
         }
     }
 }
@@ -130,6 +137,9 @@ pub struct QtenonSystem {
     rbq_stalls: u64,
     /// Stall time owed to the next instruction (RBQ tag exhaustion).
     pending_stall: SimDuration,
+    /// Kernel/fusion accounting accumulated over every exact-backend
+    /// preparation (all-zero when only the mean-field backend ran).
+    fuse_stats: FuseStats,
     /// Shot-shard worker telemetry, merged in canonical shard order.
     /// Workers record only per-shot quantities, so the merged registry is
     /// identical at every thread count.
@@ -184,7 +194,7 @@ impl QtenonSystem {
             hierarchy: MemoryHierarchy::new(config.hierarchy)?,
             host: HostCoreModel::new(config.core),
             adi: config.adi,
-            simulator: Simulator::fast(config.n_qubits, config.seed),
+            simulator: Simulator::fast(config.n_qubits, config.seed).with_fusion(config.fuse),
             comm: CommBreakdown::default(),
             measure_cursor: 0,
             dynamic_instructions: 0,
@@ -197,6 +207,7 @@ impl QtenonSystem {
             readout_retries: 0,
             rbq_stalls: 0,
             pending_stall: SimDuration::ZERO,
+            fuse_stats: FuseStats::default(),
             shard_metrics: MetricsRegistry::new(),
             profiler,
             phases,
@@ -767,7 +778,11 @@ impl QtenonSystem {
     ) -> Result<RunOutcome, SystemError> {
         let now = self.absorb_stall(now);
         let timing = CircuitTiming::of(circuit, &self.config.gate_times);
+        let prep_wall = self.profiler.wall_start();
         let prepared = self.simulator.prepare(circuit)?;
+        self.profiler
+            .wall_end(self.phases.kernel_prepare, prep_wall);
+        self.fuse_stats.absorb(&prepared.fuse_stats());
         let base = self.simulator.advance_cursor(shots);
         let plan = ShardPlan::new(shots, self.config.threads);
         let wall = self.profiler.wall_start();
@@ -882,6 +897,21 @@ impl QtenonSystem {
                 MetricValue::Histogram(h) => m.histogram(path, h),
             }
         }
+        // Kernel/fusion accounting appears only when the exact backend
+        // ran (mean-field preparation never lowers through the kernel
+        // layer), keeping mean-field snapshots byte-identical to the
+        // pre-kernel model's.
+        if !self.fuse_stats.is_empty() {
+            let f = &self.fuse_stats;
+            m.counter("quantum.fuse.gates_in", f.gates_in);
+            m.counter("quantum.fuse.gates_fused", f.gates_fused);
+            m.counter("quantum.fuse.runs", f.runs);
+            m.counter("quantum.fuse.fused_runs", f.fused_runs);
+            m.counter("quantum.fuse.identities_elided", f.identities_elided);
+            m.counter("quantum.fuse.kernels.diag", f.diag_kernels);
+            m.counter("quantum.fuse.kernels.general", f.general_kernels);
+            m.counter("quantum.fuse.kernels.cz", f.cz_kernels);
+        }
         // Fault and recovery namespaces appear only under an active plan,
         // keeping fault-free snapshots identical to the fault-unaware
         // model's.
@@ -913,6 +943,7 @@ impl QtenonSystem {
         self.readout_retries = 0;
         self.rbq_stalls = 0;
         self.pending_stall = SimDuration::ZERO;
+        self.fuse_stats = FuseStats::default();
         self.shard_metrics = MetricsRegistry::new();
         self.profiler.reset();
         self.critpath.reset();
@@ -1049,6 +1080,85 @@ mod tests {
                 assert_eq!(parallel.2, serial.2);
             }
         }
+    }
+
+    #[test]
+    fn fused_and_unfused_q_run_are_bitwise_identical() {
+        let run = |fuse: bool| {
+            let cfg = QtenonConfig::table4(8, CoreModel::Rocket)
+                .unwrap()
+                .with_fuse(fuse);
+            let mut sys = QtenonSystem::new(cfg).unwrap();
+            let mut c = Circuit::new(8);
+            c.rz(0, 0.3).rx(0, 0.7).ry(0, -0.2).cz(0, 1);
+            c.rx(5, 1.1).rz(5, 0.4).measure_all();
+            let out = sys.q_run(t0(), &c, 128).unwrap();
+            let mut m = MetricsRegistry::new();
+            sys.export_metrics(&mut m);
+            (out.shots, out.complete, m)
+        };
+        let fused = run(true);
+        let unfused = run(false);
+        assert_eq!(fused.0, unfused.0, "shots diverged under fusion");
+        assert_eq!(fused.1, unfused.1);
+        // The only permitted metric difference is the fusion accounting
+        // itself.
+        use qtenon_sim_engine::MetricValue;
+        // Two fused runs: q0's three-gate run and q5's two-gate run.
+        assert_eq!(
+            fused.2.get("quantum.fuse.fused_runs"),
+            Some(&MetricValue::Counter(2))
+        );
+        assert_eq!(
+            unfused.2.get("quantum.fuse.fused_runs"),
+            Some(&MetricValue::Counter(0))
+        );
+        let strip = |m: &MetricsRegistry| {
+            let mut out = MetricsRegistry::new();
+            for (path, value) in m.iter() {
+                if path.starts_with("quantum.fuse.") {
+                    continue;
+                }
+                match value {
+                    MetricValue::Counter(v) => out.counter(path, *v),
+                    MetricValue::Gauge(v) => out.gauge(path, *v),
+                    MetricValue::Histogram(h) => out.histogram(path, h),
+                }
+            }
+            out.snapshot().to_json()
+        };
+        assert_eq!(strip(&fused.2), strip(&unfused.2));
+    }
+
+    #[test]
+    fn fuse_metrics_appear_only_for_the_exact_backend() {
+        let run = |n_qubits: u32| {
+            let mut sys =
+                QtenonSystem::new(QtenonConfig::table4(n_qubits, CoreModel::Rocket).unwrap())
+                    .unwrap();
+            let mut c = Circuit::new(n_qubits);
+            c.rx(0, 1.0).rz(0, 0.5).cz(0, 1).measure_all();
+            sys.q_run(t0(), &c, 16).unwrap();
+            let mut m = MetricsRegistry::new();
+            sys.export_metrics(&mut m);
+            m
+        };
+        // 8 qubits: exact backend, accounting present.
+        use qtenon_sim_engine::MetricValue;
+        let exact = run(8);
+        assert_eq!(
+            exact.get("quantum.fuse.gates_in"),
+            Some(&MetricValue::Counter(3))
+        );
+        assert_eq!(
+            exact.get("quantum.fuse.kernels.cz"),
+            Some(&MetricValue::Counter(1))
+        );
+        // 64 qubits: mean-field backend, namespace absent entirely.
+        let mean_field = run(64);
+        assert!(mean_field
+            .iter()
+            .all(|(path, _)| !path.starts_with("quantum.fuse.")));
     }
 
     #[test]

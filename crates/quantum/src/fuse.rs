@@ -1,0 +1,359 @@
+//! Deterministic gate-fusion planning.
+//!
+//! [`plan`] lowers a bound native circuit into an [`ExecPlan`]: a list of
+//! single-qubit kernel *runs* and CZ applications. With fusion enabled,
+//! maximal runs of **adjacent** gates on the **same qubit** collapse into
+//! one run that [`crate::kernels::apply_run`] executes in a single memory
+//! sweep. Planning is a pure function of the circuit and the fusion flag
+//! — it never consults thread count, shard layout, or timing — so every
+//! shard of every job lowers the same circuit to the same plan and
+//! results are identical across `--threads`.
+//!
+//! Fusion rules (the boring-on-purpose subset that preserves bitwise
+//! equality with unfused execution; DESIGN.md §13):
+//!
+//! - only *adjacent* same-qubit single-qubit gates join a run — a gate on
+//!   any other qubit redirects the open run even when the two would
+//!   commute mathematically, because "commutes" is not "bit-identical";
+//! - CZ is a barrier: it closes every open run, and never fuses itself;
+//! - a measurement closes the open run on **its own qubit only** (the
+//!   simulator samples all qubits at the end, so measurement is a no-op
+//!   here; it still barriers its qubit so the plan shape matches program
+//!   intent);
+//! - kernels whose matrix is the bit-exact identity (see
+//!   [`Kernel1Q::is_identity`]) are elided. Elision is applied whether or
+//!   not fusion is on — it is a plan-level decision, so the fused and
+//!   unfused plans always contain exactly the same kernels and stay
+//!   bitwise interchangeable. An elided gate leaves the open run open:
+//!   dropping a no-op cannot un-adjoin its neighbours.
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::Circuit;
+use crate::gate::{Angle, Gate};
+use crate::kernels::{compose, mat_rx, mat_ry, mat_rz, Kernel1Q, KernelClass, Mat2};
+use crate::statevector::C64;
+use crate::QuantumError;
+
+/// One step of an execution plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// A run of single-qubit kernels on one qubit, applied in order in a
+    /// single sweep.
+    Run {
+        /// Target qubit.
+        qubit: u32,
+        /// The kernels, in program order.
+        kernels: Vec<Kernel1Q>,
+    },
+    /// A controlled-Z between two qubits.
+    Cz {
+        /// First operand.
+        a: u32,
+        /// Second operand.
+        b: u32,
+    },
+}
+
+/// Accounting for one lowering pass (and, additively, for a whole run's
+/// worth of them — see [`FuseStats::absorb`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FuseStats {
+    /// Native gate operations seen (measurements excluded).
+    pub gates_in: u64,
+    /// Gates that landed in a multi-gate run (sum of run lengths over
+    /// runs of ≥ 2 kernels).
+    pub gates_fused: u64,
+    /// Single-qubit runs emitted.
+    pub runs: u64,
+    /// Runs of ≥ 2 kernels.
+    pub fused_runs: u64,
+    /// Bit-exact identity kernels dropped at plan level.
+    pub identities_elided: u64,
+    /// Diagonal kernels emitted.
+    pub diag_kernels: u64,
+    /// General 2×2 kernels emitted.
+    pub general_kernels: u64,
+    /// CZ applications emitted.
+    pub cz_kernels: u64,
+}
+
+impl FuseStats {
+    /// Whether this is the all-zero accounting (no exact-backend circuit
+    /// was ever lowered). Metric export is gated on this so runs that
+    /// never touch the statevector stay byte-identical.
+    pub fn is_empty(&self) -> bool {
+        *self == FuseStats::default()
+    }
+
+    /// Adds another accounting into this one.
+    pub fn absorb(&mut self, other: &FuseStats) {
+        self.gates_in += other.gates_in;
+        self.gates_fused += other.gates_fused;
+        self.runs += other.runs;
+        self.fused_runs += other.fused_runs;
+        self.identities_elided += other.identities_elided;
+        self.diag_kernels += other.diag_kernels;
+        self.general_kernels += other.general_kernels;
+        self.cz_kernels += other.cz_kernels;
+    }
+}
+
+/// A lowered circuit, ready for [`crate::StateVector::apply_plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPlan {
+    /// The plan steps, in program order.
+    pub ops: Vec<PlanOp>,
+    /// Lowering statistics.
+    pub stats: FuseStats,
+}
+
+/// Lowers a bound native circuit to an execution plan.
+///
+/// With `fuse` off, every surviving kernel becomes its own length-1 run;
+/// with it on, adjacent same-qubit kernels share a run. Either way the
+/// plans contain exactly the same kernels in the same order, which is
+/// what makes `--no-fuse` a pure performance toggle.
+///
+/// # Errors
+///
+/// Returns [`QuantumError::NonNativeGate`] for non-native gates and
+/// [`QuantumError::UnboundParameter`] for symbolic angles — the same
+/// contract as the pre-kernel `apply_circuit`.
+pub fn plan(circuit: &Circuit, fuse: bool) -> Result<ExecPlan, QuantumError> {
+    let mut ops: Vec<PlanOp> = Vec::new();
+    let mut stats = FuseStats::default();
+    // The open run: (qubit, index into `ops`). Only the most recent run
+    // can accept another kernel, and only while nothing redirected it.
+    let mut open: Option<(u32, usize)> = None;
+    for op in circuit.operations() {
+        match op.gate {
+            Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) => {
+                let theta = match a {
+                    Angle::Value(v) => v,
+                    Angle::Param { param, .. } => {
+                        return Err(QuantumError::UnboundParameter { param })
+                    }
+                };
+                let m = match op.gate {
+                    Gate::Rx(_) => mat_rx(theta),
+                    Gate::Ry(_) => mat_ry(theta),
+                    Gate::Rz(_) => mat_rz(theta),
+                    _ => unreachable!(),
+                };
+                stats.gates_in += 1;
+                let kernel = Kernel1Q::from_matrix(m);
+                if kernel.is_identity() {
+                    // Dropped in fused AND unfused plans; the open run
+                    // stays open across the no-op.
+                    stats.identities_elided += 1;
+                    continue;
+                }
+                match kernel.class() {
+                    KernelClass::Diag => stats.diag_kernels += 1,
+                    KernelClass::General => stats.general_kernels += 1,
+                }
+                match open {
+                    Some((q, idx)) if fuse && q == op.qubit => {
+                        if let PlanOp::Run { kernels, .. } = &mut ops[idx] {
+                            kernels.push(kernel);
+                        }
+                    }
+                    _ => {
+                        ops.push(PlanOp::Run {
+                            qubit: op.qubit,
+                            kernels: vec![kernel],
+                        });
+                        open = Some((op.qubit, ops.len() - 1));
+                    }
+                }
+            }
+            Gate::Cz => {
+                stats.gates_in += 1;
+                stats.cz_kernels += 1;
+                ops.push(PlanOp::Cz {
+                    a: op.qubit,
+                    b: op.qubit2.expect("CZ has two operands"),
+                });
+                open = None;
+            }
+            Gate::Measure => {
+                if let Some((q, _)) = open {
+                    if q == op.qubit {
+                        open = None;
+                    }
+                }
+            }
+            other => {
+                return Err(QuantumError::NonNativeGate { gate: other.name() });
+            }
+        }
+    }
+    for op in &ops {
+        if let PlanOp::Run { kernels, .. } = op {
+            stats.runs += 1;
+            if kernels.len() >= 2 {
+                stats.fused_runs += 1;
+                stats.gates_fused += kernels.len() as u64;
+            }
+        }
+    }
+    Ok(ExecPlan { ops, stats })
+}
+
+/// The net 2×2 matrix of a kernel run (first kernel applied first).
+///
+/// **Analysis only** — execution never multiplies matrices (see
+/// [`compose`]); the fusion-algebra tests use this to check identities
+/// like RZ(a) then RZ(b) ≈ RZ(a+b).
+pub fn run_matrix(kernels: &[Kernel1Q]) -> Mat2 {
+    let mut m = [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]];
+    for k in kernels {
+        m = compose(&k.matrix(), &m);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runs(plan: &ExecPlan) -> Vec<(u32, usize)> {
+        plan.ops
+            .iter()
+            .filter_map(|op| match op {
+                PlanOp::Run { qubit, kernels } => Some((*qubit, kernels.len())),
+                PlanOp::Cz { .. } => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adjacent_same_qubit_gates_fuse_into_one_run() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3).rx(0, 0.7).ry(0, -0.2).rz(1, 0.5);
+        let fused = plan(&c, true).unwrap();
+        assert_eq!(runs(&fused), vec![(0, 3), (1, 1)]);
+        assert_eq!(fused.stats.gates_in, 4);
+        assert_eq!(fused.stats.gates_fused, 3);
+        assert_eq!(fused.stats.runs, 2);
+        assert_eq!(fused.stats.fused_runs, 1);
+        let unfused = plan(&c, false).unwrap();
+        assert_eq!(runs(&unfused), vec![(0, 1), (0, 1), (0, 1), (1, 1)]);
+        assert_eq!(unfused.stats.gates_fused, 0);
+    }
+
+    #[test]
+    fn cz_is_a_fusion_barrier() {
+        let mut c = Circuit::new(2);
+        c.rx(0, 0.4).cz(0, 1).rx(0, 0.4);
+        let p = plan(&c, true).unwrap();
+        assert_eq!(p.ops.len(), 3);
+        assert_eq!(runs(&p), vec![(0, 1), (0, 1)]);
+        assert_eq!(p.stats.fused_runs, 0);
+        assert_eq!(p.stats.cz_kernels, 1);
+    }
+
+    #[test]
+    fn other_qubit_gate_redirects_the_open_run() {
+        let mut c = Circuit::new(2);
+        c.rx(0, 0.4).rx(1, 0.5).rx(0, 0.6);
+        let p = plan(&c, true).unwrap();
+        // q0's run is closed by the q1 gate even though RX⊗RX commute.
+        assert_eq!(runs(&p), vec![(0, 1), (1, 1), (0, 1)]);
+    }
+
+    #[test]
+    fn measure_barriers_only_its_own_qubit() {
+        let mut c = Circuit::new(2);
+        c.rx(0, 0.4).measure(1).rx(0, 0.5);
+        let p = plan(&c, true).unwrap();
+        assert_eq!(runs(&p), vec![(0, 2)]);
+
+        let mut c = Circuit::new(2);
+        c.rx(0, 0.4).measure(0).rx(0, 0.5);
+        let p = plan(&c, true).unwrap();
+        assert_eq!(runs(&p), vec![(0, 1), (0, 1)]);
+    }
+
+    #[test]
+    fn identity_elision_is_fuse_independent_and_keeps_runs_open() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3).rx(0, -0.0).rz(0, 0.4);
+        for fuse in [true, false] {
+            let p = plan(&c, fuse).unwrap();
+            assert_eq!(p.stats.identities_elided, 1, "fuse={fuse}");
+            assert_eq!(p.stats.diag_kernels, 2);
+        }
+        // With fusion, the two RZs sit in ONE run across the elided RX.
+        assert_eq!(runs(&plan(&c, true).unwrap()), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn rz_zero_and_ry_negative_zero_are_not_elided() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.0).ry(0, -0.0);
+        let p = plan(&c, false).unwrap();
+        assert_eq!(p.stats.identities_elided, 0);
+        assert_eq!(p.stats.runs, 2);
+    }
+
+    #[test]
+    fn empty_and_measure_only_circuits_lower_to_empty_plans() {
+        let c = Circuit::new(3);
+        let p = plan(&c, true).unwrap();
+        assert!(p.ops.is_empty());
+        assert!(p.stats.is_empty());
+
+        let mut m = Circuit::new(2);
+        m.measure_all();
+        let p = plan(&m, true).unwrap();
+        assert!(p.ops.is_empty());
+        assert!(p.stats.is_empty());
+    }
+
+    #[test]
+    fn plan_propagates_circuit_errors() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        assert!(matches!(
+            plan(&c, true),
+            Err(QuantumError::NonNativeGate { gate: "H" })
+        ));
+        let mut sym = Circuit::new(1);
+        sym.ry_param(0, crate::gate::ParamId::new(0));
+        assert!(matches!(
+            plan(&sym, true),
+            Err(QuantumError::UnboundParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_absorb_adds_fieldwise() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3).rx(0, 0.7).cz(0, 1);
+        let p = plan(&c, true).unwrap();
+        let mut acc = FuseStats::default();
+        acc.absorb(&p.stats);
+        acc.absorb(&p.stats);
+        assert_eq!(acc.gates_in, 2 * p.stats.gates_in);
+        assert_eq!(acc.cz_kernels, 2);
+        assert!(!acc.is_empty());
+    }
+
+    #[test]
+    fn run_matrix_matches_rz_angle_addition() {
+        let kernels = [
+            Kernel1Q::from_matrix(mat_rz(0.3)),
+            Kernel1Q::from_matrix(mat_rz(0.8)),
+        ];
+        let net = run_matrix(&kernels);
+        let direct = mat_rz(1.1);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((net[r][c].re - direct[r][c].re).abs() < 1e-12);
+                assert!((net[r][c].im - direct[r][c].im).abs() < 1e-12);
+            }
+        }
+    }
+}

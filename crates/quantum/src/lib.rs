@@ -7,7 +7,9 @@
 //! - [`transpile`]: lowering to the Qtenon chip's native gate set
 //!   `{RX, RY, RZ, CZ}` + measurement;
 //! - [`statevector`]: an exact state-vector simulator (used up to
-//!   [`sim::EXACT_QUBIT_LIMIT`] qubits);
+//!   [`sim::EXACT_QUBIT_LIMIT`] qubits), executing through the
+//!   cache-blocked gate kernels in [`kernels`] with deterministic gate
+//!   fusion planned by [`fuse`];
 //! - [`sim::MeanFieldState`]: a product-state (mean-field) approximation
 //!   that scales to the paper's 320-qubit experiments — measurement
 //!   statistics stay parameter-responsive while timing is unaffected,
@@ -33,8 +35,10 @@
 
 pub mod bits;
 pub mod circuit;
+pub mod fuse;
 pub mod gate;
 pub mod hamiltonian;
+pub mod kernels;
 pub mod noise;
 pub mod qasm;
 pub mod sim;
@@ -44,8 +48,10 @@ pub mod transpile;
 
 pub use bits::BitString;
 pub use circuit::{Circuit, Operation};
+pub use fuse::{ExecPlan, FuseStats};
 pub use gate::{Angle, Gate, ParamId};
 pub use hamiltonian::{Hamiltonian, PauliTerm};
+pub use kernels::{Kernel1Q, KernelClass};
 pub use sim::{PreparedCircuit, Simulator};
 pub use statevector::StateVector;
 pub use timing::{CircuitTiming, GateTimes};

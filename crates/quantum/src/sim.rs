@@ -18,6 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::bits::BitString;
 use crate::circuit::Circuit;
+use crate::fuse::{self, FuseStats};
 use crate::gate::{Angle, Gate};
 use crate::noise::NoiseModel;
 use crate::statevector::StateVector;
@@ -296,12 +297,20 @@ pub struct PreparedCircuit {
     n_qubits: u32,
     noise: NoiseModel,
     backend: PreparedBackend,
+    fuse_stats: FuseStats,
 }
 
 impl PreparedCircuit {
     /// The circuit width.
     pub fn n_qubits(&self) -> u32 {
         self.n_qubits
+    }
+
+    /// Fusion/kernel accounting from preparation. All-zero (see
+    /// [`FuseStats::is_empty`]) for the mean-field backend, which never
+    /// lowers through the kernel layer.
+    pub fn fuse_stats(&self) -> FuseStats {
+        self.fuse_stats
     }
 
     /// Draws one measurement outcome (including readout noise, when the
@@ -361,6 +370,7 @@ pub struct Simulator {
     seed: u64,
     shot_cursor: u64,
     noise: NoiseModel,
+    fuse: bool,
 }
 
 impl Simulator {
@@ -372,6 +382,7 @@ impl Simulator {
             seed,
             shot_cursor: 0,
             noise: NoiseModel::NONE,
+            fuse: true,
         }
     }
 
@@ -388,6 +399,7 @@ impl Simulator {
             seed,
             shot_cursor: 0,
             noise: NoiseModel::NONE,
+            fuse: true,
         }
     }
 
@@ -400,7 +412,22 @@ impl Simulator {
             seed,
             shot_cursor: 0,
             noise: NoiseModel::NONE,
+            fuse: true,
         }
+    }
+
+    /// Returns a copy of this simulator with gate fusion switched on or
+    /// off (default: on). Fused and unfused execution are bitwise
+    /// interchangeable (see `crates/quantum/src/fuse.rs`); the flag is a
+    /// pure performance toggle, exposed as `--no-fuse` at the CLI.
+    pub fn with_fusion(mut self, fuse: bool) -> Self {
+        self.fuse = fuse;
+        self
+    }
+
+    /// Whether gate fusion is enabled.
+    pub fn fusion_enabled(&self) -> bool {
+        self.fuse
     }
 
     /// Returns a copy of this simulator with a NISQ noise model attached:
@@ -462,9 +489,12 @@ impl Simulator {
                 n_qubits: self.n_qubits,
             });
         }
+        let mut fuse_stats = FuseStats::default();
         let backend = if self.exact {
+            let plan = fuse::plan(circuit, self.fuse)?;
+            fuse_stats = plan.stats;
             let mut sv = StateVector::new(self.n_qubits)?;
-            sv.apply_circuit(circuit)?;
+            sv.apply_plan(&plan);
             let (cumulative, total) = sv.cumulative_distribution();
             PreparedBackend::Exact { cumulative, total }
         } else {
@@ -478,6 +508,7 @@ impl Simulator {
             n_qubits: self.n_qubits,
             noise: self.noise,
             backend,
+            fuse_stats,
         })
     }
 
@@ -645,6 +676,46 @@ mod tests {
         let second = sim.run(&c, 200).unwrap();
         assert_ne!(first, second, "reruns must see fresh randomness");
         assert_eq!(sim.advance_cursor(0), 400);
+    }
+
+    #[test]
+    fn fused_and_unfused_prepare_sample_identically() {
+        let mut c = Circuit::new(8);
+        c.rz(0, 0.3)
+            .rx(0, 0.7)
+            .ry(0, -0.2)
+            .cz(0, 1)
+            .rx(3, 1.1)
+            .rz(3, 0.2)
+            .measure_all();
+        let fused = Simulator::fast(8, 13).prepare(&c).unwrap();
+        let unfused = Simulator::fast(8, 13)
+            .with_fusion(false)
+            .prepare(&c)
+            .unwrap();
+        assert!(fused.fuse_stats().gates_fused > 0);
+        assert_eq!(unfused.fuse_stats().gates_fused, 0);
+        assert_eq!(fused.fuse_stats().gates_in, unfused.fuse_stats().gates_in);
+        let sim = Simulator::fast(8, 13);
+        for s in 0..64 {
+            assert_eq!(
+                fused.sample_shot(&mut sim.shot_rng(s)),
+                unfused.sample_shot(&mut sim.shot_rng(s)),
+                "shot {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_field_prepare_reports_empty_fuse_stats() {
+        let mut c = Circuit::new(64);
+        c.rx(0, 1.0).measure_all();
+        let p = Simulator::fast(64, 1).prepare(&c).unwrap();
+        assert!(p.fuse_stats().is_empty());
+        let mut e = Circuit::new(8);
+        e.rx(0, 1.0).cz(0, 1).measure_all();
+        let p = Simulator::fast(8, 1).prepare(&e).unwrap();
+        assert!(!p.fuse_stats().is_empty());
     }
 
     #[test]

@@ -6,7 +6,8 @@ use rand::Rng;
 
 use crate::bits::BitString;
 use crate::circuit::Circuit;
-use crate::gate::Gate;
+use crate::fuse::{self, ExecPlan, PlanOp};
+use crate::kernels::{self, Kernel1Q};
 use crate::QuantumError;
 
 /// A complex number with `f64` parts.
@@ -141,12 +142,25 @@ impl StateVector {
         self.amps[basis]
     }
 
-    /// Applies an arbitrary single-qubit unitary `[[a, b], [c, d]]`.
+    /// Applies an arbitrary single-qubit unitary `[[a, b], [c, d]]`,
+    /// dispatching on the kernel class ([`Kernel1Q::from_matrix`]):
+    /// diagonal matrices take the single-multiply diagonal kernel,
+    /// everything else the cache-blocked general kernel.
     ///
     /// # Panics
     ///
     /// Panics if `q` is out of range.
     pub fn apply_matrix2(&mut self, q: u32, m: [[C64; 2]; 2]) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        kernels::apply_kernel(&mut self.amps, q, &Kernel1Q::from_matrix(m));
+    }
+
+    /// The naive reference implementation `apply_matrix2` historically
+    /// was: a scanning pair loop with the full 2×2 multiply for every
+    /// gate. Kept (hidden) as the ground truth the kernel-equivalence
+    /// differential harness compares against; not part of the public API.
+    #[doc(hidden)]
+    pub fn apply_matrix2_reference(&mut self, q: u32, m: [[C64; 2]; 2]) {
         assert!(q < self.n_qubits, "qubit {q} out of range");
         let stride = 1usize << q;
         let n = self.amps.len();
@@ -164,46 +178,35 @@ impl StateVector {
 
     /// Applies RX(θ) = exp(-iθX/2).
     pub fn apply_rx(&mut self, q: u32, theta: f64) {
-        let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-        self.apply_matrix2(
-            q,
-            [
-                [C64::new(c, 0.0), C64::new(0.0, -s)],
-                [C64::new(0.0, -s), C64::new(c, 0.0)],
-            ],
-        );
+        self.apply_matrix2(q, kernels::mat_rx(theta));
     }
 
     /// Applies RY(θ) = exp(-iθY/2).
     pub fn apply_ry(&mut self, q: u32, theta: f64) {
-        let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-        self.apply_matrix2(
-            q,
-            [
-                [C64::new(c, 0.0), C64::new(-s, 0.0)],
-                [C64::new(s, 0.0), C64::new(c, 0.0)],
-            ],
-        );
+        self.apply_matrix2(q, kernels::mat_ry(theta));
     }
 
     /// Applies RZ(θ) = exp(-iθZ/2).
     pub fn apply_rz(&mut self, q: u32, theta: f64) {
-        let half = theta / 2.0;
-        self.apply_matrix2(
-            q,
-            [
-                [C64::new(half.cos(), -half.sin()), C64::ZERO],
-                [C64::ZERO, C64::new(half.cos(), half.sin())],
-            ],
-        );
+        self.apply_matrix2(q, kernels::mat_rz(theta));
     }
 
-    /// Applies a controlled-Z between two qubits.
+    /// Applies a controlled-Z between two qubits via the enumerating
+    /// kernel (visits the n/4 affected amplitudes instead of scanning n).
     ///
     /// # Panics
     ///
     /// Panics if either qubit is out of range or they coincide.
     pub fn apply_cz(&mut self, a: u32, b: u32) {
+        assert!(a < self.n_qubits && b < self.n_qubits, "qubit out of range");
+        assert_ne!(a, b, "CZ operands must differ");
+        kernels::apply_cz(&mut self.amps, a, b);
+    }
+
+    /// The scanning reference implementation `apply_cz` historically was.
+    /// Kept (hidden) for the differential harness and kernel benches.
+    #[doc(hidden)]
+    pub fn apply_cz_reference(&mut self, a: u32, b: u32) {
         assert!(a < self.n_qubits && b < self.n_qubits, "qubit out of range");
         assert_ne!(a, b, "CZ operands must differ");
         let ma = 1usize << a;
@@ -215,39 +218,36 @@ impl StateVector {
         }
     }
 
+    /// Executes a lowered plan (see [`fuse::plan`]): kernel runs in one
+    /// sweep each, CZs via the enumerating kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references qubits outside this state vector.
+    pub fn apply_plan(&mut self, plan: &ExecPlan) {
+        for op in &plan.ops {
+            match op {
+                PlanOp::Run { qubit, kernels: ks } => {
+                    assert!(*qubit < self.n_qubits, "qubit {qubit} out of range");
+                    kernels::apply_run(&mut self.amps, *qubit, ks);
+                }
+                PlanOp::Cz { a, b } => self.apply_cz(*a, *b),
+            }
+        }
+    }
+
     /// Runs all gate operations of a *bound, native* circuit (measurements
-    /// are ignored here; use [`StateVector::sample`] afterwards).
+    /// are ignored here; use [`StateVector::sample`] afterwards). Lowers
+    /// through [`fuse::plan`] with fusion off — callers that want fused
+    /// execution plan once and use [`StateVector::apply_plan`].
     ///
     /// # Errors
     ///
     /// Returns [`QuantumError::NonNativeGate`] for non-native gates and
     /// [`QuantumError::UnboundParameter`] for symbolic angles.
     pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), QuantumError> {
-        for op in circuit.operations() {
-            match op.gate {
-                Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) => {
-                    let theta = match a {
-                        crate::gate::Angle::Value(v) => v,
-                        crate::gate::Angle::Param { param, .. } => {
-                            return Err(QuantumError::UnboundParameter { param })
-                        }
-                    };
-                    match op.gate {
-                        Gate::Rx(_) => self.apply_rx(op.qubit, theta),
-                        Gate::Ry(_) => self.apply_ry(op.qubit, theta),
-                        Gate::Rz(_) => self.apply_rz(op.qubit, theta),
-                        _ => unreachable!(),
-                    }
-                }
-                Gate::Cz => {
-                    self.apply_cz(op.qubit, op.qubit2.expect("CZ has two operands"));
-                }
-                Gate::Measure => {}
-                other => {
-                    return Err(QuantumError::NonNativeGate { gate: other.name() });
-                }
-            }
-        }
+        let plan = fuse::plan(circuit, false)?;
+        self.apply_plan(&plan);
         Ok(())
     }
 

@@ -1,0 +1,364 @@
+//! Differential kernel-equivalence harness (ISSUE 9 headline).
+//!
+//! Runs seeded random native circuits through three executions:
+//!
+//! (a) the **naive reference**: `apply_matrix2_reference` /
+//!     `apply_cz_reference`, the scanning loops gate application used
+//!     before the kernel layer existed;
+//! (b) the **specialized kernels**: the unfused plan (every gate its own
+//!     classified kernel sweep) — what `apply_circuit` runs today;
+//! (c) the **fused plan**: adjacent same-qubit runs collapsed into
+//!     single sweeps.
+//!
+//! and asserts amplitude equality at the f64 *bit* level:
+//!
+//! - (b) vs (c) must be **raw** bitwise identical, signs of zero
+//!   included — fusion re-orders memory traffic, never arithmetic;
+//! - (a) vs (b) must be bitwise identical after canonicalizing IEEE
+//!   signed zeros (`-0.0 → +0.0`) and proving no NaNs: the diagonal
+//!   kernel drops exactly-zero cross terms whose only observable effect
+//!   is the sign of exactly-zero results, and every downstream artefact
+//!   (probabilities, expectations, samples) squares that sign away.
+//!
+//! Sampled artefacts (the bitstrings jobs actually consume) must match
+//! **byte-for-byte across all three paths**, serial and sharded — the
+//! suite reads `QTENON_THREADS` so the CI determinism matrix exercises
+//! both pool widths.
+
+use qtenon_quantum::fuse::{plan, run_matrix};
+use qtenon_quantum::kernels::{mat_rx, mat_ry, mat_rz, Kernel1Q};
+use qtenon_quantum::sim::Simulator;
+use qtenon_quantum::{Angle, BitString, Circuit, Gate, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Circuits per property sweep (the ISSUE floor is 200).
+const CIRCUITS: usize = 200;
+
+/// Builds a random native circuit at 2–10 qubits: rotations, CZs, and
+/// interleaved measurements, with angles drawn from [-π, π). Uses only
+/// `gen::<u64>`/`gen::<f64>` so the suite runs against any RNG that
+/// provides the core `Rng` surface.
+fn random_circuit(seed: u64) -> Circuit {
+    let mut r = StdRng::seed_from_u64(seed);
+    let n_qubits = 2 + (seed % 9) as u32; // 2..=10
+    let mut c = Circuit::new(n_qubits);
+    let ops = 20 + (r.gen::<u64>() % 31) as usize;
+    for _ in 0..ops {
+        let q = (r.gen::<u64>() % u64::from(n_qubits)) as u32;
+        let theta = (r.gen::<f64>() * 2.0 - 1.0) * PI;
+        match r.gen::<u64>() % 8 {
+            0 | 1 => c.rx(q, theta),
+            2 | 3 => c.ry(q, theta),
+            4 | 5 => c.rz(q, theta),
+            6 => {
+                let q2 = (q + 1 + (r.gen::<u64>() % u64::from(n_qubits - 1)) as u32) % n_qubits;
+                c.cz(q, q2)
+            }
+            _ => c.measure(q),
+        };
+    }
+    c.measure_all();
+    c
+}
+
+/// Path (a): the naive pre-kernel loops, gate by gate.
+fn reference_state(c: &Circuit) -> StateVector {
+    let mut sv = StateVector::new(c.n_qubits()).unwrap();
+    for op in c.operations() {
+        match op.gate {
+            Gate::Rx(Angle::Value(v)) => sv.apply_matrix2_reference(op.qubit, mat_rx(v)),
+            Gate::Ry(Angle::Value(v)) => sv.apply_matrix2_reference(op.qubit, mat_ry(v)),
+            Gate::Rz(Angle::Value(v)) => sv.apply_matrix2_reference(op.qubit, mat_rz(v)),
+            Gate::Cz => sv.apply_cz_reference(op.qubit, op.qubit2.expect("CZ has two operands")),
+            Gate::Measure => {}
+            ref g => panic!("non-native gate {g:?} in random circuit"),
+        }
+    }
+    sv
+}
+
+/// Executes a circuit through the kernel layer, fused or not.
+fn kernel_state(c: &Circuit, fuse: bool) -> StateVector {
+    let p = plan(c, fuse).unwrap();
+    let mut sv = StateVector::new(c.n_qubits()).unwrap();
+    sv.apply_plan(&p);
+    sv
+}
+
+/// Raw amplitude bits, zero signs and all.
+fn raw_bits(sv: &StateVector) -> Vec<(u64, u64)> {
+    (0..1usize << sv.n_qubits())
+        .map(|i| {
+            let a = sv.amplitude(i);
+            (a.re.to_bits(), a.im.to_bits())
+        })
+        .collect()
+}
+
+/// Amplitude bits with IEEE signed zeros canonicalized; rejects NaN.
+fn canonical_bits(sv: &StateVector) -> Vec<(u64, u64)> {
+    let canon = |x: f64| {
+        assert!(!x.is_nan(), "NaN amplitude");
+        if x == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            x.to_bits()
+        }
+    };
+    (0..1usize << sv.n_qubits())
+        .map(|i| {
+            let a = sv.amplitude(i);
+            (canon(a.re), canon(a.im))
+        })
+        .collect()
+}
+
+/// Samples `shots` bitstrings from a frozen statevector with the same
+/// per-shot RNG streams the simulator uses.
+fn sample_from_state(sv: &StateVector, sim: &Simulator, shots: u64) -> Vec<BitString> {
+    let (cumulative, total) = sv.cumulative_distribution();
+    (0..shots)
+        .map(|s| {
+            let mut rng = sim.shot_rng(s);
+            let r: f64 = rng.gen::<f64>() * total;
+            let idx = cumulative.partition_point(|&c| c < r);
+            BitString::from_u64(idx.min(cumulative.len() - 1) as u64, sv.n_qubits())
+        })
+        .collect()
+}
+
+/// The pool width the CI determinism matrix selects (1 or 4).
+fn matrix_threads() -> u64 {
+    std::env::var("QTENON_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1)
+}
+
+#[test]
+fn fused_execution_is_raw_bitwise_identical_to_unfused() {
+    for seed in 0..CIRCUITS as u64 {
+        let c = random_circuit(seed);
+        let unfused = kernel_state(&c, false);
+        let fused = kernel_state(&c, true);
+        assert_eq!(
+            raw_bits(&unfused),
+            raw_bits(&fused),
+            "seed {seed}: fusion changed amplitude bits"
+        );
+    }
+}
+
+#[test]
+fn kernel_execution_matches_naive_reference_bitwise() {
+    for seed in 0..CIRCUITS as u64 {
+        let c = random_circuit(seed);
+        let reference = reference_state(&c);
+        let kernel = kernel_state(&c, false);
+        assert_eq!(
+            canonical_bits(&reference),
+            canonical_bits(&kernel),
+            "seed {seed}: kernels diverged from the naive reference"
+        );
+    }
+}
+
+#[test]
+fn sampled_artefacts_agree_across_all_three_paths_and_shard_cuts() {
+    let threads = matrix_threads();
+    // A subset of the sweep with real shot sampling: the artefact jobs
+    // actually consume, compared byte-for-byte.
+    for seed in (0..CIRCUITS as u64).step_by(16) {
+        let c = random_circuit(seed);
+        let n = c.n_qubits();
+        let shots = 48u64;
+        let sim = Simulator::auto(n, 7 + seed);
+        let reference = sample_from_state(&reference_state(&c), &sim, shots);
+        for fuse in [true, false] {
+            let prepared = Simulator::auto(n, 7 + seed)
+                .with_fusion(fuse)
+                .prepare(&c)
+                .unwrap();
+            let serial: Vec<BitString> = (0..shots)
+                .map(|s| prepared.sample_shot(&mut sim.shot_rng(s)))
+                .collect();
+            assert_eq!(serial, reference, "seed {seed} fuse={fuse}: artefacts");
+            // Shard the shot range the way the parallel engine does:
+            // contiguous chunks, reassembled in shard order.
+            let per = shots.div_ceil(threads);
+            let mut sharded = Vec::with_capacity(shots as usize);
+            for t in 0..threads {
+                let lo = (t * per).min(shots);
+                let hi = ((t + 1) * per).min(shots);
+                sharded.extend((lo..hi).map(|s| prepared.sample_shot(&mut sim.shot_rng(s))));
+            }
+            assert_eq!(
+                sharded, serial,
+                "seed {seed} fuse={fuse}: sharding at {threads} threads diverged"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fusion edge-case regressions: fused must stay byte-identical to
+// unfused on every boundary shape the planner handles.
+// ---------------------------------------------------------------------
+
+fn assert_fused_equals_unfused(c: &Circuit, what: &str) {
+    assert_eq!(
+        raw_bits(&kernel_state(c, false)),
+        raw_bits(&kernel_state(c, true)),
+        "{what}: fused diverged from unfused"
+    );
+}
+
+#[test]
+fn edge_case_empty_circuit() {
+    let c = Circuit::new(3);
+    assert_fused_equals_unfused(&c, "empty circuit");
+    let p = plan(&c, true).unwrap();
+    assert!(p.ops.is_empty());
+}
+
+#[test]
+fn edge_case_single_gate_circuit() {
+    let cases: [fn(&mut Circuit); 3] = [
+        |c| {
+            c.rx(0, 0.7);
+        },
+        |c| {
+            c.rz(1, -1.3);
+        },
+        |c| {
+            c.cz(0, 1);
+        },
+    ];
+    for (i, build) in cases.iter().enumerate() {
+        let mut c = Circuit::new(2);
+        build(&mut c);
+        c.measure_all();
+        assert_fused_equals_unfused(&c, &format!("single-gate case {i}"));
+    }
+}
+
+#[test]
+fn edge_case_runs_interrupted_by_cz_and_measurement() {
+    // CZ splits q0's would-be run; measure(0) splits it again; measure(1)
+    // must NOT split it (it barriers only its own qubit).
+    let mut c = Circuit::new(2);
+    c.rx(0, 0.4).rz(0, 0.2).cz(0, 1).ry(0, 1.0);
+    c.measure(0).rx(0, 0.9).measure(1).rz(0, 0.1).measure_all();
+    assert_fused_equals_unfused(&c, "interrupted runs");
+    let p = plan(&c, true).unwrap();
+    // Runs: [rx,rz] | CZ | [ry] (measure 0) [rx, rz] — measure(1) kept
+    // the last run open.
+    assert_eq!(p.stats.runs, 3);
+    assert_eq!(p.stats.fused_runs, 2);
+}
+
+#[test]
+fn edge_case_cancelling_rz_pair_fuses_to_approximate_identity() {
+    let theta = 0.73;
+    let mut c = Circuit::new(1);
+    c.rz(0, theta).rz(0, -theta).measure_all();
+    // Byte-identical fused vs unfused — cancellation is NOT elided
+    // (cos/sin round-off means the kernels are not bit-exact identity),
+    // both plans keep both kernels.
+    assert_fused_equals_unfused(&c, "RZ(θ)+RZ(−θ)");
+    let p = plan(&c, true).unwrap();
+    assert_eq!(p.stats.identities_elided, 0);
+    assert_eq!(p.stats.fused_runs, 1);
+    // Algebraically the run is the identity to 1e-12.
+    if let qtenon_quantum::fuse::PlanOp::Run { kernels, .. } = &p.ops[0] {
+        let m = run_matrix(kernels);
+        assert!((m[0][0].re - 1.0).abs() < 1e-12 && m[0][0].im.abs() < 1e-12);
+        assert!((m[1][1].re - 1.0).abs() < 1e-12 && m[1][1].im.abs() < 1e-12);
+        assert!(m[0][1].re.abs() < 1e-12 && m[1][0].re.abs() < 1e-12);
+    } else {
+        panic!("expected a run");
+    }
+}
+
+#[test]
+fn edge_case_bit_exact_identity_is_elided_identically_in_both_plans() {
+    // RX(-0.0) classifies to bit-exact diag(1, 1): elided from BOTH
+    // plans, so fused and unfused stay interchangeable.
+    let mut c = Circuit::new(1);
+    c.rz(0, 0.3).rx(0, -0.0).rz(0, 0.4).measure_all();
+    assert_fused_equals_unfused(&c, "elided identity");
+    for fuse in [true, false] {
+        let p = plan(&c, fuse).unwrap();
+        assert_eq!(p.stats.identities_elided, 1, "fuse={fuse}");
+    }
+    // The near-misses are refused: RZ(0) and RY(-0.0) carry -0.0 bits.
+    assert!(!Kernel1Q::from_matrix(mat_rz(0.0)).is_identity());
+    assert!(!Kernel1Q::from_matrix(mat_ry(-0.0)).is_identity());
+    assert!(Kernel1Q::from_matrix(mat_rx(-0.0)).is_identity());
+}
+
+// ---------------------------------------------------------------------
+// Fusion algebra: the analysis-side matrix model agrees with the gate
+// definitions (approximate — execution never multiplies matrices).
+// ---------------------------------------------------------------------
+
+#[test]
+fn fusion_algebra_rz_angles_add() {
+    for (a, b) in [(0.3, 0.5), (-1.2, 0.7), (PI / 3.0, -PI / 5.0)] {
+        let m = run_matrix(&[
+            Kernel1Q::from_matrix(mat_rz(a)),
+            Kernel1Q::from_matrix(mat_rz(b)),
+        ]);
+        let direct = mat_rz(a + b);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((m[r][c].re - direct[r][c].re).abs() < 1e-12, "({a},{b})");
+                assert!((m[r][c].im - direct[r][c].im).abs() < 1e-12, "({a},{b})");
+            }
+        }
+    }
+}
+
+#[test]
+fn fusion_refused_across_cz_barriers() {
+    // Same-qubit rotations on both sides of a CZ must stay in separate
+    // runs — and the circuit-level result must match the reference.
+    let mut c = Circuit::new(2);
+    c.ry(0, 0.8).cz(0, 1).ry(0, -0.8).measure_all();
+    let p = plan(&c, true).unwrap();
+    assert_eq!(p.stats.fused_runs, 0, "fusion leaked across a CZ barrier");
+    assert_eq!(p.ops.len(), 3);
+    assert_fused_equals_unfused(&c, "CZ barrier");
+    assert_eq!(
+        canonical_bits(&reference_state(&c)),
+        canonical_bits(&kernel_state(&c, true))
+    );
+}
+
+#[test]
+fn deep_single_qubit_runs_stay_bitwise_stable() {
+    // A 60-gate single-qubit run: the deepest fusion the planner will
+    // ever build from real workloads, executed as ONE sweep.
+    let mut r = StdRng::seed_from_u64(0xF05E);
+    let mut c = Circuit::new(4);
+    for _ in 0..60 {
+        let theta = (r.gen::<f64>() * 2.0 - 1.0) * PI;
+        match r.gen::<u64>() % 3 {
+            0 => c.rx(2, theta),
+            1 => c.ry(2, theta),
+            _ => c.rz(2, theta),
+        };
+    }
+    c.measure_all();
+    let p = plan(&c, true).unwrap();
+    assert_eq!(p.stats.runs, 1);
+    assert_eq!(p.stats.gates_fused, 60);
+    assert_fused_equals_unfused(&c, "60-gate run");
+    assert_eq!(
+        canonical_bits(&reference_state(&c)),
+        canonical_bits(&kernel_state(&c, true))
+    );
+}

@@ -9,13 +9,14 @@
 //!             [--faults SPEC|FILE] [--fault-seed S]         # fault injection
 //!             [--profile]                                   # phase attribution table
 //!             [--critpath]                                  # who-blocks-whom table
+//!             [--no-fuse]                                   # disable gate fusion
 //! qtenon disasm <file.qasm>                                 # compiled chunk listing
 //! qtenon trace <file.qasm> [--shots N]                      # Chrome trace JSON to stdout
 //! qtenon batch --jobs <spec.json> [--threads T]             # multi-job fleet
 //!             [--metrics out.json] [--job-metrics DIR]      # fleet + per-job artefacts
 //!             [--only NAME] [--profile] [--critpath]        # run one job standalone
 //!             [--retries N] [--deadline NS]                 # containment overrides
-//!             [--ledger PATH]                               # width-invariant ledger
+//!             [--ledger PATH] [--no-fuse]                   # ledger + fusion toggle
 //! qtenon batch --chaos [--threads T] [--ledger PATH]        # chaos campaign
 //!             [--metrics out.json]                          # resilience telemetry
 //! ```
@@ -47,6 +48,12 @@
 //! `--threads T` fans shot sampling out across `T` worker threads. The
 //! shard merge is bitwise deterministic: any `T` produces results (and
 //! metrics, and fault accounting) identical to `--threads 1`.
+//!
+//! `--no-fuse` disables gate fusion in the exact statevector backend.
+//! Fusion is a pure performance optimisation — fused and unfused
+//! execution produce bitwise-identical shots and artefacts (only the
+//! `quantum.fuse.*` accounting counters differ) — so the flag exists for
+//! differential verification and benchmarking, not correctness.
 //!
 //! `batch` admits every job in a JSON spec into the deterministic batch
 //! scheduler and runs them over one shared pool of `--threads` threads.
@@ -104,6 +111,7 @@ struct Args {
     fault_seed: Option<u64>,
     profile: bool,
     critpath: bool,
+    no_fuse: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -120,10 +128,12 @@ fn parse_args() -> Result<Args, String> {
     let mut fault_seed = None;
     let mut profile = false;
     let mut critpath = false;
+    let mut no_fuse = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--profile" => profile = true,
             "--critpath" => critpath = true,
+            "--no-fuse" => no_fuse = true,
             "--shots" => {
                 shots = argv
                     .next()
@@ -182,16 +192,17 @@ fn parse_args() -> Result<Args, String> {
         fault_seed,
         profile,
         critpath,
+        no_fuse,
     })
 }
 
 fn usage() -> String {
     "usage: qtenon <run|disasm|trace> <file.qasm> [--shots N] [--seed S] [--threads T] \
      [--noise] [--metrics out.json] [--trace out.json] [--faults SPEC|FILE] [--fault-seed S] \
-     [--profile] [--critpath]\n\
+     [--profile] [--critpath] [--no-fuse]\n\
      \u{20}      qtenon batch --jobs <spec.json> [--threads T] [--metrics out.json] \
      [--job-metrics DIR] [--only NAME] [--profile] [--critpath] \
-     [--retries N] [--deadline NS] [--ledger PATH]\n\
+     [--retries N] [--deadline NS] [--ledger PATH] [--no-fuse]\n\
      \u{20}      qtenon batch --chaos [--threads T] [--metrics out.json] [--ledger PATH]"
         .into()
 }
@@ -208,6 +219,7 @@ struct BatchArgs {
     deadline_ns: Option<u64>,
     ledger: Option<String>,
     chaos: bool,
+    no_fuse: bool,
 }
 
 fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs, String> {
@@ -222,11 +234,13 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
     let mut deadline_ns = None;
     let mut ledger = None;
     let mut chaos = false;
+    let mut no_fuse = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--profile" => profile = true,
             "--critpath" => critpath = true,
             "--chaos" => chaos = true,
+            "--no-fuse" => no_fuse = true,
             "--jobs" => jobs = Some(argv.next().ok_or("--jobs needs a path")?),
             "--threads" => {
                 threads = argv
@@ -275,6 +289,7 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
         deadline_ns,
         ledger,
         chaos,
+        no_fuse,
     })
 }
 
@@ -302,6 +317,11 @@ fn run_batch(argv: impl Iterator<Item = String>) -> Result<(), String> {
     if let Some(ns) = args.deadline_ns {
         for job in &mut spec.jobs {
             job.deadline = Some(SimDuration::from_ns(ns));
+        }
+    }
+    if args.no_fuse {
+        for job in &mut spec.jobs {
+            job.fuse = false;
         }
     }
     if spec.jobs.is_empty() {
@@ -503,7 +523,8 @@ fn run() -> Result<(), String> {
         .with_seed(args.seed)
         .with_threads(args.threads)
         .with_faults(plan)
-        .with_profile(args.profile);
+        .with_profile(args.profile)
+        .with_fuse(!args.no_fuse);
     let program = QtenonCompiler::new(config.layout)
         .compile(&circuit)
         .map_err(|e| e.to_string())?;

@@ -9,8 +9,8 @@
 
 use std::path::PathBuf;
 
-use qtenon_bench::experiments::{telemetry_snapshot, ExperimentScale};
-use qtenon_sim_engine::MetricValue;
+use qtenon_bench::experiments::{telemetry_snapshot, telemetry_snapshot_exact, ExperimentScale};
+use qtenon_sim_engine::{MetricValue, MetricsSnapshot};
 
 /// A fixed tiny scale so golden bytes are stable and cheap to produce.
 fn golden_scale() -> ExperimentScale {
@@ -74,6 +74,89 @@ fn metrics_schema_matches_golden() {
         "shard histogram missing from schema:\n{schema}"
     );
     check_golden("metrics_schema.txt", &schema);
+}
+
+/// The metric tree minus the `quantum.fuse.*` accounting counters — the
+/// only entries allowed to differ between fused and unfused runs.
+fn strip_fuse_counters(s: &MetricsSnapshot) -> Vec<(String, MetricValue)> {
+    s.metrics
+        .iter()
+        .filter(|(path, _)| !path.starts_with("quantum.fuse."))
+        .map(|(path, value)| (path.clone(), value.clone()))
+        .collect()
+}
+
+fn fuse_counter(s: &MetricsSnapshot, path: &str) -> u64 {
+    match s.metrics.iter().find(|(p, _)| p.as_str() == path) {
+        Some((_, MetricValue::Counter(n))) => *n,
+        other => panic!("expected counter at {path}, found {other:?}"),
+    }
+}
+
+#[test]
+fn fusion_is_artefact_invariant_on_the_exact_backend() {
+    // 8 qubits puts the exact statevector backend — and the kernel/fusion
+    // layer — on the path; >1 shard exercises sharded sampling with the
+    // fusion toggle in both positions.
+    let scale = golden_scale().with_threads(4);
+    let (fused, fused_report) = telemetry_snapshot_exact(&scale, true);
+    let (unfused, unfused_report) = telemetry_snapshot_exact(&scale, false);
+    // The run artefacts (timings, costs, shots, sync traces) never depend
+    // on fusion.
+    assert_eq!(fused_report, unfused_report, "fusion changed the report");
+    assert_eq!(
+        strip_fuse_counters(&fused),
+        strip_fuse_counters(&unfused),
+        "fusion leaked beyond the quantum.fuse.* accounting counters"
+    );
+    // Both runs really took the intended paths.
+    assert!(fuse_counter(&fused, "quantum.fuse.gates_fused") > 0);
+    assert_eq!(fuse_counter(&unfused, "quantum.fuse.gates_fused"), 0);
+    assert_eq!(fuse_counter(&unfused, "quantum.fuse.fused_runs"), 0);
+    assert_eq!(
+        fuse_counter(&fused, "quantum.fuse.gates_in"),
+        fuse_counter(&unfused, "quantum.fuse.gates_in"),
+        "gate accounting must not depend on the fusion toggle"
+    );
+    // Sharding is invariant too, in either fusion mode.
+    let (fused_serial, _) = telemetry_snapshot_exact(&golden_scale(), true);
+    let (unfused_serial, _) = telemetry_snapshot_exact(&golden_scale(), false);
+    assert_eq!(fused_serial.to_json(), fused.to_json());
+    assert_eq!(unfused_serial.to_json(), unfused.to_json());
+}
+
+#[test]
+fn exact_backend_metrics_schema_matches_golden() {
+    let (snapshot, _) = telemetry_snapshot_exact(&golden_scale(), true);
+    let mut schema = String::new();
+    for (path, value) in &snapshot.metrics {
+        let kind = match value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        schema.push_str(path);
+        schema.push(' ');
+        schema.push_str(kind);
+        schema.push('\n');
+    }
+    // The kernel accounting counters are part of the exact-backend schema.
+    for counter in [
+        "quantum.fuse.gates_in",
+        "quantum.fuse.gates_fused",
+        "quantum.fuse.runs",
+        "quantum.fuse.fused_runs",
+        "quantum.fuse.identities_elided",
+        "quantum.fuse.kernels.diag",
+        "quantum.fuse.kernels.general",
+        "quantum.fuse.kernels.cz",
+    ] {
+        assert!(
+            schema.contains(&format!("{counter} counter")),
+            "{counter} missing from exact-backend schema:\n{schema}"
+        );
+    }
+    check_golden("metrics_exact_schema.txt", &schema);
 }
 
 #[test]
