@@ -210,6 +210,7 @@ impl BaselineRunner {
             resilience: Default::default(),
             phases: Default::default(),
             critpath: critpath.report(),
+            cache: Default::default(),
         })
     }
 }

@@ -15,7 +15,7 @@
 //! metric tree to `PATH` (JSON) and `PATH.prom` (Prometheus text format).
 //! Valid ids: `fig1 table1 table2 table4 fig11 fig12 fig13 fig14 table5
 //! fig15 fig16a fig16b fig17 ablation resilience parallel fleet
-//! breakdown critpath chaos kernels`. Every study is also mirrored to
+//! cachefleet breakdown critpath chaos kernels`. Every study is also mirrored to
 //! `target/experiments/<id>.txt` (gitignored), with the path printed
 //! after each table.
 
@@ -193,6 +193,14 @@ fn main() {
             "Fleet (beyond the paper) — multi-job batch scheduler, jobs x threads sweep, \
              per-job artefacts checked against standalone runs",
             experiments::fleet(&scale).to_string(),
+        );
+    }
+    if want("cachefleet") {
+        section(
+            "cachefleet",
+            "Cache fleet (beyond the paper) — fleet compilation cache, duplication x \
+             pool-width sweep, cold-vs-hit byte-equality checked live",
+            experiments::cachefleet(&scale).to_string(),
         );
     }
     if want("breakdown") {

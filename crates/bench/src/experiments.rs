@@ -964,6 +964,135 @@ pub fn fleet(scale: &ExperimentScale) -> TextTable {
     t
 }
 
+/// Jobs for the fleet-cache study at a given duplication percentage:
+/// `dup_pct` of the fleet replicate one canonical 128-qubit QAOA spec
+/// (identical seed → identical circuit AND identical optimizer
+/// trajectory, so duplicates hit at both cache levels), the rest are
+/// structurally distinct workload/width combinations whose program keys
+/// cannot collide with the duplicate's or each other's.
+fn cachefleet_jobs(scale: &ExperimentScale, dup_pct: usize) -> Vec<JobSpec> {
+    const FLEET: usize = 12;
+    let distinct: [(WorkloadKind, u32); FLEET] = [
+        (WorkloadKind::Vqe, 128),
+        (WorkloadKind::Qnn, 128),
+        (WorkloadKind::Qaoa, 120),
+        (WorkloadKind::Vqe, 120),
+        (WorkloadKind::Qnn, 120),
+        (WorkloadKind::Qaoa, 112),
+        (WorkloadKind::Vqe, 112),
+        (WorkloadKind::Qnn, 112),
+        (WorkloadKind::Qaoa, 104),
+        (WorkloadKind::Vqe, 104),
+        (WorkloadKind::Qnn, 104),
+        (WorkloadKind::Vqe, 96),
+    ];
+    let dups = FLEET * dup_pct / 100;
+    (0..FLEET)
+        .map(|i| {
+            let (name, kind, n, seed) = if i < dups {
+                (
+                    format!("dup-{i}"),
+                    WorkloadKind::Qaoa,
+                    128,
+                    scale.seed ^ 0xCAC4E,
+                )
+            } else {
+                let (kind, n) = distinct[i];
+                (format!("uniq-{i}"), kind, n, scale.seed + i as u64)
+            };
+            // Two iterations at few shots: compilation and pulse
+            // generation — what duplication amortises — stay a
+            // meaningful share of each job, and the second iteration
+            // exercises cross-job pulse reuse along the shared
+            // optimizer trajectory.
+            JobSpec::new(&name, kind, n)
+                .with_iterations(2)
+                .with_shots(scale.shots.min(4))
+                .with_seed(seed)
+        })
+        .collect()
+}
+
+/// Fleet compilation-cache study (beyond the paper): the same 12-job
+/// batch at increasing duplication rates — the fraction of jobs that
+/// are byte-for-byte re-submissions of one canonical 128-qubit QAOA —
+/// dispatched at two pool widths, each cell run cold (cache off) and
+/// cached. Each mode is measured three times in alternating order and
+/// scored by its best wall, so the uplift column reflects the cache and
+/// not allocator warm-up. `uplift` is cached-over-cold jobs/s;
+/// `cold=hit bytes` is a live check that every cached job's
+/// [`RunReport`] and metrics JSON are byte-identical to the cache-free
+/// run — the cache's core contract, at every width.
+///
+/// # Panics
+///
+/// Panics if admission or execution fails (the fleet is known-valid).
+pub fn cachefleet(scale: &ExperimentScale) -> TextTable {
+    // Container timers are noisy (the same batch varies tens of percent
+    // run to run); min-of-N paired measurement recovers the true walls.
+    const REPS: usize = 8;
+    let mut t = TextTable::new(vec![
+        "duplication".into(),
+        "pool threads".into(),
+        "cold wall".into(),
+        "cached wall".into(),
+        "jobs/s cold".into(),
+        "jobs/s cached".into(),
+        "uplift".into(),
+        "hit rate".into(),
+        "cold=hit bytes".into(),
+    ]);
+    for dup_pct in [0usize, 50, 100] {
+        let jobs = cachefleet_jobs(scale, dup_pct);
+        for threads in [1usize, 4] {
+            let run = |cache: bool| {
+                let mut sched = BatchScheduler::new(scale.seed).with_cache(cache);
+                for job in &jobs {
+                    sched.submit(job.clone()).expect("fleet fits the queue");
+                }
+                sched.run(threads).expect("batch run succeeds")
+            };
+            let mut cold = run(false);
+            let mut cached = run(true);
+            let identical = cold.results.iter().zip(&cached.results).all(|(a, b)| {
+                match (a.outcome.artifacts(), b.outcome.artifacts()) {
+                    (Some(x), Some(y)) => x.report == y.report && x.metrics_json == y.metrics_json,
+                    _ => false,
+                }
+            });
+            for _ in 1..REPS {
+                let c = run(false);
+                if c.wall < cold.wall {
+                    cold = c;
+                }
+                let h = run(true);
+                if h.wall < cached.wall {
+                    cached = h;
+                }
+            }
+            let stats = cached
+                .cache_stats
+                .clone()
+                .expect("cached batch reports stats");
+            t.row(vec![
+                format!("{dup_pct}%"),
+                threads.to_string(),
+                format!("{:.2?}", cold.wall),
+                format!("{:.2?}", cached.wall),
+                format!("{:.2}", cold.jobs_per_second()),
+                format!("{:.2}", cached.jobs_per_second()),
+                format!(
+                    "{:.2}x",
+                    cached.jobs_per_second() / cold.jobs_per_second().max(f64::MIN_POSITIVE)
+                ),
+                fmt_pct(stats.hit_rate().unwrap_or(0.0)),
+                if identical { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    t
+}
+
 /// Resilience sweep (beyond the paper): the 64-qubit VQE under rising
 /// uniform fault rates. Every run completes — graceful degradation — and
 /// the columns show how much recovery work and wall time each rate costs.

@@ -183,7 +183,9 @@ impl EqasmProgram {
                     busy_until[op.qubit as usize] = start.saturating_add(1);
                 }
                 Gate::Cz => {
-                    let partner = op.qubit2.expect("CZ has two operands");
+                    let partner = op
+                        .qubit2
+                        .ok_or(CompileError::MissingOperand { gate: "cz" })?;
                     out.push(EqasmInstruction {
                         opcode: EqasmOpcode::TqGate,
                         qubit: op.qubit as u8,

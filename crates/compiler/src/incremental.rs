@@ -29,7 +29,10 @@ impl ParameterDiff {
     /// # Errors
     ///
     /// Returns [`CompileError::ParameterCountMismatch`] if either vector
-    /// is shorter than the program requires.
+    /// differs in length from what the program requires. Excess
+    /// parameters are rejected too: they would be silently ignored here
+    /// but still feed content-addressed cache keys, so a longer vector
+    /// must never alias a shorter one.
     pub fn between(
         program: &CompiledProgram,
         old: &[f64],
@@ -37,7 +40,7 @@ impl ParameterDiff {
     ) -> Result<Self, CompileError> {
         let n = program.num_params();
         for v in [old, new] {
-            if v.len() < n {
+            if v.len() != n {
                 return Err(CompileError::ParameterCountMismatch {
                     expected: n,
                     got: v.len(),
@@ -81,15 +84,28 @@ impl ParameterDiff {
     }
 
     /// The minimal `q_update` stream applying this diff.
-    pub fn update_instructions(&self, program: &CompiledProgram) -> Vec<Instruction> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::SlotOutOfRange`] if a diffed slot does not
+    /// fit the program's register file — possible when the diff was
+    /// computed against a different (larger) program than the one it is
+    /// applied to.
+    pub fn update_instructions(
+        &self,
+        program: &CompiledProgram,
+    ) -> Result<Vec<Instruction>, CompileError> {
+        let capacity = program.layout().regfile_entries();
         self.changed
             .iter()
-            .map(|&(idx, value)| Instruction::QUpdate {
-                qaddr: program
-                    .layout()
-                    .regfile_entry(idx as u64)
-                    .expect("slot bounded at compile time"),
-                value,
+            .map(|&(idx, value)| {
+                let qaddr = program.layout().regfile_entry(idx as u64).map_err(|_| {
+                    CompileError::SlotOutOfRange {
+                        slot: idx as usize,
+                        capacity,
+                    }
+                })?;
+                Ok(Instruction::QUpdate { qaddr, value })
             })
             .collect()
     }
@@ -118,7 +134,7 @@ mod tests {
         assert_eq!(diff.changed_slots(), 1);
         assert_eq!(diff.total_slots(), 2);
         assert!((diff.reuse_fraction() - 0.5).abs() < 1e-12);
-        let updates = diff.update_instructions(&p);
+        let updates = diff.update_instructions(&p).unwrap();
         assert_eq!(updates.len(), 1);
     }
 
@@ -128,7 +144,7 @@ mod tests {
         let diff = ParameterDiff::between(&p, &[1.0, 2.0], &[1.0, 2.0]).unwrap();
         assert_eq!(diff.changed_slots(), 0);
         assert_eq!(diff.reuse_fraction(), 1.0);
-        assert!(diff.update_instructions(&p).is_empty());
+        assert!(diff.update_instructions(&p).unwrap().is_empty());
     }
 
     #[test]
@@ -151,7 +167,7 @@ mod tests {
     fn update_targets_the_right_regfile_entries() {
         let p = two_param_program();
         let diff = ParameterDiff::between(&p, &[1.0, 2.0], &[9.0, 2.0]).unwrap();
-        let updates = diff.update_instructions(&p);
+        let updates = diff.update_instructions(&p).unwrap();
         match updates[0] {
             Instruction::QUpdate { qaddr, .. } => {
                 assert_eq!(qaddr, p.layout().regfile_entry(0).unwrap());
@@ -165,6 +181,30 @@ mod tests {
         let p = two_param_program();
         assert!(ParameterDiff::between(&p, &[1.0], &[1.0, 2.0]).is_err());
         assert!(ParameterDiff::between(&p, &[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn long_vectors_rejected_exactly() {
+        // Regression: excess parameters used to be silently ignored,
+        // which would let [1.0, 2.0] and [1.0, 2.0, 9.0] alias the same
+        // compiled state (and the same cache key).
+        let p = two_param_program();
+        let err = ParameterDiff::between(&p, &[1.0, 2.0, 3.0], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::ParameterCountMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+        let err = ParameterDiff::between(&p, &[1.0, 2.0], &[1.0, 2.0, 3.0]).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::ParameterCountMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
     }
 
     #[test]

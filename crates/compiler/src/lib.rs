@@ -14,17 +14,24 @@
 //!   generators);
 //! - [`incremental`]: the parameter-diff engine emitting minimal
 //!   `q_update` sequences;
+//! - [`cache`]: the fleet-scale content-addressed compilation/pulse
+//!   cache — across near-identical jobs, whole compiles and work-item
+//!   streams are shared instead of redone;
 //! - [`baseline`]: the decoupled baseline's JIT compiler model
 //!   (eQASM/HiSEP-Q-style flat instruction streams, recompiled from
 //!   scratch every iteration — Table 1's ~3×10⁴ instructions and
 //!   1–100 ms recompile overhead).
 
 pub mod baseline;
+pub mod cache;
 pub mod eqasm;
 pub mod incremental;
 pub mod program;
 
 pub use baseline::{BaselineCompiler, BaselineCompilerConfig, BaselineProgram};
+pub use cache::{
+    CacheStats, CachedBound, CachedProgram, CachedPulses, CompilationCache, PulseSchedule,
+};
 pub use eqasm::{EqasmInstruction, EqasmOpcode, EqasmProgram};
 pub use incremental::ParameterDiff;
 pub use program::{CompiledProgram, QtenonCompiler, RegSlot};
@@ -67,6 +74,18 @@ pub enum CompileError {
         /// Supplied length.
         got: usize,
     },
+    /// A two-qubit gate arrived without its second operand.
+    MissingOperand {
+        /// Name of the malformed gate.
+        gate: &'static str,
+    },
+    /// A register slot index fell outside the layout's register file.
+    SlotOutOfRange {
+        /// The offending slot index.
+        slot: usize,
+        /// Register-file capacity of the layout.
+        capacity: u64,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -89,6 +108,15 @@ impl fmt::Display for CompileError {
             }
             CompileError::ParameterCountMismatch { expected, got } => {
                 write!(f, "expected {expected} parameters, got {got}")
+            }
+            CompileError::MissingOperand { gate } => {
+                write!(f, "gate {gate} is missing its second operand")
+            }
+            CompileError::SlotOutOfRange { slot, capacity } => {
+                write!(
+                    f,
+                    "register slot {slot} outside the {capacity}-entry register file"
+                )
             }
         }
     }

@@ -106,26 +106,35 @@ impl CompiledProgram {
     ///
     /// # Errors
     ///
-    /// Returns [`CompileError::ParameterCountMismatch`] on a short vector.
+    /// Returns [`CompileError::ParameterCountMismatch`] on a vector whose
+    /// length differs from [`CompiledProgram::num_params`] (excess
+    /// parameters are rejected, not ignored), and
+    /// [`CompileError::SlotOutOfRange`] if a slot exceeds the register
+    /// file — unreachable for programs this compiler produced, but typed
+    /// rather than a panic for deserialized ones.
     pub fn bind_instructions(&self, params: &[f64]) -> Result<Vec<Instruction>, CompileError> {
-        if params.len() < self.num_params {
+        if params.len() != self.num_params {
             return Err(CompileError::ParameterCountMismatch {
                 expected: self.num_params,
                 got: params.len(),
             });
         }
-        Ok(self
-            .slots
+        self.slots
             .iter()
             .enumerate()
-            .map(|(i, slot)| Instruction::QUpdate {
-                qaddr: self
-                    .layout
-                    .regfile_entry(i as u64)
-                    .expect("slot count checked at compile"),
-                value: slot.encoded_value(params).code(),
+            .map(|(i, slot)| {
+                let qaddr = self.layout.regfile_entry(i as u64).map_err(|_| {
+                    CompileError::SlotOutOfRange {
+                        slot: i,
+                        capacity: self.layout.regfile_entries(),
+                    }
+                })?;
+                Ok(Instruction::QUpdate {
+                    qaddr,
+                    value: slot.encoded_value(params).code(),
+                })
             })
-            .collect())
+            .collect()
     }
 
     /// One `q_gen` per non-empty chunk, covering exactly the used entries.
@@ -150,12 +159,15 @@ impl CompiledProgram {
     ///
     /// # Errors
     ///
-    /// Returns [`CompileError::ParameterCountMismatch`] on a short vector.
+    /// Returns [`CompileError::ParameterCountMismatch`] on a vector whose
+    /// length differs from [`CompiledProgram::num_params`], and
+    /// [`CompileError::SlotOutOfRange`] if a `reg_flag` entry references
+    /// a slot outside the slot table.
     pub fn work_items(
         &self,
         params: &[f64],
     ) -> Result<Vec<(QubitId, GateType, u32)>, CompileError> {
-        if params.len() < self.num_params {
+        if params.len() != self.num_params {
             return Err(CompileError::ParameterCountMismatch {
                 expected: self.num_params,
                 got: params.len(),
@@ -165,7 +177,13 @@ impl CompiledProgram {
         for (q, chunk) in self.chunks.iter().enumerate() {
             for entry in chunk {
                 let data = if entry.reg_flag {
-                    self.slots[entry.data as usize].encoded_value(params).code()
+                    let slot = self.slots.get(entry.data as usize).ok_or(
+                        CompileError::SlotOutOfRange {
+                            slot: entry.data as usize,
+                            capacity: self.slots.len() as u64,
+                        },
+                    )?;
+                    slot.encoded_value(params).code()
                 } else {
                     entry.data
                 };
@@ -251,14 +269,23 @@ impl QtenonCompiler {
                         }
                         Angle::Param { param, scale } => {
                             let idx = slot_for(param, scale, &mut slots);
-                            ProgramEntry::rotation_from_reg(gate_type, idx)
-                                .expect("slot index fits 27 bits")
+                            ProgramEntry::rotation_from_reg(gate_type, idx).map_err(|_| {
+                                CompileError::SlotOutOfRange {
+                                    slot: idx as usize,
+                                    capacity: self.layout.regfile_entries(),
+                                }
+                            })?
                         }
                     }
                 }
                 Gate::Cz => {
-                    let partner = op.qubit2.expect("CZ has two operands");
-                    ProgramEntry::cz(partner).expect("qubit index fits 27 bits")
+                    let partner = op
+                        .qubit2
+                        .ok_or(CompileError::MissingOperand { gate: "cz" })?;
+                    ProgramEntry::cz(partner).map_err(|_| CompileError::TooManyQubits {
+                        circuit: circuit.n_qubits(),
+                        layout: self.layout.n_qubits(),
+                    })?
                 }
                 Gate::Measure => {
                     measured.push(op.qubit);

@@ -105,6 +105,15 @@ pub struct QtenonConfig {
     /// the CLI escape hatch.
     #[serde(default = "default_fuse")]
     pub fuse: bool,
+    /// Enables the fleet compilation cache (DESIGN.md §14). Like
+    /// `threads` and `fuse` this is purely a wall-clock knob: a cache
+    /// hit returns byte-identical artefacts to a cold compile, so the
+    /// flag never changes any per-job report or metric.
+    #[serde(default = "default_cache")]
+    pub cache: bool,
+    /// Entry budget per cache level (programs and pulse streams each).
+    #[serde(default = "default_cache_capacity")]
+    pub cache_capacity: usize,
 }
 
 fn default_threads() -> usize {
@@ -113,6 +122,14 @@ fn default_threads() -> usize {
 
 fn default_fuse() -> bool {
     true
+}
+
+fn default_cache() -> bool {
+    false
+}
+
+fn default_cache_capacity() -> usize {
+    qtenon_compiler::cache::DEFAULT_CAPACITY
 }
 
 impl QtenonConfig {
@@ -140,6 +157,8 @@ impl QtenonConfig {
             threads: 1,
             profile: false,
             fuse: true,
+            cache: false,
+            cache_capacity: qtenon_compiler::cache::DEFAULT_CAPACITY,
         })
     }
 
@@ -183,6 +202,20 @@ impl QtenonConfig {
     /// Returns a copy with gate fusion enabled or disabled.
     pub fn with_fuse(mut self, fuse: bool) -> Self {
         self.fuse = fuse;
+        self
+    }
+
+    /// Returns a copy with the fleet compilation cache enabled or
+    /// disabled.
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Returns a copy with a different cache entry budget (0 is clamped
+    /// to 1 entry per level).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity.max(1);
         self
     }
 }
@@ -242,6 +275,15 @@ mod tests {
         let cfg = QtenonConfig::table4(8, CoreModel::Rocket).unwrap();
         assert!(cfg.fuse);
         assert!(!cfg.with_fuse(false).fuse);
+    }
+
+    #[test]
+    fn cache_defaults_off_with_nonzero_capacity() {
+        let cfg = QtenonConfig::table4(8, CoreModel::Rocket).unwrap();
+        assert!(!cfg.cache);
+        assert!(cfg.cache_capacity > 0);
+        assert!(cfg.with_cache(true).cache);
+        assert_eq!(cfg.with_cache_capacity(0).cache_capacity, 1);
     }
 
     #[test]

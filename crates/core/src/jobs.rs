@@ -60,11 +60,13 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use qtenon_compiler::{CacheStats, CompilationCache};
+use qtenon_isa::QccLayout;
 use qtenon_sim_engine::{
     stream_seed, FaultPlan, Histogram, MetricValue, MetricsRegistry, SimDuration,
 };
@@ -159,6 +161,12 @@ pub struct JobSpec {
     /// interchangeable — surfaced so `batch --no-fuse` can flip a whole
     /// fleet for the differential artefact checks.
     pub fuse: bool,
+    /// Participation in the fleet compilation cache (default on). Only
+    /// meaningful when the batch itself runs with a cache: a job with
+    /// `cache: false` always compiles cold, even in a cached fleet.
+    /// Like `fuse`, a pure wall-clock knob — hits are byte-identical to
+    /// cold compiles, so this never changes any artefact.
+    pub cache: bool,
 }
 
 impl JobSpec {
@@ -183,6 +191,7 @@ impl JobSpec {
             chaos_panic: false,
             chaos_fail_attempts: 0,
             fuse: true,
+            cache: true,
         }
     }
 
@@ -270,6 +279,13 @@ impl JobSpec {
     /// Returns a copy with gate fusion enabled or disabled.
     pub fn with_fuse(mut self, fuse: bool) -> Self {
         self.fuse = fuse;
+        self
+    }
+
+    /// Returns a copy with fleet-cache participation enabled or
+    /// disabled.
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
         self
     }
 }
@@ -490,6 +506,14 @@ pub struct JobResult {
     pub wait: Duration,
     /// Batch start → job finished.
     pub turnaround: Duration,
+    /// Fleet-cache attribution, fixed deterministically at dispatch
+    /// planning from submission order alone: `"cold"` for the first job
+    /// holding each program key, `"shared"` for later holders of a key
+    /// already admitted, `"off"` when the batch or the job opted out,
+    /// `"-"` when the job is unkeyable (its workload cannot be built).
+    /// Never derived from runtime hit counters, which race across pool
+    /// widths — so the ledger stays byte-identical at any width.
+    pub cache: &'static str,
 }
 
 /// Everything a batch run produced, in canonical submission order.
@@ -503,6 +527,11 @@ pub struct BatchReport {
     pub wall: Duration,
     /// Jobs rejected at admission (bounded queue overflow).
     pub rejected: u64,
+    /// Fleet compilation-cache statistics for the run; `None` when the
+    /// batch ran without a cache. Fleet-level only: hit ordering races
+    /// across pool widths, so these counters never appear in any per-job
+    /// artefact.
+    pub cache_stats: Option<CacheStats>,
 }
 
 impl BatchReport {
@@ -561,16 +590,17 @@ impl BatchReport {
         if self.results.is_empty() {
             return Self::empty_ledger();
         }
-        let mut out = String::from("idx\tname\tseed\tprio\toutcome\tattempts\tdetail\n");
+        let mut out = String::from("idx\tname\tseed\tprio\toutcome\tattempts\tcache\tdetail\n");
         for r in &self.results {
             out.push_str(&format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
                 r.id.index(),
                 r.name,
                 r.seed,
                 r.priority,
                 r.outcome.label(),
                 r.outcome.attempts(),
+                r.cache,
                 r.outcome.detail(),
             ));
         }
@@ -657,6 +687,14 @@ impl BatchReport {
         }
         m.histogram("resilience.jobs.attempts", &attempts);
         m.histogram("resilience.jobs.time_to_recovery_ns", &recovery);
+
+        // Fleet compilation-cache observables (`cache.fleet.*`). Like
+        // `jobs.*` these belong to the fleet, not to any job: hit/miss
+        // ordering depends on worker interleaving, so the counters are
+        // exported here and never in per-job artefacts.
+        if let Some(stats) = &self.cache_stats {
+            stats.export(m);
+        }
     }
 }
 
@@ -789,6 +827,23 @@ pub fn attempt_seed(job_seed: u64, attempt: u32) -> u64 {
 /// nothing stops library code from panicking); schedulers call
 /// [`run_attempt_caught`] instead.
 pub fn run_attempt(spec: &JobSpec, job_seed: u64, attempt: u32, threads: usize) -> AttemptOutcome {
+    run_attempt_cached(spec, job_seed, attempt, threads, None)
+}
+
+/// [`run_attempt`] with an optional fleet compilation cache. When a
+/// cache is supplied and the spec participates (`spec.cache`), the
+/// compile and pulse streams are served through it; a hit returns
+/// byte-identical artefacts to a cold compile (see
+/// `qtenon_compiler::cache`), so cached and uncached attempts are
+/// interchangeable. Per-run cache counters are *not* recorded into the
+/// job's [`RunReport`] — a shared cache makes them pool-width dependent.
+pub fn run_attempt_cached(
+    spec: &JobSpec,
+    job_seed: u64,
+    attempt: u32,
+    threads: usize,
+    cache: Option<&Arc<CompilationCache>>,
+) -> AttemptOutcome {
     if spec.chaos_panic {
         panic!(
             "chaos: deliberate panic in job {:?} (attempt {attempt})",
@@ -830,7 +885,11 @@ pub fn run_attempt(spec: &JobSpec, job_seed: u64, attempt: u32, threads: usize) 
         Ok(w) => w,
         Err(e) => return permanent(fail(e.to_string())),
     };
-    let mut runner = match VqaRunner::new(config, workload) {
+    let built = match cache {
+        Some(shared) if spec.cache => VqaRunner::with_cache(config, workload, Arc::clone(shared)),
+        _ => VqaRunner::new(config, workload),
+    };
+    let mut runner = match built {
         Ok(r) => r,
         Err(e) => return permanent(fail(e.to_string())),
     };
@@ -884,8 +943,20 @@ pub fn run_attempt_caught(
     attempt: u32,
     threads: usize,
 ) -> AttemptOutcome {
+    run_attempt_caught_cached(spec, job_seed, attempt, threads, None)
+}
+
+/// [`run_attempt_caught`] with an optional fleet compilation cache —
+/// the variant the batch scheduler's workers call.
+pub fn run_attempt_caught_cached(
+    spec: &JobSpec,
+    job_seed: u64,
+    attempt: u32,
+    threads: usize,
+    cache: Option<&Arc<CompilationCache>>,
+) -> AttemptOutcome {
     match catch_unwind(AssertUnwindSafe(|| {
-        run_attempt(spec, job_seed, attempt, threads)
+        run_attempt_cached(spec, job_seed, attempt, threads, cache)
     })) {
         Ok(outcome) => outcome,
         Err(payload) => {
@@ -940,6 +1011,8 @@ pub struct BatchScheduler {
     capacity: usize,
     queue: Vec<QueuedJob>,
     rejected: u64,
+    cache: bool,
+    cache_capacity: usize,
 }
 
 impl BatchScheduler {
@@ -956,7 +1029,31 @@ impl BatchScheduler {
             capacity: capacity.max(1),
             queue: Vec::new(),
             rejected: 0,
+            cache: false,
+            cache_capacity: qtenon_compiler::cache::DEFAULT_CAPACITY,
         }
+    }
+
+    /// Returns the scheduler with the fleet compilation cache enabled or
+    /// disabled for the next `run`. Off by default at the library level;
+    /// `qtenon batch` turns it on. A pure wall-clock knob: hits are
+    /// byte-identical to cold compiles, so per-job artefacts and the
+    /// ledger never depend on it.
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Returns the scheduler with a different cache entry budget per
+    /// level (0 is clamped to 1).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// Whether the next `run` shares a fleet compilation cache.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache
     }
 
     /// Jobs currently admitted.
@@ -1010,6 +1107,39 @@ impl BatchScheduler {
         order
     }
 
+    /// Per-job cache attribution for the ledger, computed serially from
+    /// submission order *before* any worker runs: the first job holding
+    /// each program key is `"cold"`, later holders are `"shared"`,
+    /// opted-out jobs are `"off"`, unkeyable jobs are `"-"`. Derived
+    /// from the same canonical key the cache itself uses (first-attempt
+    /// seed), never from runtime hit counters — so every pool width
+    /// renders the identical column.
+    fn cache_attribution(&self) -> Vec<&'static str> {
+        let mut seen: HashSet<Vec<u8>> = HashSet::new();
+        self.queue
+            .iter()
+            .map(|job| {
+                if !self.cache || !job.spec.cache {
+                    return "off";
+                }
+                let seed = attempt_seed(job.seed, 0);
+                let Ok(layout) = QccLayout::for_qubits(job.spec.n_qubits) else {
+                    return "-";
+                };
+                let Ok(workload) = Workload::benchmark(job.spec.kind, job.spec.n_qubits, seed)
+                else {
+                    return "-";
+                };
+                let key = CompilationCache::program_key(&workload.circuit, &layout);
+                if seen.insert(key) {
+                    "cold"
+                } else {
+                    "shared"
+                }
+            })
+            .collect()
+    }
+
     /// Runs every admitted job over a pool of `threads` threads and
     /// returns the batch report in canonical submission order.
     ///
@@ -1039,6 +1169,14 @@ impl BatchScheduler {
         }
         let order = self.schedule_order();
         let pool = PoolPlan::new(self.queue.len(), threads);
+        // Attribution and the shared cache are fixed before any worker
+        // spawns: the ledger column depends on submission order alone.
+        let attribution = self.cache_attribution();
+        let fleet_cache: Option<Arc<CompilationCache>> = if self.cache {
+            Some(CompilationCache::shared(self.cache_capacity))
+        } else {
+            None
+        };
         let started = Instant::now();
 
         /// A failed attempt waiting out its backoff.
@@ -1106,6 +1244,7 @@ impl BatchScheduler {
         });
         let work_ready = Condvar::new();
         let (state, work_ready, queue) = (&state, &work_ready, &self.queue);
+        let (attribution, fleet_cache) = (&attribution, &fleet_cache);
 
         let per_worker: Vec<Vec<(usize, JobResult)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..pool.job_workers)
@@ -1134,11 +1273,12 @@ impl BatchScheduler {
                             };
                             let job = &queue[id];
                             let wait = started.elapsed();
-                            let outcome = run_attempt_caught(
+                            let outcome = run_attempt_caught_cached(
                                 &job.spec,
                                 job.seed,
                                 attempt,
                                 pool.shard_threads,
+                                fleet_cache.as_ref(),
                             );
                             match retry_decision(&job.spec, attempt, outcome) {
                                 RetryDecision::Final(outcome) => {
@@ -1152,6 +1292,7 @@ impl BatchScheduler {
                                             outcome,
                                             wait,
                                             turnaround: started.elapsed(),
+                                            cache: attribution[job.id],
                                         },
                                     ));
                                     let mut q = state.lock().expect("run queue lock");
@@ -1207,6 +1348,7 @@ impl BatchScheduler {
             pool,
             wall,
             rejected: self.rejected,
+            cache_stats: fleet_cache.as_ref().map(|c| c.stats()),
         })
     }
 }
@@ -1223,6 +1365,12 @@ pub struct BatchSpec {
     pub retries: u32,
     /// Fleet-default deadline for jobs without their own `deadline_ns`.
     pub deadline: Option<SimDuration>,
+    /// Whether the batch shares a fleet compilation cache (default on —
+    /// `qtenon batch --no-cache` or a top-level `"cache": false` opts
+    /// out).
+    pub cache: bool,
+    /// Cache entry budget per level.
+    pub cache_capacity: usize,
     /// The jobs, in file order, with seeds already materialised — so
     /// filtering or reordering the list later cannot change any job's
     /// seed or artefacts.
@@ -1236,6 +1384,8 @@ impl BatchSpec {
     /// {
     ///   "fleet_seed": 42,
     ///   "capacity": 16,
+    ///   "cache": true,
+    ///   "cache_capacity": 1024,
     ///   "jobs": [
     ///     {"name": "vqe-64", "workload": "vqe", "qubits": 64,
     ///      "iterations": 2, "shots": 500, "priority": 3,
@@ -1243,7 +1393,8 @@ impl BatchSpec {
     ///      "transmission": "immediate", "seed": 7,
     ///      "faults": "all=0.01,max_attempts=8",
     ///      "retries": 3, "deadline_ns": 40000000,
-    ///      "chaos_panic": false, "chaos_fail_attempts": 0, "fuse": true}
+    ///      "chaos_panic": false, "chaos_fail_attempts": 0, "fuse": true,
+    ///      "cache": true}
     ///   ]
     /// }
     /// ```
@@ -1280,10 +1431,21 @@ impl BatchSpec {
             Some(v) => Some(SimDuration::from_ns(field_u64(v, "deadline_ns")?)),
             None => None,
         };
+        let cache = match root.get("cache") {
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| spec_err("\"cache\" must be a boolean".to_string()))?,
+            None => true,
+        };
+        let cache_capacity = match root.get("cache_capacity") {
+            Some(v) => (field_u64(v, "cache_capacity")? as usize).max(1),
+            None => qtenon_compiler::cache::DEFAULT_CAPACITY,
+        };
         for (key, _) in root.entries().unwrap_or(&[]) {
             if !matches!(
                 key.as_str(),
-                "fleet_seed" | "capacity" | "jobs" | "retries" | "deadline_ns"
+                "fleet_seed" | "capacity" | "jobs" | "retries" | "deadline_ns" | "cache"
+                    | "cache_capacity"
             ) {
                 return Err(JobError::Spec {
                     reason: format!("unknown top-level key {key:?}"),
@@ -1306,6 +1468,8 @@ impl BatchSpec {
             capacity,
             retries,
             deadline,
+            cache,
+            cache_capacity,
             jobs,
         })
     }
@@ -1317,7 +1481,9 @@ impl BatchSpec {
     /// Returns [`JobError::QueueFull`] if the spec holds more jobs than
     /// its own capacity allows.
     pub fn into_scheduler(self) -> Result<BatchScheduler, JobError> {
-        let mut sched = BatchScheduler::with_capacity(self.fleet_seed, self.capacity);
+        let mut sched = BatchScheduler::with_capacity(self.fleet_seed, self.capacity)
+            .with_cache(self.cache)
+            .with_cache_capacity(self.cache_capacity);
         for job in self.jobs {
             sched.submit(job)?;
         }
@@ -1457,6 +1623,11 @@ fn parse_job(
             "fuse" => {
                 spec.fuse = value.as_bool().ok_or_else(|| {
                     spec_err(format!("jobs[{index}]: \"fuse\" must be a boolean"))
+                })?;
+            }
+            "cache" => {
+                spec.cache = value.as_bool().ok_or_else(|| {
+                    spec_err(format!("jobs[{index}]: \"cache\" must be a boolean"))
                 })?;
             }
             other => {
@@ -2054,11 +2225,171 @@ mod tests {
             pool: PoolPlan::new(0, 1),
             wall: Duration::ZERO,
             rejected: 0,
+            cache_stats: None,
         };
         assert_eq!(report.ledger(), BatchReport::empty_ledger());
         assert_eq!(report.ledger(), "job ledger: no jobs\n");
         // Throughput of an empty batch is 0, never NaN.
         assert_eq!(report.jobs_per_second(), 0.0);
+    }
+
+    #[test]
+    fn cached_fleet_artefacts_are_byte_identical_to_uncached_at_every_width() {
+        // Four jobs sharing one explicit seed → identical circuits, so
+        // the cache serves three of the four compiles. Artefacts must
+        // still match the cache-free serial reference bit for bit.
+        let fleet = |cache: bool, threads: usize| {
+            let mut sched = BatchScheduler::new(9).with_cache(cache);
+            for i in 0..4 {
+                sched
+                    .submit(
+                        JobSpec::new(&format!("j{i}"), WorkloadKind::Vqe, 8)
+                            .with_iterations(1)
+                            .with_shots(24)
+                            .with_seed(77),
+                    )
+                    .unwrap();
+            }
+            sched.run(threads).unwrap()
+        };
+        let reference = fleet(false, 1);
+        assert!(reference.cache_stats.is_none());
+        for threads in [1, 2, 8] {
+            let cached = fleet(true, threads);
+            assert_eq!(cached.failed(), 0);
+            for (a, b) in reference.results.iter().zip(&cached.results) {
+                let cold = a.outcome.artifacts().unwrap();
+                let hit = b.outcome.artifacts().unwrap();
+                assert_eq!(cold.report, hit.report, "width {threads}");
+                assert_eq!(cold.metrics_json, hit.metrics_json, "width {threads}");
+            }
+            let stats = cached.cache_stats.expect("cached batch reports stats");
+            // One program lookup per job always; the hit/miss split is
+            // only deterministic serially (concurrent duplicates can
+            // race to a miss; first-writer-wins keeps them identical).
+            assert_eq!(stats.program_hits + stats.program_misses, 4, "width {threads}");
+            assert!(stats.program_misses >= 1, "width {threads}");
+            if threads == 1 {
+                assert_eq!(stats.program_hits, 3);
+                assert_eq!(stats.program_misses, 1);
+                assert!(stats.pulse_hits > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_attribution_is_cold_shared_off_and_width_invariant() {
+        let fleet = |threads: usize| {
+            let mut sched = BatchScheduler::new(3).with_cache(true);
+            // Two duplicates (same seed → same circuit), one distinct,
+            // one opted out.
+            for name in ["dup-a", "dup-b"] {
+                sched
+                    .submit(
+                        JobSpec::new(name, WorkloadKind::Vqe, 8)
+                            .with_iterations(1)
+                            .with_shots(24)
+                            .with_seed(5),
+                    )
+                    .unwrap();
+            }
+            sched
+                .submit(
+                    JobSpec::new("lone", WorkloadKind::Qnn, 8)
+                        .with_iterations(1)
+                        .with_shots(24),
+                )
+                .unwrap();
+            sched
+                .submit(
+                    JobSpec::new("optout", WorkloadKind::Vqe, 8)
+                        .with_iterations(1)
+                        .with_shots(24)
+                        .with_seed(5)
+                        .with_cache(false),
+                )
+                .unwrap();
+            sched.run(threads).unwrap()
+        };
+        let serial = fleet(1);
+        let labels: Vec<&str> = serial.results.iter().map(|r| r.cache).collect();
+        assert_eq!(labels, ["cold", "shared", "cold", "off"]);
+        assert_eq!(
+            serial.ledger(),
+            fleet(8).ledger(),
+            "cached ledger must not depend on pool width"
+        );
+        assert!(serial.ledger().starts_with(
+            "idx\tname\tseed\tprio\toutcome\tattempts\tcache\tdetail\n"
+        ));
+        // With the batch cache off, every job renders "off".
+        let mut off = BatchScheduler::new(3);
+        off.submit(
+            JobSpec::new("x", WorkloadKind::Vqe, 8)
+                .with_iterations(1)
+                .with_shots(24),
+        )
+        .unwrap();
+        let off = off.run(1).unwrap();
+        assert_eq!(off.results[0].cache, "off");
+    }
+
+    #[test]
+    fn cache_metrics_exported_only_when_batch_is_cached() {
+        let run = |cache: bool| {
+            let mut sched = BatchScheduler::new(11).with_cache(cache).with_cache_capacity(8);
+            for i in 0..2 {
+                sched
+                    .submit(
+                        JobSpec::new(&format!("m{i}"), WorkloadKind::Vqe, 8)
+                            .with_iterations(1)
+                            .with_shots(24)
+                            .with_seed(4),
+                    )
+                    .unwrap();
+            }
+            // Serial: the 1-miss-then-1-hit split is deterministic.
+            let batch = sched.run(1).unwrap();
+            let mut m = MetricsRegistry::new();
+            batch.export_metrics(&mut m);
+            m
+        };
+        let cached = run(true);
+        assert_eq!(
+            cached.get("cache.fleet.program.hits"),
+            Some(&MetricValue::Counter(1))
+        );
+        assert_eq!(
+            cached.get("cache.fleet.program.misses"),
+            Some(&MetricValue::Counter(1))
+        );
+        assert!(cached.get("cache.fleet.hit_rate").is_some());
+        let uncached = run(false);
+        assert!(uncached.get("cache.fleet.program.hits").is_none());
+    }
+
+    #[test]
+    fn batch_spec_parses_cache_knobs_and_defaults_on() {
+        let spec = BatchSpec::from_json(r#"{"jobs": []}"#).unwrap();
+        assert!(spec.cache);
+        assert_eq!(
+            spec.cache_capacity,
+            qtenon_compiler::cache::DEFAULT_CAPACITY
+        );
+        let spec = BatchSpec::from_json(
+            r#"{"cache": false, "cache_capacity": 0,
+                "jobs": [{"name": "a", "cache": false}]}"#,
+        )
+        .unwrap();
+        assert!(!spec.cache);
+        assert_eq!(spec.cache_capacity, 1);
+        assert!(!spec.jobs[0].cache);
+        let sched = spec.into_scheduler().unwrap();
+        assert!(!sched.cache_enabled());
+        assert!(BatchSpec::from_json(r#"{"cache": 3, "jobs": []}"#).is_err());
+        assert!(
+            BatchSpec::from_json(r#"{"jobs": [{"name": "a", "cache": "yes"}]}"#).is_err()
+        );
     }
 
     #[test]

@@ -15,9 +15,13 @@
 //! 3. **Per iteration**: the optimizer consumes the evaluated costs and
 //!    produces the next parameter vector on the host core model.
 
-use qtenon_compiler::{CompiledProgram, ParameterDiff, QtenonCompiler};
-use qtenon_isa::Instruction;
-use qtenon_quantum::BitString;
+use std::sync::Arc;
+
+use qtenon_compiler::{
+    CachedProgram, CompilationCache, CompiledProgram, ParameterDiff, QtenonCompiler,
+};
+use qtenon_isa::{GateType, Instruction, QubitId};
+use qtenon_quantum::{BitString, Circuit};
 use qtenon_sim_engine::{
     EventQueue, Histogram, MetricsRegistry, OpClass, OpCounter, PhaseId, Profiler, SimDuration,
     SimTime,
@@ -26,7 +30,7 @@ use qtenon_workloads::cost::{CostEvaluator, BLOCK_SHOTS};
 use qtenon_workloads::{evaluate_cost, Optimizer, Workload};
 
 use crate::config::{QtenonConfig, SyncMode, TransmissionPolicy};
-use crate::report::{RunReport, TimeBreakdown};
+use crate::report::{CacheActivity, RunReport, TimeBreakdown};
 use crate::schedule::{TransmissionBatch, TransmissionPlan};
 use crate::system::QtenonSystem;
 use crate::SystemError;
@@ -104,11 +108,29 @@ impl DeadlineStatus {
     }
 }
 
+/// The runner's handle on a shared compilation cache: the cache itself
+/// plus the keyed program it compiled through it.
+struct CacheBinding {
+    cache: Arc<CompilationCache>,
+    program: CachedProgram,
+}
+
 /// Executes hybrid workloads on a [`QtenonSystem`].
 pub struct VqaRunner {
     system: QtenonSystem,
     workload: Workload,
-    program: CompiledProgram,
+    program: Arc<CompiledProgram>,
+    cache: Option<CacheBinding>,
+    /// Whether per-run cache activity lands in [`RunReport::cache`].
+    /// Off by default: a cache shared across a pool makes hit counts
+    /// depend on worker interleaving, so batch jobs must not record
+    /// them (their artefacts are compared byte-for-byte across pool
+    /// widths). Only enable for runs that own their cache privately.
+    record_cache: bool,
+    /// Program-level lookup made at construction time.
+    compile_cache_activity: CacheActivity,
+    /// Pulse-level lookups made by the current run.
+    run_cache_activity: CacheActivity,
     evaluations: u64,
     iterations: u64,
     eval_latency: Histogram,
@@ -138,6 +160,32 @@ impl VqaRunner {
     ///
     /// Returns [`SystemError`] for configuration or compilation failures.
     pub fn new(config: QtenonConfig, workload: Workload) -> Result<Self, SystemError> {
+        Self::build(config, workload, None)
+    }
+
+    /// Like [`new`](Self::new), but compiles through `cache`: an
+    /// identical circuit/layout pair already cached — by this runner or
+    /// any other sharing the cache — skips compilation entirely, and
+    /// pulse work-item streams are shared per encoded parameter vector.
+    /// Hits return byte-identical artefacts to cold compiles, so reports
+    /// never depend on cache state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] for configuration or compilation failures.
+    pub fn with_cache(
+        config: QtenonConfig,
+        workload: Workload,
+        cache: Arc<CompilationCache>,
+    ) -> Result<Self, SystemError> {
+        Self::build(config, workload, Some(cache))
+    }
+
+    fn build(
+        config: QtenonConfig,
+        workload: Workload,
+        cache: Option<Arc<CompilationCache>>,
+    ) -> Result<Self, SystemError> {
         if workload.n_qubits() != config.n_qubits {
             return Err(SystemError::Config(format!(
                 "workload is {}-qubit but system is {}-qubit",
@@ -145,11 +193,36 @@ impl VqaRunner {
                 config.n_qubits
             )));
         }
-        let program = QtenonCompiler::new(config.layout).compile(&workload.circuit)?;
+        let mut compile_cache_activity = CacheActivity::default();
+        let (program, cache) = match cache {
+            Some(shared) => {
+                let cached = shared.compile(config.layout, &workload.circuit)?;
+                if cached.is_hit() {
+                    compile_cache_activity.program_hits += 1;
+                } else {
+                    compile_cache_activity.program_misses += 1;
+                }
+                (
+                    Arc::clone(cached.program()),
+                    Some(CacheBinding {
+                        cache: shared,
+                        program: cached,
+                    }),
+                )
+            }
+            None => (
+                Arc::new(QtenonCompiler::new(config.layout).compile(&workload.circuit)?),
+                None,
+            ),
+        };
         Ok(VqaRunner {
             system: QtenonSystem::new(config)?,
             workload,
             program,
+            cache,
+            record_cache: false,
+            compile_cache_activity,
+            run_cache_activity: CacheActivity::default(),
             evaluations: 0,
             iterations: 0,
             eval_latency: Histogram::new(),
@@ -159,6 +232,62 @@ impl VqaRunner {
             des_dispatched: 0,
             des_high_water: 0,
         })
+    }
+
+    /// Enables or disables recording cache activity into
+    /// [`RunReport::cache`]. Leave off (the default) whenever the cache
+    /// is shared across a worker pool: hit counts then depend on
+    /// interleaving, and per-job artefacts must stay byte-identical at
+    /// any pool width.
+    pub fn set_cache_recording(&mut self, enabled: bool) {
+        self.record_cache = enabled;
+    }
+
+    /// Cache activity seen by this runner so far (construction compile
+    /// plus the most recent run's pulse lookups). All-zero without a
+    /// cache.
+    pub fn cache_activity(&self) -> CacheActivity {
+        let mut a = self.compile_cache_activity;
+        a += self.run_cache_activity;
+        a
+    }
+
+    /// Resolves the pulse work-item stream for `params` — through the
+    /// cache when one is attached, generating directly otherwise.
+    fn resolve_work_items(
+        &mut self,
+        params: &[f64],
+    ) -> Result<Arc<Vec<(QubitId, GateType, u32)>>, SystemError> {
+        match &self.cache {
+            Some(binding) => {
+                let pulses = binding.cache.work_items(&binding.program, params)?;
+                if pulses.is_hit() {
+                    self.run_cache_activity.pulse_hits += 1;
+                } else {
+                    self.run_cache_activity.pulse_misses += 1;
+                }
+                Ok(Arc::clone(pulses.items()))
+            }
+            None => Ok(Arc::new(self.program.work_items(params)?)),
+        }
+    }
+
+    /// Resolves the parameter-bound circuit for `params` — through the
+    /// cache when one is attached, binding directly otherwise. Binding
+    /// is pure, so both paths produce identical circuits.
+    fn resolve_bound(&mut self, params: &[f64]) -> Result<Arc<Circuit>, SystemError> {
+        match &self.cache {
+            Some(binding) => {
+                let bound = binding.cache.bound_circuit(&binding.program, params)?;
+                if bound.is_hit() {
+                    self.run_cache_activity.bound_hits += 1;
+                } else {
+                    self.run_cache_activity.bound_misses += 1;
+                }
+                Ok(Arc::clone(bound.circuit()))
+            }
+            None => Ok(Arc::new(self.workload.circuit.bind(params)?)),
+        }
     }
 
     /// Enables or disables wall-clock capture in the profiler. Sim-time
@@ -255,6 +384,7 @@ impl VqaRunner {
         self.des_scheduled = 0;
         self.des_dispatched = 0;
         self.des_high_water = 0;
+        self.run_cache_activity = CacheActivity::default();
         let phases = VqaPhases::intern(self.system.profiler_mut());
         // Root the causal chain at t=0: every subsequent op hangs its
         // provenance node off the previous chain head.
@@ -320,7 +450,7 @@ impl VqaRunner {
                 .profiler_mut()
                 .span(phases.upload, upload_start, now);
 
-            let items = self.program.work_items(&params)?;
+            let items = self.resolve_work_items(&params)?;
             pulse_work_items += items.len() as u64;
             let (report, gen_done) = self.system.q_gen(now, &items)?;
             pulses_generated += report.generated;
@@ -420,6 +550,11 @@ impl VqaRunner {
             resilience: self.system.resilience(),
             phases: self.system.phase_table(),
             critpath: self.system.critpath_report(),
+            cache: if self.record_cache {
+                self.cache_activity()
+            } else {
+                CacheActivity::default()
+            },
         };
         Ok((report, status))
     }
@@ -459,7 +594,7 @@ impl VqaRunner {
             self.system.critpath_host_segment(now);
         }
         let upload_start = now;
-        for instr in diff.update_instructions(&self.program) {
+        for instr in diff.update_instructions(&self.program)? {
             if let Instruction::QUpdate { qaddr, value } = instr {
                 now = self.system.q_update(now, qaddr, value)?;
             }
@@ -469,7 +604,7 @@ impl VqaRunner {
             .span(phases.upload, upload_start, now);
 
         // 2. Pulse generation: the SLT skips everything unchanged.
-        let items = self.program.work_items(eval_params)?;
+        let items = self.resolve_work_items(eval_params)?;
         *pulse_work_items += items.len() as u64;
         let (gen_report, gen_done) = self.system.q_gen(now, &items)?;
         *pulses_generated += gen_report.generated;
@@ -482,7 +617,7 @@ impl VqaRunner {
         now = gen_done;
 
         // 3. Quantum run.
-        let bound = self.workload.circuit.bind(eval_params)?;
+        let bound = self.resolve_bound(eval_params)?;
         let run_start = now;
         let outcome = self.system.q_run(now, &bound, shots)?;
         let quantum = outcome.complete.saturating_since(run_start);

@@ -10,6 +10,7 @@
 //!             [--profile]                                   # phase attribution table
 //!             [--critpath]                                  # who-blocks-whom table
 //!             [--no-fuse]                                   # disable gate fusion
+//!             [--cache] [--cache-capacity N]                # compile through a cache
 //! qtenon disasm <file.qasm>                                 # compiled chunk listing
 //! qtenon trace <file.qasm> [--shots N]                      # Chrome trace JSON to stdout
 //! qtenon batch --jobs <spec.json> [--threads T]             # multi-job fleet
@@ -17,6 +18,7 @@
 //!             [--only NAME] [--profile] [--critpath]        # run one job standalone
 //!             [--retries N] [--deadline NS]                 # containment overrides
 //!             [--ledger PATH] [--no-fuse]                   # ledger + fusion toggle
+//!             [--no-cache] [--cache-capacity N]             # fleet compilation cache
 //! qtenon batch --chaos [--threads T] [--ledger PATH]        # chaos campaign
 //!             [--metrics out.json]                          # resilience telemetry
 //! ```
@@ -54,6 +56,17 @@
 //! execution produce bitwise-identical shots and artefacts (only the
 //! `quantum.fuse.*` accounting counters differ) — so the flag exists for
 //! differential verification and benchmarking, not correctness.
+//!
+//! The fleet compilation cache (DESIGN.md §14) is on by default for
+//! `batch` — near-identical jobs share whole compiles and pulse streams
+//! — and off for single runs (`run --cache` opts in, routing the one
+//! compile through a private cache and printing its statistics).
+//! `--no-cache` disables it for a batch; `--cache-capacity N` bounds
+//! the entries kept per cache level. Like fusion it is purely a
+//! wall-clock knob: a hit returns byte-identical artefacts to a cold
+//! compile, so no per-job report, metric file, or ledger ever depends
+//! on the flag. Fleet-level `cache.fleet.*` counters land in the
+//! `--metrics` export only.
 //!
 //! `batch` admits every job in a JSON spec into the deterministic batch
 //! scheduler and runs them over one shared pool of `--threads` threads.
@@ -112,6 +125,8 @@ struct Args {
     profile: bool,
     critpath: bool,
     no_fuse: bool,
+    cache: bool,
+    cache_capacity: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -129,11 +144,22 @@ fn parse_args() -> Result<Args, String> {
     let mut profile = false;
     let mut critpath = false;
     let mut no_fuse = false;
+    let mut cache = false;
+    let mut cache_capacity = qtenon::compiler::cache::DEFAULT_CAPACITY;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--profile" => profile = true,
             "--critpath" => critpath = true,
             "--no-fuse" => no_fuse = true,
+            "--cache" => cache = true,
+            "--cache-capacity" => {
+                cache_capacity = argv
+                    .next()
+                    .ok_or("--cache-capacity needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --cache-capacity: {e}"))?
+                    .max(1);
+            }
             "--shots" => {
                 shots = argv
                     .next()
@@ -193,16 +219,19 @@ fn parse_args() -> Result<Args, String> {
         profile,
         critpath,
         no_fuse,
+        cache,
+        cache_capacity,
     })
 }
 
 fn usage() -> String {
     "usage: qtenon <run|disasm|trace> <file.qasm> [--shots N] [--seed S] [--threads T] \
      [--noise] [--metrics out.json] [--trace out.json] [--faults SPEC|FILE] [--fault-seed S] \
-     [--profile] [--critpath] [--no-fuse]\n\
+     [--profile] [--critpath] [--no-fuse] [--cache] [--cache-capacity N]\n\
      \u{20}      qtenon batch --jobs <spec.json> [--threads T] [--metrics out.json] \
      [--job-metrics DIR] [--only NAME] [--profile] [--critpath] \
-     [--retries N] [--deadline NS] [--ledger PATH] [--no-fuse]\n\
+     [--retries N] [--deadline NS] [--ledger PATH] [--no-fuse] \
+     [--no-cache] [--cache-capacity N]\n\
      \u{20}      qtenon batch --chaos [--threads T] [--metrics out.json] [--ledger PATH]"
         .into()
 }
@@ -220,6 +249,8 @@ struct BatchArgs {
     ledger: Option<String>,
     chaos: bool,
     no_fuse: bool,
+    no_cache: bool,
+    cache_capacity: Option<usize>,
 }
 
 fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs, String> {
@@ -235,12 +266,24 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
     let mut ledger = None;
     let mut chaos = false;
     let mut no_fuse = false;
+    let mut no_cache = false;
+    let mut cache_capacity = None;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--profile" => profile = true,
             "--critpath" => critpath = true,
             "--chaos" => chaos = true,
             "--no-fuse" => no_fuse = true,
+            "--no-cache" => no_cache = true,
+            "--cache-capacity" => {
+                cache_capacity = Some(
+                    argv.next()
+                        .ok_or("--cache-capacity needs a value")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --cache-capacity: {e}"))?
+                        .max(1),
+                );
+            }
             "--jobs" => jobs = Some(argv.next().ok_or("--jobs needs a path")?),
             "--threads" => {
                 threads = argv
@@ -290,6 +333,8 @@ fn parse_batch_args(mut argv: impl Iterator<Item = String>) -> Result<BatchArgs,
         ledger,
         chaos,
         no_fuse,
+        no_cache,
+        cache_capacity,
     })
 }
 
@@ -323,6 +368,12 @@ fn run_batch(argv: impl Iterator<Item = String>) -> Result<(), String> {
         for job in &mut spec.jobs {
             job.fuse = false;
         }
+    }
+    if args.no_cache {
+        spec.cache = false;
+    }
+    if let Some(capacity) = args.cache_capacity {
+        spec.cache_capacity = capacity;
     }
     if spec.jobs.is_empty() {
         // An empty fleet (empty `jobs` array, or `--only` that matched
@@ -371,6 +422,9 @@ fn run_batch(argv: impl Iterator<Item = String>) -> Result<(), String> {
         batch.total_retries(),
         batch.rejected,
     );
+    if let Some(stats) = &batch.cache_stats {
+        println!("{}", stats.describe());
+    }
 
     if args.profile {
         for r in &batch.results {
@@ -525,9 +579,34 @@ fn run() -> Result<(), String> {
         .with_faults(plan)
         .with_profile(args.profile)
         .with_fuse(!args.no_fuse);
-    let program = QtenonCompiler::new(config.layout)
-        .compile(&circuit)
-        .map_err(|e| e.to_string())?;
+    // `--cache` routes the compile through a private compilation cache:
+    // the single run still compiles cold (the cache is empty), but the
+    // artefacts are byte-identical by the cache's contract and the
+    // statistics line below demonstrates the no-NaN idle/miss rendering.
+    let cache = if args.cache {
+        Some(qtenon::compiler::CompilationCache::shared(
+            args.cache_capacity,
+        ))
+    } else {
+        None
+    };
+    let cached = match &cache {
+        Some(c) => Some(
+            c.compile(config.layout, &circuit)
+                .map_err(|e| e.to_string())?,
+        ),
+        None => None,
+    };
+    let fallback;
+    let program: &qtenon::compiler::CompiledProgram = match &cached {
+        Some(cp) => cp.program(),
+        None => {
+            fallback = QtenonCompiler::new(config.layout)
+                .compile(&circuit)
+                .map_err(|e| e.to_string())?;
+            &fallback
+        }
+    };
 
     match args.command.as_str() {
         "disasm" => {
@@ -588,7 +667,13 @@ fn run() -> Result<(), String> {
                         .map_err(|e| e.to_string())?;
                 }
             }
-            let items = program.work_items(&[]).map_err(|e| e.to_string())?;
+            let items = match (&cache, &cached) {
+                (Some(c), Some(cp)) => c
+                    .work_items(cp, &[])
+                    .map_err(|e| e.to_string())?
+                    .to_vec(),
+                _ => program.work_items(&[]).map_err(|e| e.to_string())?,
+            };
             let (gen, t) = system.q_gen(now, &items).map_err(|e| e.to_string())?;
             let outcome = if args.noise {
                 // Sample through a noisy simulator, then deposit manually.
@@ -662,6 +747,10 @@ fn run() -> Result<(), String> {
                     r.rbq_reclaims,
                     r.ecc_corrections,
                 );
+            }
+
+            if let Some(c) = &cache {
+                println!("{}", c.stats().describe());
             }
 
             // Histogram of outcomes (top 16).

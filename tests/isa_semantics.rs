@@ -158,7 +158,7 @@ fn incremental_updates_equal_full_rebind() {
     let updates_before = sys_incremental.comm().q_update_count;
     let diff = ParameterDiff::between(&program, &old, &new).unwrap();
     assert_eq!(diff.changed_slots(), 2);
-    for instr in diff.update_instructions(&program) {
+    for instr in diff.update_instructions(&program).unwrap() {
         if let Instruction::QUpdate { qaddr, value } = instr {
             now = sys_incremental.q_update(now, qaddr, value).unwrap();
         }
